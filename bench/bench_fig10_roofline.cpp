@@ -1,0 +1,65 @@
+// Figure 10: cache-aware roofline placement of VGH at each optimization step.
+// Ceilings are measured on this host (STREAM triad, FMA peak); each point's
+// GFLOPS comes from the analytic FLOP model divided by the measured kernel
+// time, at the model's arithmetic intensity (the paper used Intel Advisor
+// for the same quantities).
+#include <iostream>
+
+#include "common/table.h"
+#include "core/tuner.h"
+#include "perf/roofline.h"
+#include "bench_common.h"
+
+int main()
+{
+  using namespace mqc;
+  using namespace mqc::bench;
+  const BenchScale scale = bench_scale();
+  const int n = scale.n_single;
+
+  print_banner(std::cout, "Figure 10: VGH roofline at N=" + std::to_string(n));
+  std::cout << "measuring ceilings...\n";
+  const double bw = measure_triad_bandwidth();
+  const double peak = measure_peak_gflops_sp();
+  std::cout << "  DRAM bandwidth : " << TablePrinter::cell(bw / 1e9, 1) << " GB/s\n"
+            << "  SP FMA peak    : " << TablePrinter::cell(peak, 1) << " GFLOPS\n"
+            << "  ridge point    : " << TablePrinter::cell(peak / (bw / 1e9), 2)
+            << " FLOP/byte\n\n";
+
+  const auto grid = Grid3D<float>::cube(scale.grid, 1.0f);
+  auto coefs = make_random_storage<float>(grid, n, 1010);
+  const auto tune =
+      tune_tile_size_vgh(*coefs, default_tile_candidates(n, 16), scale.ns, scale.min_seconds / 4);
+
+  struct Point
+  {
+    const char* label;
+    Layout layout;
+    bool soa_model;
+  };
+  const Point points[3] = {{"AoS (baseline)", Layout::AoS, false},
+                           {"SoA (Opt A)", Layout::SoA, true},
+                           {"AoSoA (Opt B)", Layout::AoSoA, true}};
+
+  TablePrinter tp({"variant", "AI (FLOP/B)", "GFLOPS", "roof @ AI", "% of roof"});
+  for (const auto& p : points) {
+    const double sec = measure_seconds_per_eval(p.layout, Kernel::VGH, *coefs, tune.best_tile,
+                                                scale.ns, scale.min_seconds);
+    const auto model = kernel_cost_model(KernelId::VGH, p.soa_model, n, sizeof(float));
+    const double gflops = model.flops / sec / 1e9;
+    const double ai = model.arithmetic_intensity();
+    const double roof = roofline_ceiling(ai, peak, bw);
+    tp.add_row({p.label, TablePrinter::cell(ai, 2), TablePrinter::cell(gflops, 1),
+                TablePrinter::cell(roof, 1), TablePrinter::cell(100.0 * gflops / roof, 1)});
+  }
+  tp.print(std::cout);
+  std::cout
+      << "\nShape check: the load-bearing signal is '% of roof' — the baseline sits far\n"
+         "below its ceiling (scalar/gather-scatter execution) while SoA/AoSoA run close\n"
+         "to the bandwidth roof, exactly the paper's Fig. 10 story.  Note on AI: the\n"
+         "paper's Advisor-measured AI *rises* with SoA because gather/scatter traffic\n"
+         "disappears; our analytic AI instead counts algorithmic FLOPs, so the AoS\n"
+         "variant shows a higher nominal AI (it does 64x13 redundant FMAs vs 16x22).\n"
+         "AoSoA keeps the SoA AI and lifts GFLOPS through cache locality.\n";
+  return 0;
+}

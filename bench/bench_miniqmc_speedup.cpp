@@ -1,0 +1,66 @@
+// Abstract / §VII claim: the combined optimizations (SoA + AoSoA B-splines,
+// SoA distance tables and Jastrow) speed up the whole miniQMC mini-app by
+// more than 4.5x on KNL/BDW.  This bench runs the full driver end-to-end in
+// both configurations on an identical trajectory and reports the overall
+// and per-section speedups on this host.
+#include <cstdlib>
+#include <utility>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "qmc/miniqmc_driver.h"
+
+int main()
+{
+  using namespace mqc;
+  const char* env = std::getenv("MQC_BENCH_SCALE");
+  const bool full = env && std::string(env) == "full";
+
+  MiniQMCConfig cfg;
+  cfg.supercell = full ? std::array<int, 3>{4, 4, 1} : std::array<int, 3>{3, 3, 1};
+  cfg.grid_size = full ? 48 : 32;
+  cfg.steps = full ? 4 : 3;
+
+  // Best of three full runs per configuration: section times are
+  // milliseconds and shared-VM steal time can inflate any single run.
+  auto best_run = [](MiniQMCConfig c) {
+    MiniQMCResult best = run_miniqmc(c);
+    for (int attempt = 1; attempt < 3; ++attempt) {
+      auto r = run_miniqmc(c);
+      if (r.seconds < best.seconds)
+        best = std::move(r);
+    }
+    return best;
+  };
+
+  cfg.spo = SpoLayout::AoS;
+  cfg.optimized_dt_jastrow = false;
+  const auto base = best_run(cfg);
+
+  cfg.spo = SpoLayout::AoSoA;
+  cfg.tile_size = 64;
+  cfg.optimized_dt_jastrow = true;
+  const auto opt = best_run(cfg);
+
+  print_banner(std::cout, "miniQMC end-to-end speedup (baseline vs fully optimized)");
+  std::cout << "system: graphite " << cfg.supercell[0] << 'x' << cfg.supercell[1] << 'x'
+            << cfg.supercell[2] << ", " << base.num_electrons << " electrons, "
+            << base.num_orbitals << " SPOs\n\n";
+
+  TablePrinter tp({"section", "baseline (s)", "optimized (s)", "speedup"});
+  for (const char* key :
+       {kSectionBspline, kSectionDistance, kSectionJastrow, kSectionDeterminant}) {
+    const double b = base.profile.seconds(key);
+    const double o = opt.profile.seconds(key);
+    tp.add_row({key, TablePrinter::cell(b, 4), TablePrinter::cell(o, 4),
+                TablePrinter::cell(o > 0 ? b / o : 0.0, 2)});
+  }
+  tp.add_row({"TOTAL (sweep wall)", TablePrinter::cell(base.seconds, 4),
+              TablePrinter::cell(opt.seconds, 4), TablePrinter::cell(base.seconds / opt.seconds, 2)});
+  tp.print(std::cout);
+  std::cout << "\nPaper claim: > 4.5x full-miniQMC speedup on KNL/BDW at production sizes\n"
+               "(their baseline had far more headroom: in-order KNC / 512-bit SIMD with\n"
+               "13-wide strided stores; expect a smaller but >1 factor on this host).\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Precision study (paper §II: "The single precision was first implemented in
+// QMCPACK GPU port with significant speedups and memory saving and later
+// introduced to the CPU version"; the paper's miniQMC runs all-SP).
+//
+// Compares SP vs DP for the SoA VGH kernel: throughput (bandwidth-bound
+// kernels should gain ~2x from halving the element size) and accuracy
+// against the double-precision reference.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/bspline_ref.h"
+#include "core/bspline_soa.h"
+#include "core/synthetic_orbitals.h"
+#include "qmc/walker.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace mqc;
+
+template <typename T>
+double measure_vgh_throughput_t(const std::shared_ptr<CoefStorage<T>>& coefs, int ns,
+                                double min_seconds)
+{
+  BsplineSoA<T> engine(coefs);
+  WalkerSoA<T> out(engine.out_stride());
+  const auto pos = mqc::bench::random_eval_positions(coefs->grid(), ns, 5);
+  double best = 0.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const double t = time_per_iteration(
+        [&] {
+          for (int s = 0; s < ns; ++s)
+            engine.evaluate_vgh(static_cast<T>(pos.x[static_cast<std::size_t>(s)]),
+                                static_cast<T>(pos.y[static_cast<std::size_t>(s)]),
+                                static_cast<T>(pos.z[static_cast<std::size_t>(s)]), out.v.data(),
+                                out.g.data(), out.h.data());
+        },
+        min_seconds, 2);
+    best = std::max(best, static_cast<double>(coefs->num_splines()) * ns / t);
+  }
+  return best;
+}
+
+} // namespace
+
+int main()
+{
+  using namespace mqc;
+  using namespace mqc::bench;
+  const BenchScale scale = bench_scale();
+  const int n = std::min(scale.n_single, 1024); // DP table is 2x the bytes
+
+  print_banner(std::cout, "Precision study: SP vs DP, SoA VGH at N=" + std::to_string(n));
+
+  // Throughput on random-coefficient tables (performance only).
+  const auto gridf = Grid3D<float>::cube(scale.grid, 1.0f);
+  const auto gridd = Grid3D<double>::cube(scale.grid, 1.0);
+  auto coefs_sp = make_random_storage<float>(gridf, n, 11);
+  auto coefs_dp = make_random_storage<double>(gridd, n, 11);
+  const double t_sp = measure_vgh_throughput_t(coefs_sp, scale.ns, scale.min_seconds);
+  const double t_dp = measure_vgh_throughput_t(coefs_dp, scale.ns, scale.min_seconds);
+
+  // Accuracy on real (plane-wave) orbitals at a modest size.
+  const int ng_acc = 24, n_acc = 16;
+  const auto pw = PlaneWaveOrbitals::make(n_acc, Vec3<double>{1, 1, 1}, 3);
+  const auto acc_dp = build_planewave_storage(Grid3D<double>::cube(ng_acc, 1.0), pw);
+  const auto acc_sp = build_planewave_storage(Grid3D<float>::cube(ng_acc, 1.0f), pw);
+  BsplineRef<double> ref(*acc_dp);
+  BsplineSoA<float> esp(acc_sp);
+  WalkerSoA<float> wsp(esp.out_stride());
+  double max_err = 0.0;
+  Xoshiro256 rng(7);
+  for (int s = 0; s < 100; ++s) {
+    const double x = rng.uniform(), y = rng.uniform(), z = rng.uniform();
+    esp.evaluate_vgh(static_cast<float>(x), static_cast<float>(y), static_cast<float>(z),
+                     wsp.v.data(), wsp.g.data(), wsp.h.data());
+    const auto rv = ref.evaluate_v(x, y, z);
+    for (int k = 0; k < n_acc; ++k)
+      max_err = std::max(max_err, std::abs(static_cast<double>(wsp.v[static_cast<std::size_t>(k)]) -
+                                           rv[static_cast<std::size_t>(k)]));
+  }
+
+  TablePrinter tp({"precision", "table (MB)", "T_VGH (Meval/s)", "relative"});
+  tp.add_row({"double", TablePrinter::cell(coefs_dp->size_bytes() / 1e6, 0),
+              TablePrinter::cell(t_dp / 1e6, 2), TablePrinter::cell(1.0, 2)});
+  tp.add_row({"float", TablePrinter::cell(coefs_sp->size_bytes() / 1e6, 0),
+              TablePrinter::cell(t_sp / 1e6, 2), TablePrinter::cell(t_sp / t_dp, 2)});
+  tp.print(std::cout);
+  std::cout << "\nmax |SP spline - DP spline| on plane-wave orbitals: " << max_err
+            << "\n(QMC promotes accumulators like determinants to DP; the ~1e-6 orbital\n"
+               "error is far below the Monte Carlo statistical noise, which is why the\n"
+               "paper's miniQMC runs the kernels in single precision.)\n"
+            << "Shape check: SP ~2x DP for a bandwidth-bound kernel (half the bytes),\n"
+               "plus double the SIMD lanes when compute-bound.\n";
+  return 0;
+}

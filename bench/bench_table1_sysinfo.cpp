@@ -1,0 +1,25 @@
+// Table I analogue: the host's system configuration row, including measured
+// STREAM bandwidth and FMA peak — the two ceilings every other bench and the
+// roofline analysis are interpreted against.
+#include <iostream>
+
+#include "common/sysinfo.h"
+#include "common/table.h"
+#include "perf/roofline.h"
+
+int main()
+{
+  using namespace mqc;
+  print_banner(std::cout, "Table I (host column): system configuration");
+  const SystemInfo info = query_system_info();
+  print_system_info(std::cout, info);
+
+  std::cout << "measuring STREAM triad bandwidth and FMA peak...\n";
+  const double bw = measure_triad_bandwidth();
+  const double peak = measure_peak_gflops_sp();
+  std::cout << "Stream BW (GB/s)  " << TablePrinter::cell(bw / 1e9, 1) << '\n'
+            << "SP peak (GFLOPS)  " << TablePrinter::cell(peak, 1) << '\n';
+  std::cout << "\nPaper reference (Table I): BDW 64 GB/s, KNC 177 GB/s, KNL 490 GB/s, "
+               "BG/Q 28 GB/s\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// google-benchmark microbenchmarks for the non-spline kernel groups of
+// Tables II/III: distance-table row updates and Jastrow evaluations in both
+// layouts, plus determinant ratio/update costs.
+#include <benchmark/benchmark.h>
+
+#include "determinant/dirac_determinant.h"
+#include "distance/distance_table.h"
+#include "jastrow/one_body.h"
+#include "jastrow/two_body.h"
+#include "particles/graphite.h"
+
+namespace {
+
+using namespace mqc;
+
+struct Setup
+{
+  CrystalSystem sys = make_graphite_supercell(4, 4, 1);
+  int nel;
+  ParticleSetSoA<float> elec_soa;
+  ParticleSetAoS<float> elec_aos;
+  ParticleSetSoA<float> ions_soa;
+  ParticleSetAoS<float> ions_aos;
+  BsplineJastrowFunctor<float> fj2 =
+      BsplineJastrowFunctor<float>::make_exponential(-0.5f, 1.0f, 6.0f);
+
+  Setup()
+  {
+    nel = sys.num_electrons();
+    elec_soa = random_particles<float>(nel, sys.lattice, 2);
+    elec_aos = to_aos(elec_soa);
+    ions_soa = ParticleSetSoA<float>(sys.num_ions());
+    for (int i = 0; i < sys.num_ions(); ++i) {
+      const auto r = sys.ions[i];
+      ions_soa.set(i, Vec3<float>{static_cast<float>(r.x), static_cast<float>(r.y),
+                                  static_cast<float>(r.z)});
+    }
+    ions_aos = to_aos(ions_soa);
+  }
+
+  static Setup& instance()
+  {
+    static Setup s;
+    return s;
+  }
+};
+
+void BM_DistanceRow_AoS(benchmark::State& state)
+{
+  auto& s = Setup::instance();
+  DistanceTableAA_AoS<float> t(s.sys.lattice, s.nel, MinImageMode::Fast);
+  t.evaluate(s.elec_aos);
+  int e = 0;
+  for (auto _ : state) {
+    t.compute_temp(s.elec_aos, Vec3<float>{1.0f, 2.0f, 3.0f}, e);
+    benchmark::DoNotOptimize(t.temp_r());
+    e = (e + 1) % s.nel;
+  }
+  state.SetItemsProcessed(state.iterations() * s.nel);
+}
+
+void BM_DistanceRow_SoA(benchmark::State& state)
+{
+  auto& s = Setup::instance();
+  DistanceTableAA_SoA<float> t(s.sys.lattice, s.nel, MinImageMode::Fast);
+  t.evaluate(s.elec_soa);
+  int e = 0;
+  for (auto _ : state) {
+    t.compute_temp(s.elec_soa, Vec3<float>{1.0f, 2.0f, 3.0f}, e);
+    benchmark::DoNotOptimize(t.temp_r());
+    e = (e + 1) % s.nel;
+  }
+  state.SetItemsProcessed(state.iterations() * s.nel);
+}
+
+void BM_J2Full_AoS(benchmark::State& state)
+{
+  auto& s = Setup::instance();
+  DistanceTableAA_AoS<float> t(s.sys.lattice, s.nel, MinImageMode::Fast);
+  t.evaluate(s.elec_aos);
+  const TwoBodyJastrowAoS<float> j2(s.fj2);
+  std::vector<Vec3<float>> g(static_cast<std::size_t>(s.nel));
+  std::vector<float> l(static_cast<std::size_t>(s.nel));
+  for (auto _ : state) {
+    const float v = j2.evaluate_log(t, g.data(), l.data());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * s.nel * s.nel);
+}
+
+void BM_J2Full_SoA(benchmark::State& state)
+{
+  auto& s = Setup::instance();
+  DistanceTableAA_SoA<float> t(s.sys.lattice, s.nel, MinImageMode::Fast);
+  t.evaluate(s.elec_soa);
+  const TwoBodyJastrowSoA<float> j2(s.fj2);
+  std::vector<Vec3<float>> g(static_cast<std::size_t>(s.nel));
+  std::vector<float> l(static_cast<std::size_t>(s.nel));
+  for (auto _ : state) {
+    const float v = j2.evaluate_log(t, g.data(), l.data());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * s.nel * s.nel);
+}
+
+void BM_J2Ratio_SoA(benchmark::State& state)
+{
+  auto& s = Setup::instance();
+  DistanceTableAA_SoA<float> t(s.sys.lattice, s.nel, MinImageMode::Fast);
+  t.evaluate(s.elec_soa);
+  const TwoBodyJastrowSoA<float> j2(s.fj2);
+  t.compute_temp(s.elec_soa, Vec3<float>{1.0f, 2.0f, 3.0f}, 0);
+  for (auto _ : state) {
+    const float v = j2.ratio_log(t, 0);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * s.nel);
+}
+
+void BM_DeterminantRatioUpdate(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  Matrix<double> a(n);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      a(i, j) = rng.uniform(-1.0, 1.0) + (i == j ? 2.0 : 0.0);
+  DiracDeterminant det;
+  det.build(a);
+  std::vector<double> u(static_cast<std::size_t>(n));
+  int e = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i)
+      u[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0) + (i == e ? 2.0 : 0.0);
+    const double r = det.ratio(u.data(), e);
+    if (std::abs(r) > 0.05)
+      det.accept_move(u.data(), e);
+    benchmark::DoNotOptimize(r);
+    e = (e + 1) % n;
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_DistanceRow_AoS);
+BENCHMARK(BM_DistanceRow_SoA);
+BENCHMARK(BM_J2Full_AoS);
+BENCHMARK(BM_J2Full_SoA);
+BENCHMARK(BM_J2Ratio_SoA);
+BENCHMARK(BM_DeterminantRatioUpdate)->Arg(64)->Arg(128);
+
+BENCHMARK_MAIN();

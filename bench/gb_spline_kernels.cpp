@@ -1,0 +1,125 @@
+// google-benchmark microbenchmarks for the B-spline kernels: per-call
+// latency of each engine/kernel pair at a few representative sizes.
+// Complements the figure benches with statistically managed timings.
+#include <benchmark/benchmark.h>
+
+#include "core/bspline_aos.h"
+#include "core/bspline_soa.h"
+#include "core/multi_bspline.h"
+#include "core/synthetic_orbitals.h"
+#include "qmc/walker.h"
+
+namespace {
+
+using namespace mqc;
+
+constexpr int kGrid = 24;
+
+std::shared_ptr<CoefStorage<float>> storage_for(int n)
+{
+  static std::map<int, std::shared_ptr<CoefStorage<float>>> cache;
+  auto& slot = cache[n];
+  if (!slot)
+    slot = make_random_storage<float>(Grid3D<float>::cube(kGrid, 1.0f), n,
+                                      55 + static_cast<std::uint64_t>(n));
+  return slot;
+}
+
+void positions(benchmark::State& state, float& x, float& y, float& z, Xoshiro256& rng)
+{
+  (void)state;
+  x = static_cast<float>(rng.uniform());
+  y = static_cast<float>(rng.uniform());
+  z = static_cast<float>(rng.uniform());
+}
+
+void BM_VGH_AoS(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  auto coefs = storage_for(n);
+  BsplineAoS<float> engine(coefs);
+  WalkerAoS<float> w(engine.padded_splines());
+  Xoshiro256 rng(1);
+  float x, y, z;
+  for (auto _ : state) {
+    positions(state, x, y, z, rng);
+    engine.evaluate_vgh(x, y, z, w.v.data(), w.g.data(), w.h.data());
+    benchmark::DoNotOptimize(w.v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_VGH_SoA(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  auto coefs = storage_for(n);
+  BsplineSoA<float> engine(coefs);
+  WalkerSoA<float> w(engine.out_stride());
+  Xoshiro256 rng(1);
+  float x, y, z;
+  for (auto _ : state) {
+    positions(state, x, y, z, rng);
+    engine.evaluate_vgh(x, y, z, w.v.data(), w.g.data(), w.h.data());
+    benchmark::DoNotOptimize(w.v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_VGH_AoSoA(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  const int nb = static_cast<int>(state.range(1));
+  auto coefs = storage_for(n);
+  MultiBspline<float> engine(*coefs, nb);
+  WalkerSoA<float> w(engine.out_stride());
+  Xoshiro256 rng(1);
+  float x, y, z;
+  for (auto _ : state) {
+    positions(state, x, y, z, rng);
+    engine.evaluate_vgh(x, y, z, w.v.data(), w.g.data(), w.h.data(), w.stride);
+    benchmark::DoNotOptimize(w.v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_VGL_SoA(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  auto coefs = storage_for(n);
+  BsplineSoA<float> engine(coefs);
+  WalkerSoA<float> w(engine.out_stride());
+  Xoshiro256 rng(1);
+  float x, y, z;
+  for (auto _ : state) {
+    positions(state, x, y, z, rng);
+    engine.evaluate_vgl(x, y, z, w.v.data(), w.g.data(), w.l.data());
+    benchmark::DoNotOptimize(w.v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_V_SoA(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  auto coefs = storage_for(n);
+  BsplineSoA<float> engine(coefs);
+  WalkerSoA<float> w(engine.out_stride());
+  Xoshiro256 rng(1);
+  float x, y, z;
+  for (auto _ : state) {
+    positions(state, x, y, z, rng);
+    engine.evaluate_v(x, y, z, w.v.data());
+    benchmark::DoNotOptimize(w.v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+} // namespace
+
+BENCHMARK(BM_VGH_AoS)->Arg(128)->Arg(512);
+BENCHMARK(BM_VGH_SoA)->Arg(128)->Arg(512);
+BENCHMARK(BM_VGH_AoSoA)->Args({512, 64})->Args({512, 128});
+BENCHMARK(BM_VGL_SoA)->Arg(128)->Arg(512);
+BENCHMARK(BM_V_SoA)->Arg(128)->Arg(512);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Figure 2 companion: dump the piecewise-cubic B-spline basis functions in
+// 1D (and a 2D tensor-product slice) as plottable columns, and verify the
+// partition-of-unity invariant on the fly.
+//
+//   ./examples/basis_functions > basis.dat
+//   gnuplot> plot 'basis.dat' index 0 using 1:2 w l, '' i 0 u 1:3 w l, ...
+#include <cstdio>
+
+#include "core/bspline_basis.h"
+
+int main()
+{
+  using namespace mqc;
+
+  std::puts("# Figure 2(a): 1D cubic B-spline basis over one cell, t in [0,1)");
+  std::puts("# t  b[i-1]  b[i]  b[i+1]  b[i+2]  sum");
+  for (int s = 0; s <= 100; ++s) {
+    const double t = s / 100.0;
+    double a[4];
+    bspline_weights(t, a);
+    std::printf("%.3f  %.6f  %.6f  %.6f  %.6f  %.6f\n", t, a[0], a[1], a[2], a[3],
+                a[0] + a[1] + a[2] + a[3]);
+  }
+
+  std::puts("\n\n# Figure 2(b): 2D tensor-product basis b_i(t) * b_j(u) for the");
+  std::puts("# (i,j) = (center, center) function on a 21x21 cell mesh");
+  std::puts("# t  u  value");
+  for (int st = 0; st <= 20; ++st) {
+    for (int su = 0; su <= 20; ++su) {
+      const double t = st / 20.0, u = su / 20.0;
+      double at[4], au[4];
+      bspline_weights(t, at);
+      bspline_weights(u, au);
+      std::printf("%.2f  %.2f  %.6f\n", t, u, at[1] * au[1]);
+    }
+    std::puts("");
+  }
+
+  std::puts("\n# derivative weights at t=0.5 (for reference):");
+  double a[4], da[4], d2a[4];
+  bspline_weights_d2(0.5, a, da, d2a);
+  std::printf("#   a = %.6f %.6f %.6f %.6f\n", a[0], a[1], a[2], a[3]);
+  std::printf("#  da = %.6f %.6f %.6f %.6f (sum %.1e)\n", da[0], da[1], da[2], da[3],
+              da[0] + da[1] + da[2] + da[3]);
+  std::printf("# d2a = %.6f %.6f %.6f %.6f (sum %.1e)\n", d2a[0], d2a[1], d2a[2], d2a[3],
+              d2a[0] + d2a[1] + d2a[2] + d2a[3]);
+  return 0;
+}

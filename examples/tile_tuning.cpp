@@ -1,0 +1,48 @@
+// Domain scenario 2: tile-size auto-tuning with persistent wisdom — the
+// FFTW-style workflow the paper proposes for production runs (§VI).
+//
+// First run probes candidate tile sizes for the requested problem and writes
+// the winner to a wisdom file; later runs (same problem, same machine) read
+// it back and skip the probe.
+//
+//   ./examples/tile_tuning [N] [grid] [wisdom-file]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/synthetic_orbitals.h"
+#include "core/tuner.h"
+
+int main(int argc, char** argv)
+{
+  using namespace mqc;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 512;
+  const int ng = argc > 2 ? std::atoi(argv[2]) : 32;
+  const std::string path = argc > 3 ? argv[3] : "miniqmcpp_wisdom.txt";
+
+  const auto key = Wisdom::make_key("vgh", "float", n, ng, ng, ng);
+  Wisdom wisdom;
+  if (wisdom.load(path)) {
+    if (const auto entry = wisdom.lookup(key)) {
+      std::printf("wisdom hit: %s -> Nb=%d (%.1f Meval/s when tuned)\n", key.c_str(),
+                  entry->tile_size, entry->throughput / 1e6);
+      std::printf("delete %s to re-tune.\n", path.c_str());
+      return 0;
+    }
+  }
+
+  std::printf("no wisdom for %s — probing tile sizes...\n", key.c_str());
+  const auto grid = Grid3D<float>::cube(ng, 1.0f);
+  auto coefs = make_random_storage<float>(grid, n, 5150);
+  const auto result = tune_tile_size_vgh(*coefs, default_tile_candidates(n, 16), /*ns=*/32,
+                                         /*min_seconds=*/0.1);
+  for (std::size_t i = 0; i < result.tiles.size(); ++i)
+    std::printf("  Nb=%4d  %8.1f Meval/s%s\n", result.tiles[i], result.throughputs[i] / 1e6,
+                result.tiles[i] == result.best_tile ? "   <-- best" : "");
+
+  wisdom.insert(key, {result.best_tile, result.best_throughput});
+  if (wisdom.save(path))
+    std::printf("saved wisdom to %s\n", path.c_str());
+  else
+    std::printf("warning: could not write %s\n", path.c_str());
+  return 0;
+}

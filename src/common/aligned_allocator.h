@@ -1,0 +1,66 @@
+// Aligned allocation substrate.
+//
+// The paper's kernels require the coefficient table rows and every output
+// stream to be aligned to the SIMD width ("the allocation of the P
+// coefficient array ... uses an aligned allocator and includes padding to
+// ensure the alignment of P[i][j][k] to a 512-bit cache-line boundary").
+// aligned_allocator is a minimal C++17 allocator over std::aligned_alloc so
+// std::vector can be used everywhere without losing the alignment contract.
+#ifndef MQC_COMMON_ALIGNED_ALLOCATOR_H
+#define MQC_COMMON_ALIGNED_ALLOCATOR_H
+
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+#include "common/config.h"
+
+namespace mqc {
+
+template <typename T, std::size_t Align = kAlignment>
+class aligned_allocator
+{
+  static_assert(Align >= alignof(T), "alignment must satisfy the type");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+
+public:
+  using value_type = T;
+
+  aligned_allocator() noexcept = default;
+  template <typename U>
+  aligned_allocator(const aligned_allocator<U, Align>&) noexcept
+  {
+  }
+
+  template <typename U>
+  struct rebind
+  {
+    using other = aligned_allocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n)
+  {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    // std::aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t bytes = aligned_bytes(n * sizeof(T));
+    void* p = std::aligned_alloc(Align, bytes);
+    if (!p)
+      throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const aligned_allocator&, const aligned_allocator&) noexcept { return true; }
+  friend bool operator!=(const aligned_allocator&, const aligned_allocator&) noexcept { return false; }
+};
+
+/// Convenience alias: a std::vector whose data() is 64-byte aligned.
+template <typename T>
+using aligned_vector = std::vector<T, aligned_allocator<T>>;
+
+} // namespace mqc
+
+#endif // MQC_COMMON_ALIGNED_ALLOCATOR_H

@@ -1,0 +1,51 @@
+// Project-wide configuration: alignment contract, restrict qualifier and
+// small index helpers shared by every module.
+//
+// The whole library is built around one memory contract: every hot array is
+// allocated on a 64-byte boundary and padded so that each logical row starts
+// on a 64-byte boundary as well.  This is what lets the engines promise
+// `omp simd aligned(...)` to the compiler without per-call checks.
+#ifndef MQC_COMMON_CONFIG_H
+#define MQC_COMMON_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mqc {
+
+/// Cache-line / SIMD alignment in bytes.  512-bit vectors (AVX-512, the widest
+/// unit discussed in the paper) need 64 bytes; smaller ISAs are satisfied too.
+inline constexpr std::size_t kAlignment = 64;
+
+/// Number of elements of type T per cache line / full-width vector.
+template <typename T>
+inline constexpr std::size_t simd_lanes = kAlignment / sizeof(T);
+
+/// Round @p n up to a multiple of the per-type SIMD lane count so that
+/// consecutive rows of a 2D view stay aligned.
+template <typename T>
+constexpr std::size_t aligned_size(std::size_t n) noexcept
+{
+  constexpr std::size_t lanes = simd_lanes<T>;
+  return ((n + lanes - 1) / lanes) * lanes;
+}
+
+/// Round a byte count up to the allocation granularity.
+constexpr std::size_t aligned_bytes(std::size_t bytes) noexcept
+{
+  return ((bytes + kAlignment - 1) / kAlignment) * kAlignment;
+}
+
+} // namespace mqc
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MQC_RESTRICT __restrict__
+#define MQC_FORCE_INLINE inline __attribute__((always_inline))
+#define MQC_ASSUME_ALIGNED(p) __builtin_assume_aligned((p), ::mqc::kAlignment)
+#else
+#define MQC_RESTRICT
+#define MQC_FORCE_INLINE inline
+#define MQC_ASSUME_ALIGNED(p) (p)
+#endif
+
+#endif // MQC_COMMON_CONFIG_H

@@ -1,0 +1,112 @@
+// Deterministic random-number substrate.
+//
+// QMC is a Monte Carlo method: every walker consumes an independent random
+// stream.  The engines are benchmarked on *random* positions ("to imitate the
+// random access nature of QMC, each walker generates ns random positions").
+// We use xoshiro256** seeded through splitmix64 — fast, tiny state, and every
+// walker stream is reproducible from (global seed, walker id), which the test
+// suite relies on for cross-layout equivalence checks.
+#ifndef MQC_COMMON_RNG_H
+#define MQC_COMMON_RNG_H
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace mqc {
+
+/// splitmix64: used only to expand a small seed into xoshiro state.
+class SplitMix64
+{
+public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept
+  {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Xoshiro256
+{
+public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  /// Reseed from a single 64-bit value; distinct seeds give uncorrelated
+  /// streams for practical purposes (state expanded through splitmix64).
+  void reseed(std::uint64_t seed) noexcept
+  {
+    SplitMix64 sm(seed);
+    for (auto& s : state_)
+      s = sm.next();
+    have_gauss_ = false;
+  }
+
+  /// Derive the canonical per-walker stream: seed mixed with the walker id.
+  static Xoshiro256 for_stream(std::uint64_t seed, std::uint64_t stream) noexcept
+  {
+    SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+    return Xoshiro256(sm.next());
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~static_cast<result_type>(0); }
+
+  result_type operator()() noexcept
+  {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0,1) with 53 random bits.
+  double uniform() noexcept { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box–Muller (second deviate cached).
+  double gaussian() noexcept
+  {
+    if (have_gauss_) {
+      have_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = uniform();
+    // Guard log(0); uniform() can return exactly 0.
+    while (u1 <= 0.0)
+      u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    constexpr double two_pi = 6.283185307179586476925286766559;
+    cached_gauss_ = r * std::sin(two_pi * u2);
+    have_gauss_ = true;
+    return r * std::cos(two_pi * u2);
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+} // namespace mqc
+
+#endif // MQC_COMMON_RNG_H

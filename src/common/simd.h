@@ -1,0 +1,28 @@
+// Vectorization helpers.
+//
+// The paper's central portability claim is that the kernels reach high SIMD
+// efficiency *without* processor-specific intrinsics: `#pragma omp simd`
+// plus alignment/stride guarantees are enough.  These macros centralize the
+// pragmas so engines stay readable and a scalar build (used to measure
+// "vector efficiency" in §VI-A) can switch them off globally.
+#ifndef MQC_COMMON_SIMD_H
+#define MQC_COMMON_SIMD_H
+
+#include "common/config.h"
+
+// MQC_NO_VECTOR emulates the paper's "-no-vec -no-simd -no-openmp-simd"
+// compile line used to quantify vector efficiency: all simd pragmas vanish
+// and loops compile as written (the build system also strips -ftree-vectorize
+// for those targets).
+#if defined(MQC_NO_VECTOR)
+#define MQC_SIMD
+#define MQC_SIMD_REDUCTION(...)
+#define MQC_SIMD_ALIGNED(...)
+#else
+#define MQC_PRAGMA_IMPL(x) _Pragma(#x)
+#define MQC_SIMD MQC_PRAGMA_IMPL(omp simd)
+#define MQC_SIMD_REDUCTION(...) MQC_PRAGMA_IMPL(omp simd reduction(__VA_ARGS__))
+#define MQC_SIMD_ALIGNED(...) MQC_PRAGMA_IMPL(omp simd aligned(__VA_ARGS__ : 64))
+#endif
+
+#endif // MQC_COMMON_SIMD_H

@@ -1,0 +1,53 @@
+// Small statistics helpers used by tests and the bench harness.
+#ifndef MQC_COMMON_STATS_H
+#define MQC_COMMON_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+namespace mqc {
+
+/// Streaming accumulator (Welford) for mean / variance / extrema.
+class RunningStats
+{
+public:
+  void add(double x) noexcept
+  {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept
+  {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// |a-b| relative to max(|a|,|b|,scale); tolerant of values near zero.
+inline double relative_error(double a, double b, double scale = 1.0) noexcept
+{
+  const double denom = std::max({std::abs(a), std::abs(b), scale});
+  return std::abs(a - b) / denom;
+}
+
+} // namespace mqc
+
+#endif // MQC_COMMON_STATS_H

@@ -1,0 +1,114 @@
+#include "common/sysinfo.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+#if defined(__unix__)
+#include <unistd.h>
+#endif
+
+namespace mqc {
+namespace {
+
+std::string read_cpu_model()
+{
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ')
+          ++start;
+        return line.substr(start);
+      }
+    }
+  }
+  return "unknown";
+}
+
+std::size_t sysconf_size(int name)
+{
+#if defined(__unix__)
+  const long v = ::sysconf(name);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+#else
+  (void)name;
+  return 0;
+#endif
+}
+
+constexpr std::size_t simd_width_bits_from_build()
+{
+#if defined(__AVX512F__)
+  return 512;
+#elif defined(__AVX2__) || defined(__AVX__)
+  return 256;
+#elif defined(__SSE2__)
+  return 128;
+#else
+  return 64;
+#endif
+}
+
+} // namespace
+
+SystemInfo query_system_info()
+{
+  SystemInfo info;
+  info.cpu_model = read_cpu_model();
+#if defined(__unix__)
+  info.logical_cpus = static_cast<int>(::sysconf(_SC_NPROCESSORS_ONLN));
+  {
+    const std::size_t pages = sysconf_size(_SC_PHYS_PAGES);
+    const std::size_t page = sysconf_size(_SC_PAGESIZE);
+    info.total_ram_bytes = pages * page;
+  }
+#endif
+#ifdef _OPENMP
+  info.omp_max_threads = omp_get_max_threads();
+#else
+  info.omp_max_threads = 1;
+#endif
+  info.simd_width_bits = simd_width_bits_from_build();
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  info.l1d_bytes = sysconf_size(_SC_LEVEL1_DCACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  info.l2_bytes = sysconf_size(_SC_LEVEL2_CACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  info.l3_bytes = sysconf_size(_SC_LEVEL3_CACHE_SIZE);
+#endif
+  return info;
+}
+
+void print_system_info(std::ostream& os, const SystemInfo& info)
+{
+  auto mb = [](std::size_t bytes) {
+    std::ostringstream s;
+    if (bytes == 0)
+      s << "unknown";
+    else if (bytes >= (1u << 20))
+      s << (bytes >> 20) << " MB";
+    else
+      s << (bytes >> 10) << " KB";
+    return s.str();
+  };
+  os << "Processor         " << info.cpu_model << '\n'
+     << "# logical CPUs    " << info.logical_cpus << '\n'
+     << "OpenMP threads    " << info.omp_max_threads << '\n'
+     << "SIMD width (bits) " << info.simd_width_bits << '\n'
+     << "L1 (data)         " << mb(info.l1d_bytes) << '\n'
+     << "L2                " << mb(info.l2_bytes) << '\n'
+     << "LLC               " << mb(info.l3_bytes) << '\n'
+     << "RAM               " << mb(info.total_ram_bytes) << '\n';
+}
+
+} // namespace mqc

@@ -1,0 +1,32 @@
+// Host introspection — the reproduction's analogue of the paper's Table I
+// ("System configurations": cores, SIMD width, cache sizes, stream BW).
+#ifndef MQC_COMMON_SYSINFO_H
+#define MQC_COMMON_SYSINFO_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace mqc {
+
+struct SystemInfo
+{
+  std::string cpu_model;
+  int logical_cpus = 0;
+  int omp_max_threads = 0;
+  std::size_t simd_width_bits = 0; ///< widest vector unit the build targets
+  std::size_t l1d_bytes = 0;
+  std::size_t l2_bytes = 0;
+  std::size_t l3_bytes = 0;
+  std::size_t total_ram_bytes = 0;
+};
+
+/// Collect what the host exposes (Linux sysconf/cpuinfo; zeros when unknown).
+SystemInfo query_system_info();
+
+/// Print a Table-I-style configuration column for this host.
+void print_system_info(std::ostream& os, const SystemInfo& info);
+
+} // namespace mqc
+
+#endif // MQC_COMMON_SYSINFO_H

@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mqc {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells)
+{
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::cell(double value, int precision)
+{
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TablePrinter::cell(std::size_t value) { return std::to_string(value); }
+std::string TablePrinter::cell(int value) { return std::to_string(value); }
+
+void TablePrinter::print(std::ostream& os) const
+{
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << "  " << std::setw(static_cast<int>(widths[c])) << row[c];
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t w : widths)
+    rule += w + 2;
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_)
+    print_row(row);
+}
+
+void print_banner(std::ostream& os, const std::string& title)
+{
+  os << "\n== " << title << " ==\n";
+}
+
+} // namespace mqc

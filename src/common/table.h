@@ -1,0 +1,41 @@
+// Fixed-width table printer for the bench harness.
+//
+// Every bench binary reproduces a table or figure from the paper as printed
+// rows; this tiny formatter keeps their output uniform and diff-friendly.
+#ifndef MQC_COMMON_TABLE_H
+#define MQC_COMMON_TABLE_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mqc {
+
+class TablePrinter
+{
+public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Append one row; cells are pre-formatted strings.
+  void add_row(std::vector<std::string> cells);
+
+  /// Helpers for common cell types.
+  static std::string cell(double value, int precision = 3);
+  static std::string cell(std::size_t value);
+  static std::string cell(int value);
+
+  /// Render with column-aligned padding and a header rule.
+  void print(std::ostream& os) const;
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("== Figure 7(a): ... ==") used by all benches.
+void print_banner(std::ostream& os, const std::string& title);
+
+} // namespace mqc
+
+#endif // MQC_COMMON_TABLE_H

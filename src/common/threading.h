@@ -1,0 +1,115 @@
+// Thread-team substrate for nested parallelism (paper §V-C).
+//
+// The paper's nested-threading implementation deliberately avoids the nested
+// OpenMP runtime: one *flat* parallel region is opened with
+// Nw_teams × nth threads and each thread computes its own
+// (walker, team-member) coordinates; the M spline tiles of a walker are then
+// distributed among that walker's nth members by a static partition.  This
+// header provides exactly that arithmetic plus the usual block partitioner.
+#ifndef MQC_COMMON_THREADING_H
+#define MQC_COMMON_THREADING_H
+
+#include <cstddef>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace mqc {
+
+inline int max_threads() noexcept
+{
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+inline int thread_id() noexcept
+{
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+inline int num_threads_in_region() noexcept
+{
+#ifdef _OPENMP
+  return omp_get_num_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Coordinates of one thread inside the flat walker×member decomposition.
+struct TeamCoordinates
+{
+  int walker = 0; ///< which Monte Carlo walker this thread serves
+  int member = 0; ///< rank within the walker's team, in [0, nth)
+};
+
+/// Map a flat thread id onto (walker, member) for teams of size @p nth.
+/// Threads of one team are consecutive so that on real machines they land on
+/// neighbouring cores sharing cache — the locality the paper's explicit
+/// partition is designed for.
+constexpr TeamCoordinates team_coordinates(int tid, int nth) noexcept
+{
+  return TeamCoordinates{tid / nth, tid % nth};
+}
+
+/// Half-open index range.
+struct Range
+{
+  std::size_t first = 0;
+  std::size_t last = 0;
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return last - first; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return first == last; }
+};
+
+/// Contiguous block partition of [0, total) into @p parts pieces; the first
+/// (total % parts) pieces are one element longer.  Every element is covered
+/// exactly once for any parts >= 1, including parts > total.
+constexpr Range block_range(std::size_t total, std::size_t parts, std::size_t which) noexcept
+{
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  const std::size_t first = which * base + (which < extra ? which : extra);
+  const std::size_t size = base + (which < extra ? 1 : 0);
+  return Range{first, first + size};
+}
+
+/// Round-robin partition: member @p which of @p parts owns indices
+/// which, which+parts, ... (the distribution the paper uses for tiles so
+/// that the tile→thread map is independent of M % nth).
+class StridedRange
+{
+public:
+  constexpr StridedRange(std::size_t total, std::size_t parts, std::size_t which) noexcept
+      : total_(total), stride_(parts), next_(which)
+  {
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const
+  {
+    for (std::size_t i = next_; i < total_; i += stride_)
+      fn(i);
+  }
+
+  [[nodiscard]] constexpr std::size_t count() const noexcept
+  {
+    return next_ >= total_ ? 0 : (total_ - next_ - 1) / stride_ + 1;
+  }
+
+private:
+  std::size_t total_;
+  std::size_t stride_;
+  std::size_t next_;
+};
+
+} // namespace mqc
+
+#endif // MQC_COMMON_THREADING_H

@@ -1,0 +1,56 @@
+#include "common/timer.h"
+
+namespace mqc {
+
+void ProfileRegistry::add(const std::string& key, double seconds, std::size_t calls)
+{
+  Entry& e = entries_[key];
+  e.seconds += seconds;
+  e.calls += calls;
+}
+
+void ProfileRegistry::merge(const ProfileRegistry& other)
+{
+  for (const auto& [key, entry] : other.entries_) {
+    Entry& e = entries_[key];
+    e.seconds += entry.seconds;
+    e.calls += entry.calls;
+  }
+}
+
+double ProfileRegistry::seconds(const std::string& key) const
+{
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? 0.0 : it->second.seconds;
+}
+
+std::size_t ProfileRegistry::calls(const std::string& key) const
+{
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.calls;
+}
+
+double ProfileRegistry::total() const
+{
+  double sum = 0.0;
+  for (const auto& [key, entry] : entries_)
+    sum += entry.seconds;
+  return sum;
+}
+
+double ProfileRegistry::percent(const std::string& key) const
+{
+  const double t = total();
+  return t > 0.0 ? 100.0 * seconds(key) / t : 0.0;
+}
+
+std::vector<std::string> ProfileRegistry::keys() const
+{
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_)
+    out.push_back(key);
+  return out;
+}
+
+} // namespace mqc

@@ -1,0 +1,106 @@
+// Timing and profiling substrate.
+//
+// The paper reports kernel shares of total run time (Tables II/III) measured
+// with VTune / HPCToolkit.  Neither tool is assumed here; instead the drivers
+// instrument themselves with scoped timers that accumulate into a
+// ProfileRegistry, from which the same percentage rows are printed.
+#ifndef MQC_COMMON_TIMER_H
+#define MQC_COMMON_TIMER_H
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mqc {
+
+/// Monotonic wall-clock stopwatch with double-precision seconds.
+class Stopwatch
+{
+public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double elapsed() const noexcept
+  {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  clock::time_point start_;
+};
+
+/// Accumulates (total seconds, call count) under a string key.
+/// Single-threaded by design: each walker thread owns its own registry and
+/// the driver merges them, mirroring how QMCPACK aggregates per-thread timers.
+class ProfileRegistry
+{
+public:
+  void add(const std::string& key, double seconds, std::size_t calls = 1);
+
+  /// Merge another registry into this one (used across walker threads).
+  void merge(const ProfileRegistry& other);
+
+  [[nodiscard]] double seconds(const std::string& key) const;
+  [[nodiscard]] std::size_t calls(const std::string& key) const;
+  [[nodiscard]] double total() const;
+
+  /// Percentage of the registry total spent under @p key.
+  [[nodiscard]] double percent(const std::string& key) const;
+
+  [[nodiscard]] std::vector<std::string> keys() const;
+  void clear() { entries_.clear(); }
+
+private:
+  struct Entry
+  {
+    double seconds = 0.0;
+    std::size_t calls = 0;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII timer: adds the scope duration to a registry entry on destruction.
+class ScopedTimer
+{
+public:
+  ScopedTimer(ProfileRegistry& registry, std::string key)
+      : registry_(registry), key_(std::move(key))
+  {
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { registry_.add(key_, watch_.elapsed()); }
+
+private:
+  ProfileRegistry& registry_;
+  std::string key_;
+  Stopwatch watch_;
+};
+
+/// Run @p fn repeatedly until at least @p min_seconds have elapsed (always at
+/// least @p min_iters times) and return seconds per iteration.  This is the
+/// measurement loop every bench binary uses so short kernels are timed above
+/// clock granularity.
+template <typename Fn>
+double time_per_iteration(Fn&& fn, double min_seconds = 0.2, std::size_t min_iters = 3)
+{
+  // Warm-up: touch instruction/data caches once outside the timed region.
+  fn();
+  std::size_t iters = 0;
+  Stopwatch watch;
+  do {
+    fn();
+    ++iters;
+  } while (watch.elapsed() < min_seconds || iters < min_iters);
+  return watch.elapsed() / static_cast<double>(iters);
+}
+
+} // namespace mqc
+
+#endif // MQC_COMMON_TIMER_H

@@ -1,0 +1,89 @@
+// Minimal fixed-size 3-vector used throughout the particle/QMC layers.
+//
+// Deliberately a plain aggregate: the paper's point is that *collections* of
+// these (R[N][3]) are an AoS anti-pattern in hot loops; Vec3 itself is only
+// used at the scalar "one particle at a time" level (moves, lattice algebra).
+#ifndef MQC_COMMON_VEC3_H
+#define MQC_COMMON_VEC3_H
+
+#include <cmath>
+#include <cstddef>
+
+namespace mqc {
+
+template <typename T>
+struct Vec3
+{
+  T x{}, y{}, z{};
+
+  constexpr T& operator[](std::size_t i) noexcept { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](std::size_t i) const noexcept
+  {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3& operator+=(const Vec3& o) noexcept
+  {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept
+  {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(T s) noexcept
+  {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+};
+
+template <typename T>
+constexpr Vec3<T> operator+(Vec3<T> a, const Vec3<T>& b) noexcept
+{
+  return a += b;
+}
+template <typename T>
+constexpr Vec3<T> operator-(Vec3<T> a, const Vec3<T>& b) noexcept
+{
+  return a -= b;
+}
+template <typename T>
+constexpr Vec3<T> operator*(Vec3<T> a, T s) noexcept
+{
+  return a *= s;
+}
+template <typename T>
+constexpr Vec3<T> operator*(T s, Vec3<T> a) noexcept
+{
+  return a *= s;
+}
+
+template <typename T>
+constexpr T dot(const Vec3<T>& a, const Vec3<T>& b) noexcept
+{
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+template <typename T>
+constexpr T norm2(const Vec3<T>& a) noexcept
+{
+  return dot(a, a);
+}
+
+template <typename T>
+T norm(const Vec3<T>& a) noexcept
+{
+  return std::sqrt(norm2(a));
+}
+
+} // namespace mqc
+
+#endif // MQC_COMMON_VEC3_H

@@ -1,0 +1,80 @@
+// Batched multi-walker evaluation — the extension direction the paper closes
+// with ("we plan to extend this AoSoA design to parallelize other parts of
+// QMCPACK"), which production QMCPACK later realized as batched drivers.
+//
+// One flat parallel loop over (walker, tile) pairs evaluates a whole
+// population's positions against the shared tiled coefficient table.  Tiles
+// of different walkers are independent work items, so this generalizes the
+// nested-threading partition (Opt C) from "nth threads per walker" to "any
+// threads over any walkers" with the same cache-residency benefits: a thread
+// sweeping one tile across several walkers reuses that tile's table slice.
+#ifndef MQC_CORE_BATCHED_H
+#define MQC_CORE_BATCHED_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.h"
+#include "core/multi_bspline.h"
+#include "qmc/walker.h"
+
+namespace mqc {
+
+/// Evaluate VGH at positions[w] into outs[w] for every walker w.
+/// Work is parallelized over (tile, walker) with tile as the outer index so
+/// each thread's coefficient working set stays hot across walkers.
+template <typename T>
+void evaluate_vgh_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
+                          std::vector<WalkerSoA<T>*>& outs)
+{
+  assert(positions.size() == outs.size());
+  const int nw = static_cast<int>(positions.size());
+  const int nt = engine.num_tiles();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int t = 0; t < nt; ++t)
+    for (int w = 0; w < nw; ++w) {
+      const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
+      WalkerSoA<T>& out = *outs[static_cast<std::size_t>(w)];
+      engine.evaluate_vgh_tile(t, r.x, r.y, r.z, out.v.data(), out.g.data(), out.h.data(),
+                               out.stride);
+    }
+}
+
+/// Batched values-only evaluation (pseudopotential quadrature batches).
+template <typename T>
+void evaluate_v_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
+                        std::vector<WalkerSoA<T>*>& outs)
+{
+  assert(positions.size() == outs.size());
+  const int nw = static_cast<int>(positions.size());
+  const int nt = engine.num_tiles();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int t = 0; t < nt; ++t)
+    for (int w = 0; w < nw; ++w) {
+      const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
+      engine.evaluate_v_tile(t, r.x, r.y, r.z, outs[static_cast<std::size_t>(w)]->v.data());
+    }
+}
+
+/// Batched VGL (local-energy measurement over a population).
+template <typename T>
+void evaluate_vgl_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
+                          std::vector<WalkerSoA<T>*>& outs)
+{
+  assert(positions.size() == outs.size());
+  const int nw = static_cast<int>(positions.size());
+  const int nt = engine.num_tiles();
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int t = 0; t < nt; ++t)
+    for (int w = 0; w < nw; ++w) {
+      const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
+      WalkerSoA<T>& out = *outs[static_cast<std::size_t>(w)];
+      engine.evaluate_vgl_tile(t, r.x, r.y, r.z, out.v.data(), out.g.data(), out.l.data(),
+                               out.stride);
+    }
+}
+
+} // namespace mqc
+
+#endif // MQC_CORE_BATCHED_H

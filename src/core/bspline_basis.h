@@ -1,0 +1,68 @@
+// Piecewise-cubic B-spline basis weights and derivatives (paper Eq. 5, Fig 2).
+//
+// For t in [0,1) the four basis functions contributing inside one cell are
+//   a0(t) = (1-t)^3 / 6
+//   a1(t) = (3t^3 - 6t^2 + 4) / 6
+//   a2(t) = (-3t^3 + 3t^2 + 3t + 1) / 6
+//   a3(t) = t^3 / 6
+// written below as dot products with the einspline 4x4 coefficient matrices.
+// Invariants the test suite checks: partition of unity (sum a == 1),
+// sum da == 0, sum d2a == 0, and C2 continuity across cell boundaries.
+#ifndef MQC_CORE_BSPLINE_BASIS_H
+#define MQC_CORE_BSPLINE_BASIS_H
+
+namespace mqc {
+
+/// Value weights a[0..3] at fractional coordinate t.
+template <typename T>
+inline void bspline_weights(T t, T a[4]) noexcept
+{
+  const T t2 = t * t;
+  const T t3 = t2 * t;
+  constexpr T c6 = T(1) / T(6);
+  a[0] = c6 * (-t3 + T(3) * t2 - T(3) * t + T(1));
+  a[1] = c6 * (T(3) * t3 - T(6) * t2 + T(4));
+  a[2] = c6 * (T(-3) * t3 + T(3) * t2 + T(3) * t + T(1));
+  a[3] = c6 * t3;
+}
+
+/// Value + first-derivative weights.  da is d/dt; the caller scales by the
+/// grid's delta_inv to get d/dx.
+template <typename T>
+inline void bspline_weights_d1(T t, T a[4], T da[4]) noexcept
+{
+  bspline_weights(t, a);
+  const T t2 = t * t;
+  da[0] = T(-0.5) * t2 + t - T(0.5);
+  da[1] = T(1.5) * t2 - T(2) * t;
+  da[2] = T(-1.5) * t2 + t + T(0.5);
+  da[3] = T(0.5) * t2;
+}
+
+/// Value + first + second derivative weights (d2a is d^2/dt^2; scale by
+/// delta_inv^2 for d^2/dx^2).
+template <typename T>
+inline void bspline_weights_d2(T t, T a[4], T da[4], T d2a[4]) noexcept
+{
+  bspline_weights_d1(t, a, da);
+  d2a[0] = T(1) - t;
+  d2a[1] = T(3) * t - T(2);
+  d2a[2] = T(-3) * t + T(1);
+  d2a[3] = t;
+}
+
+/// All per-axis weights for one 3D evaluation point, with derivative weights
+/// already scaled into physical units.  Computing this once per position is
+/// the amortized "prefactor" cost the paper refers to.
+template <typename T>
+struct BsplineWeights3D
+{
+  int i0 = 0, j0 = 0, k0 = 0;           ///< lower-bound cell indices
+  T a[4], b[4], c[4];                   ///< value weights (x, y, z axes)
+  T da[4], db[4], dc[4];                ///< d/dx, d/dy, d/dz weights
+  T d2a[4], d2b[4], d2c[4];             ///< second-derivative weights
+};
+
+} // namespace mqc
+
+#endif // MQC_CORE_BSPLINE_BASIS_H

@@ -1,0 +1,115 @@
+#include "core/bspline_builder.h"
+
+#include <cassert>
+#include <vector>
+
+namespace mqc {
+
+void solve_tridiagonal(const double* sub, double* diag, const double* sup, double* rhs, int n)
+{
+  assert(n >= 1);
+  // Forward elimination.
+  for (int i = 1; i < n; ++i) {
+    const double m = sub[i] / diag[i - 1];
+    diag[i] -= m * sup[i - 1];
+    rhs[i] -= m * rhs[i - 1];
+  }
+  // Back substitution.
+  rhs[n - 1] /= diag[n - 1];
+  for (int i = n - 2; i >= 0; --i)
+    rhs[i] = (rhs[i] - sup[i] * rhs[i + 1]) / diag[i];
+}
+
+void solve_cyclic_tridiagonal_const(double sub, double diag, double sup, double corner_lo,
+                                    double corner_hi, const double* rhs, double* x, int n)
+{
+  assert(n >= 3);
+  // Sherman–Morrison: A = B + u v^T with
+  //   u = (gamma, 0, ..., 0, corner_lo)^T,  v = (1, 0, ..., 0, corner_hi/gamma)^T
+  // and B tridiagonal with modified diag[0] and diag[n-1].
+  const double gamma = -diag;
+  std::vector<double> dia(static_cast<std::size_t>(n), diag);
+  std::vector<double> subv(static_cast<std::size_t>(n), sub);
+  std::vector<double> supv(static_cast<std::size_t>(n), sup);
+  dia[0] = diag - gamma;
+  dia[static_cast<std::size_t>(n) - 1] = diag - corner_lo * corner_hi / gamma;
+
+  // Solve B y = rhs.
+  std::vector<double> y(rhs, rhs + n);
+  std::vector<double> dwork = dia;
+  solve_tridiagonal(subv.data(), dwork.data(), supv.data(), y.data(), n);
+
+  // Solve B z = u.
+  std::vector<double> z(static_cast<std::size_t>(n), 0.0);
+  z[0] = gamma;
+  z[static_cast<std::size_t>(n) - 1] = corner_lo;
+  dwork = dia;
+  solve_tridiagonal(subv.data(), dwork.data(), supv.data(), z.data(), n);
+
+  // x = y - z (v.y) / (1 + v.z).
+  const double vy = y[0] + corner_hi / gamma * y[static_cast<std::size_t>(n) - 1];
+  const double vz = z[0] + corner_hi / gamma * z[static_cast<std::size_t>(n) - 1];
+  const double factor = vy / (1.0 + vz);
+  for (int i = 0; i < n; ++i)
+    x[i] = y[static_cast<std::size_t>(i)] - factor * z[static_cast<std::size_t>(i)];
+}
+
+void solve_periodic_spline_line(const double* data, double* c, int n)
+{
+  constexpr double w = 1.0 / 6.0;
+  constexpr double d = 4.0 / 6.0;
+  switch (n) {
+  case 1:
+    // (c + 4c + c)/6 = data  =>  c = data.
+    c[0] = data[0];
+    return;
+  case 2: {
+    // Both off-diagonal neighbours alias the other point: (4c_m + 2c_{1-m})/6.
+    const double d0 = data[0], d1 = data[1];
+    c[0] = 2.0 * d0 - d1;
+    c[1] = 2.0 * d1 - d0;
+    return;
+  }
+  default:
+    solve_cyclic_tridiagonal_const(w, d, w, w, w, data, c, n);
+    return;
+  }
+}
+
+void solve_periodic_spline_line_strided(const double* data, std::size_t data_stride, double* c,
+                                        std::size_t c_stride, int n)
+{
+  std::vector<double> line(static_cast<std::size_t>(n));
+  std::vector<double> sol(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    line[static_cast<std::size_t>(i)] = data[static_cast<std::size_t>(i) * data_stride];
+  solve_periodic_spline_line(line.data(), sol.data(), n);
+  for (int i = 0; i < n; ++i)
+    c[static_cast<std::size_t>(i) * c_stride] = sol[static_cast<std::size_t>(i)];
+}
+
+void solve_periodic_spline_3d(double* values, int nx, int ny, int nz)
+{
+  const std::size_t sy = static_cast<std::size_t>(nz);
+  const std::size_t sx = static_cast<std::size_t>(ny) * nz;
+  // z pass: contiguous lines.
+  for (int i = 0; i < nx; ++i)
+    for (int j = 0; j < ny; ++j) {
+      double* line = values + static_cast<std::size_t>(i) * sx + static_cast<std::size_t>(j) * sy;
+      solve_periodic_spline_line_strided(line, 1, line, 1, nz);
+    }
+  // y pass.
+  for (int i = 0; i < nx; ++i)
+    for (int k = 0; k < nz; ++k) {
+      double* line = values + static_cast<std::size_t>(i) * sx + static_cast<std::size_t>(k);
+      solve_periodic_spline_line_strided(line, sy, line, sy, ny);
+    }
+  // x pass.
+  for (int j = 0; j < ny; ++j)
+    for (int k = 0; k < nz; ++k) {
+      double* line = values + static_cast<std::size_t>(j) * sy + static_cast<std::size_t>(k);
+      solve_periodic_spline_line_strided(line, sx, line, sx, nx);
+    }
+}
+
+} // namespace mqc

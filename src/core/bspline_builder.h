@@ -1,0 +1,71 @@
+// Spline coefficient construction (the interpolation solve).
+//
+// Tricubic B-spline interpolation is separable: the 3D control-point tensor
+// is obtained by solving the 1D interpolation system along z, then y, then x.
+// For periodic data on n points the 1D system is cyclic tridiagonal with
+// constant stencil (1/6, 4/6, 1/6):
+//     (c[m-1] + 4 c[m] + c[m+1]) / 6 = data[m]   (indices mod n)
+// solved here by the Thomas algorithm wrapped in a Sherman–Morrison
+// correction for the periodic corners.  All solves run in double precision
+// regardless of the table's storage type, as QMCPACK/einspline do.
+#ifndef MQC_CORE_BSPLINE_BUILDER_H
+#define MQC_CORE_BSPLINE_BUILDER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/coef_storage.h"
+#include "core/grid.h"
+
+namespace mqc {
+
+/// Solve a general tridiagonal system in place (Thomas algorithm).
+/// sub[i] multiplies x[i-1] in row i (sub[0] unused), sup[i] multiplies
+/// x[i+1] (sup[n-1] unused).  The solution replaces rhs.  No pivoting: the
+/// caller guarantees diagonal dominance (true for all spline systems here).
+void solve_tridiagonal(const double* sub, double* diag, const double* sup, double* rhs, int n);
+
+/// Solve the cyclic-tridiagonal system with constant stencil
+/// (sub, diag, sup) plus corner elements A[0][n-1] = corner_hi and
+/// A[n-1][0] = corner_lo, writing the solution to x.  Requires n >= 3.
+void solve_cyclic_tridiagonal_const(double sub, double diag, double sup, double corner_lo,
+                                    double corner_hi, const double* rhs, double* x, int n);
+
+/// Solve the periodic cubic B-spline interpolation system for one line:
+/// given data[0..n), produce control points c[0..n) with
+/// (c[m-1] + 4c[m] + c[m+1])/6 = data[m] (cyclic).  Handles any n >= 1.
+void solve_periodic_spline_line(const double* data, double* c, int n);
+
+/// Strided variant reading data[i*stride] and writing c[i*stride]
+/// (used for the y/x passes of the tensor-product solve).
+void solve_periodic_spline_line_strided(const double* data, std::size_t data_stride, double* c,
+                                        std::size_t c_stride, int n);
+
+/// Compute the 3D periodic control-point tensor for samples[ix][iy][iz]
+/// (row-major, iz fastest) in place: on return @p values holds the control
+/// points with the same layout.
+void solve_periodic_spline_3d(double* values, int nx, int ny, int nz);
+
+/// Build spline @p n of @p storage from real-space samples on the grid
+/// (samples layout: ix*ny*nz + iy*nz + iz).  Thread-safe for distinct n as
+/// long as padded spline rows do not alias (they do not: each n is a distinct
+/// column of the innermost dimension).
+template <typename T>
+void set_spline_from_samples(CoefStorage<T>& storage, int n, const double* samples)
+{
+  const int nx = storage.grid().x.num;
+  const int ny = storage.grid().y.num;
+  const int nz = storage.grid().z.num;
+  std::vector<double> work(samples, samples + static_cast<std::size_t>(nx) * ny * nz);
+  solve_periodic_spline_3d(work.data(), nx, ny, nz);
+  for (int i = 0; i < nx; ++i)
+    for (int j = 0; j < ny; ++j)
+      for (int k = 0; k < nz; ++k)
+        storage.set_control_point_periodic(
+            i, j, k, n,
+            static_cast<T>(work[(static_cast<std::size_t>(i) * ny + j) * nz + k]));
+}
+
+} // namespace mqc
+
+#endif // MQC_CORE_BSPLINE_BUILDER_H

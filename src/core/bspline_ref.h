@@ -1,0 +1,98 @@
+// Scalar reference evaluator.
+//
+// Straight tensor-product evaluation (Eq. 6) in double precision with no
+// layout or vectorization tricks.  This is the oracle every optimized engine
+// is tested against; it is deliberately simple enough to audit by eye.
+#ifndef MQC_CORE_BSPLINE_REF_H
+#define MQC_CORE_BSPLINE_REF_H
+
+#include <vector>
+
+#include "core/bspline_basis.h"
+#include "core/coef_storage.h"
+#include "core/weights.h"
+
+namespace mqc {
+
+struct RefVGH
+{
+  std::vector<double> v;
+  std::vector<double> gx, gy, gz;
+  std::vector<double> hxx, hxy, hxz, hyy, hyz, hzz;
+};
+
+template <typename T>
+class BsplineRef
+{
+public:
+  explicit BsplineRef(const CoefStorage<T>& coefs) : coefs_(&coefs) {}
+
+  [[nodiscard]] int num_splines() const noexcept { return coefs_->num_splines(); }
+
+  [[nodiscard]] std::vector<double> evaluate_v(T x, T y, T z) const
+  {
+    BsplineWeights3D<T> w;
+    compute_weights_v(coefs_->grid(), x, y, z, w);
+    const int n_out = coefs_->num_splines();
+    std::vector<double> v(static_cast<std::size_t>(n_out), 0.0);
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j)
+        for (int k = 0; k < 4; ++k) {
+          const double wv = static_cast<double>(w.a[i]) * w.b[j] * w.c[k];
+          const T* p = coefs_->row(w.i0 + i, w.j0 + j, w.k0 + k);
+          for (int n = 0; n < n_out; ++n)
+            v[static_cast<std::size_t>(n)] += wv * static_cast<double>(p[n]);
+        }
+    return v;
+  }
+
+  [[nodiscard]] RefVGH evaluate_vgh(T x, T y, T z) const
+  {
+    BsplineWeights3D<T> w;
+    compute_weights_vgh(coefs_->grid(), x, y, z, w);
+    const int n_out = coefs_->num_splines();
+    RefVGH r;
+    const auto zero = std::vector<double>(static_cast<std::size_t>(n_out), 0.0);
+    r.v = r.gx = r.gy = r.gz = zero;
+    r.hxx = r.hxy = r.hxz = r.hyy = r.hyz = r.hzz = zero;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j)
+        for (int k = 0; k < 4; ++k) {
+          const double A = w.a[i], B = w.b[j], C = w.c[k];
+          const double dA = w.da[i], dB = w.db[j], dC = w.dc[k];
+          const double d2A = w.d2a[i], d2B = w.d2b[j], d2C = w.d2c[k];
+          const T* p = coefs_->row(w.i0 + i, w.j0 + j, w.k0 + k);
+          for (int n = 0; n < n_out; ++n) {
+            const double pn = static_cast<double>(p[n]);
+            const auto un = static_cast<std::size_t>(n);
+            r.v[un] += A * B * C * pn;
+            r.gx[un] += dA * B * C * pn;
+            r.gy[un] += A * dB * C * pn;
+            r.gz[un] += A * B * dC * pn;
+            r.hxx[un] += d2A * B * C * pn;
+            r.hxy[un] += dA * dB * C * pn;
+            r.hxz[un] += dA * B * dC * pn;
+            r.hyy[un] += A * d2B * C * pn;
+            r.hyz[un] += A * dB * dC * pn;
+            r.hzz[un] += A * B * d2C * pn;
+          }
+        }
+    return r;
+  }
+
+  /// Laplacians derived from the Hessian trace (used to check VGL kernels).
+  [[nodiscard]] std::vector<double> laplacian(const RefVGH& r) const
+  {
+    std::vector<double> l(r.v.size());
+    for (std::size_t n = 0; n < l.size(); ++n)
+      l[n] = r.hxx[n] + r.hyy[n] + r.hzz[n];
+    return l;
+  }
+
+private:
+  const CoefStorage<T>* coefs_;
+};
+
+} // namespace mqc
+
+#endif // MQC_CORE_BSPLINE_REF_H

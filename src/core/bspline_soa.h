@@ -1,0 +1,243 @@
+// Optimized engine with SoA output layout (paper Fig. 4(b), Opt A).
+//
+// Differences from the AoS baseline, exactly the paper's §V-A list:
+//   * each output component is its own unit-stride, 64-byte-aligned stream:
+//     v | gx gy gz | hxx hxy hxz hyy hyz hzz — 10 streams instead of 13
+//     AoS components (the symmetric Hessian is stored once),
+//   * the z loop is unrolled into fused partial sums, so the innermost loop
+//     reads four coefficient streams and performs pure FMA accumulation,
+//   * no temporaries are allocated per call.
+//
+// Output layout: component q of a family lives at base + q*stride where
+// stride is the caller's component stride (>= padded_splines(), multiple of
+// the SIMD lane count).  This lets one engine serve both a standalone SoA
+// walker buffer and a tile slice of an AoSoA walker buffer.
+#ifndef MQC_CORE_BSPLINE_SOA_H
+#define MQC_CORE_BSPLINE_SOA_H
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "common/config.h"
+#include "common/simd.h"
+#include "core/coef_storage.h"
+#include "core/weights.h"
+
+namespace mqc {
+
+template <typename T>
+class BsplineSoA
+{
+public:
+  explicit BsplineSoA(std::shared_ptr<const CoefStorage<T>> coefs) : coefs_(std::move(coefs)) {}
+
+  [[nodiscard]] int num_splines() const noexcept { return coefs_->num_splines(); }
+  [[nodiscard]] std::size_t padded_splines() const noexcept { return coefs_->padded_splines(); }
+  [[nodiscard]] const CoefStorage<T>& coefs() const noexcept { return *coefs_; }
+  /// Natural component stride when this engine owns the whole orbital set.
+  [[nodiscard]] std::size_t out_stride() const noexcept { return coefs_->padded_splines(); }
+
+  /// Values only (z-unrolled; layout is already unit-stride for V).
+  void evaluate_v(T x, T y, T z, T* MQC_RESTRICT v) const
+  {
+    BsplineWeights3D<T> w;
+    compute_weights_v(coefs_->grid(), x, y, z, w);
+    const int np = static_cast<int>(coefs_->padded_splines());
+    const std::size_t zs = coefs_->stride_z();
+    std::fill_n(v, static_cast<std::size_t>(np), T(0));
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) {
+        const T* MQC_RESTRICT p0 = coefs_->row(w.i0 + i, w.j0 + j, w.k0);
+        const T* MQC_RESTRICT p1 = p0 + zs;
+        const T* MQC_RESTRICT p2 = p0 + 2 * zs;
+        const T* MQC_RESTRICT p3 = p0 + 3 * zs;
+        const T pre00 = w.a[i] * w.b[j];
+        const T c0 = w.c[0], c1 = w.c[1], c2 = w.c[2], c3 = w.c[3];
+        MQC_SIMD_ALIGNED(v, p0, p1, p2, p3)
+        for (int n = 0; n < np; ++n)
+          v[n] += pre00 * (c0 * p0[n] + c1 * p1[n] + c2 * p2[n] + c3 * p3[n]);
+      }
+  }
+
+  /// Value + gradient + Laplacian; 5 SoA streams (v | gx gy gz via g,stride | l).
+  void evaluate_vgl(T x, T y, T z, T* MQC_RESTRICT v, T* MQC_RESTRICT g, T* MQC_RESTRICT l,
+                    std::size_t stride) const
+  {
+    assert(stride >= coefs_->padded_splines() && stride % simd_lanes<T> == 0);
+    BsplineWeights3D<T> w;
+    compute_weights_vgh(coefs_->grid(), x, y, z, w);
+    const int np = static_cast<int>(coefs_->padded_splines());
+    const std::size_t zs = coefs_->stride_z();
+    T* MQC_RESTRICT gx = g;
+    T* MQC_RESTRICT gy = g + stride;
+    T* MQC_RESTRICT gz = g + 2 * stride;
+    std::fill_n(v, static_cast<std::size_t>(np), T(0));
+    std::fill_n(gx, static_cast<std::size_t>(np), T(0));
+    std::fill_n(gy, static_cast<std::size_t>(np), T(0));
+    std::fill_n(gz, static_cast<std::size_t>(np), T(0));
+    std::fill_n(l, static_cast<std::size_t>(np), T(0));
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) {
+        const T* MQC_RESTRICT p0 = coefs_->row(w.i0 + i, w.j0 + j, w.k0);
+        const T* MQC_RESTRICT p1 = p0 + zs;
+        const T* MQC_RESTRICT p2 = p0 + 2 * zs;
+        const T* MQC_RESTRICT p3 = p0 + 3 * zs;
+        const T pre00 = w.a[i] * w.b[j];
+        const T pre01 = w.a[i] * w.db[j];
+        const T pre10 = w.da[i] * w.b[j];
+        const T pre2t = w.d2a[i] * w.b[j] + w.a[i] * w.d2b[j]; // (d2x + d2y) factor
+        const T c0 = w.c[0], c1 = w.c[1], c2 = w.c[2], c3 = w.c[3];
+        const T dc0 = w.dc[0], dc1 = w.dc[1], dc2 = w.dc[2], dc3 = w.dc[3];
+        const T e0 = w.d2c[0], e1 = w.d2c[1], e2 = w.d2c[2], e3 = w.d2c[3];
+        MQC_SIMD_ALIGNED(v, gx, gy, gz, l, p0, p1, p2, p3)
+        for (int n = 0; n < np; ++n) {
+          const T P0 = p0[n], P1 = p1[n], P2 = p2[n], P3 = p3[n];
+          const T s = c0 * P0 + c1 * P1 + c2 * P2 + c3 * P3;
+          const T ds = dc0 * P0 + dc1 * P1 + dc2 * P2 + dc3 * P3;
+          const T d2s = e0 * P0 + e1 * P1 + e2 * P2 + e3 * P3;
+          v[n] += pre00 * s;
+          gx[n] += pre10 * s;
+          gy[n] += pre01 * s;
+          gz[n] += pre00 * ds;
+          l[n] += pre2t * s + pre00 * d2s;
+        }
+      }
+  }
+
+  /// Value + gradient + symmetric Hessian; 10 SoA streams
+  /// (v | gx gy gz via g,stride | hxx hxy hxz hyy hyz hzz via h,stride).
+  void evaluate_vgh(T x, T y, T z, T* MQC_RESTRICT v, T* MQC_RESTRICT g, T* MQC_RESTRICT h,
+                    std::size_t stride) const
+  {
+    assert(stride >= coefs_->padded_splines() && stride % simd_lanes<T> == 0);
+    BsplineWeights3D<T> w;
+    compute_weights_vgh(coefs_->grid(), x, y, z, w);
+    const int np = static_cast<int>(coefs_->padded_splines());
+    const std::size_t zs = coefs_->stride_z();
+    T* MQC_RESTRICT gx = g;
+    T* MQC_RESTRICT gy = g + stride;
+    T* MQC_RESTRICT gz = g + 2 * stride;
+    T* MQC_RESTRICT hxx = h;
+    T* MQC_RESTRICT hxy = h + stride;
+    T* MQC_RESTRICT hxz = h + 2 * stride;
+    T* MQC_RESTRICT hyy = h + 3 * stride;
+    T* MQC_RESTRICT hyz = h + 4 * stride;
+    T* MQC_RESTRICT hzz = h + 5 * stride;
+    std::fill_n(v, static_cast<std::size_t>(np), T(0));
+    std::fill_n(gx, static_cast<std::size_t>(np), T(0));
+    std::fill_n(gy, static_cast<std::size_t>(np), T(0));
+    std::fill_n(gz, static_cast<std::size_t>(np), T(0));
+    std::fill_n(hxx, static_cast<std::size_t>(np), T(0));
+    std::fill_n(hxy, static_cast<std::size_t>(np), T(0));
+    std::fill_n(hxz, static_cast<std::size_t>(np), T(0));
+    std::fill_n(hyy, static_cast<std::size_t>(np), T(0));
+    std::fill_n(hyz, static_cast<std::size_t>(np), T(0));
+    std::fill_n(hzz, static_cast<std::size_t>(np), T(0));
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) {
+        const T* MQC_RESTRICT p0 = coefs_->row(w.i0 + i, w.j0 + j, w.k0);
+        const T* MQC_RESTRICT p1 = p0 + zs;
+        const T* MQC_RESTRICT p2 = p0 + 2 * zs;
+        const T* MQC_RESTRICT p3 = p0 + 3 * zs;
+        const T pre00 = w.a[i] * w.b[j];
+        const T pre01 = w.a[i] * w.db[j];
+        const T pre02 = w.a[i] * w.d2b[j];
+        const T pre10 = w.da[i] * w.b[j];
+        const T pre11 = w.da[i] * w.db[j];
+        const T pre20 = w.d2a[i] * w.b[j];
+        const T c0 = w.c[0], c1 = w.c[1], c2 = w.c[2], c3 = w.c[3];
+        const T dc0 = w.dc[0], dc1 = w.dc[1], dc2 = w.dc[2], dc3 = w.dc[3];
+        const T e0 = w.d2c[0], e1 = w.d2c[1], e2 = w.d2c[2], e3 = w.d2c[3];
+        MQC_SIMD_ALIGNED(v, gx, gy, gz, hxx, hxy, hxz, hyy, hyz, hzz, p0, p1, p2, p3)
+        for (int n = 0; n < np; ++n) {
+          const T P0 = p0[n], P1 = p1[n], P2 = p2[n], P3 = p3[n];
+          const T s = c0 * P0 + c1 * P1 + c2 * P2 + c3 * P3;
+          const T ds = dc0 * P0 + dc1 * P1 + dc2 * P2 + dc3 * P3;
+          const T d2s = e0 * P0 + e1 * P1 + e2 * P2 + e3 * P3;
+          v[n] += pre00 * s;
+          gx[n] += pre10 * s;
+          gy[n] += pre01 * s;
+          gz[n] += pre00 * ds;
+          hxx[n] += pre20 * s;
+          hxy[n] += pre11 * s;
+          hxz[n] += pre10 * ds;
+          hyy[n] += pre02 * s;
+          hyz[n] += pre01 * ds;
+          hzz[n] += pre00 * d2s;
+        }
+      }
+  }
+
+  /// Convenience overloads using the engine's natural stride.
+  void evaluate_vgl(T x, T y, T z, T* v, T* g, T* l) const
+  {
+    evaluate_vgl(x, y, z, v, g, l, out_stride());
+  }
+  void evaluate_vgh(T x, T y, T z, T* v, T* g, T* h) const
+  {
+    evaluate_vgh(x, y, z, v, g, h, out_stride());
+  }
+
+  /// Ablation variant (DESIGN.md #1): SoA output layout but WITHOUT the
+  /// fused z-sums — the inner loop still walks all 64 (i,j,k) sub-cubes as
+  /// the baseline does.  Isolates the layout transformation from the z-loop
+  /// unrolling so the bench harness can attribute the Opt-A gain.
+  void evaluate_vgh_no_zunroll(T x, T y, T z, T* MQC_RESTRICT v, T* MQC_RESTRICT g,
+                               T* MQC_RESTRICT h, std::size_t stride) const
+  {
+    BsplineWeights3D<T> w;
+    compute_weights_vgh(coefs_->grid(), x, y, z, w);
+    const int np = static_cast<int>(coefs_->padded_splines());
+    T* MQC_RESTRICT gx = g;
+    T* MQC_RESTRICT gy = g + stride;
+    T* MQC_RESTRICT gz = g + 2 * stride;
+    T* MQC_RESTRICT hxx = h;
+    T* MQC_RESTRICT hxy = h + stride;
+    T* MQC_RESTRICT hxz = h + 2 * stride;
+    T* MQC_RESTRICT hyy = h + 3 * stride;
+    T* MQC_RESTRICT hyz = h + 4 * stride;
+    T* MQC_RESTRICT hzz = h + 5 * stride;
+    std::fill_n(v, static_cast<std::size_t>(np), T(0));
+    for (int q = 0; q < 3; ++q)
+      std::fill_n(g + static_cast<std::size_t>(q) * stride, static_cast<std::size_t>(np), T(0));
+    for (int q = 0; q < 6; ++q)
+      std::fill_n(h + static_cast<std::size_t>(q) * stride, static_cast<std::size_t>(np), T(0));
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j)
+        for (int k = 0; k < 4; ++k) {
+          const T* MQC_RESTRICT p = coefs_->row(w.i0 + i, w.j0 + j, w.k0 + k);
+          const T wv = w.a[i] * w.b[j] * w.c[k];
+          const T wx = w.da[i] * w.b[j] * w.c[k];
+          const T wy = w.a[i] * w.db[j] * w.c[k];
+          const T wz = w.a[i] * w.b[j] * w.dc[k];
+          const T wxx = w.d2a[i] * w.b[j] * w.c[k];
+          const T wxy = w.da[i] * w.db[j] * w.c[k];
+          const T wxz = w.da[i] * w.b[j] * w.dc[k];
+          const T wyy = w.a[i] * w.d2b[j] * w.c[k];
+          const T wyz = w.a[i] * w.db[j] * w.dc[k];
+          const T wzz = w.a[i] * w.b[j] * w.d2c[k];
+          MQC_SIMD_ALIGNED(v, gx, gy, gz, hxx, hxy, hxz, hyy, hyz, hzz, p)
+          for (int n = 0; n < np; ++n) {
+            const T pn = p[n];
+            v[n] += wv * pn;
+            gx[n] += wx * pn;
+            gy[n] += wy * pn;
+            gz[n] += wz * pn;
+            hxx[n] += wxx * pn;
+            hxy[n] += wxy * pn;
+            hxz[n] += wxz * pn;
+            hyy[n] += wyy * pn;
+            hyz[n] += wyz * pn;
+            hzz[n] += wzz * pn;
+          }
+        }
+  }
+
+private:
+  std::shared_ptr<const CoefStorage<T>> coefs_;
+};
+
+} // namespace mqc
+
+#endif // MQC_CORE_BSPLINE_SOA_H

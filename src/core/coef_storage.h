@@ -1,0 +1,140 @@
+// The read-only 4D B-spline coefficient table P[nx+3][ny+3][nz+3][Npad]
+// (paper §IV: "allocation of the P coefficient array is done as 1D array and
+// uses an aligned allocator and includes padding to ensure the alignment of
+// P[i][j][k] to a 512-bit cache-line boundary").
+//
+// Index convention (einspline periodic): storage index m along an axis holds
+// control point c[(m-1) mod n], so an evaluation in cell i reads the four
+// consecutive rows i..i+3 without any modulo in the hot loop.  The spline
+// dimension N is innermost and padded to the SIMD lane count, which makes
+// every P[i][j][k] row 64-byte aligned.
+#ifndef MQC_CORE_COEF_STORAGE_H
+#define MQC_CORE_COEF_STORAGE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_allocator.h"
+#include "common/config.h"
+#include "common/rng.h"
+#include "core/grid.h"
+
+namespace mqc {
+
+template <typename T>
+class CoefStorage
+{
+public:
+  CoefStorage() = default;
+
+  CoefStorage(const Grid3D<T>& grid, int num_splines)
+      : grid_(grid), num_splines_(num_splines), n_pad_(aligned_size<T>(num_splines)),
+        zs_(n_pad_), ys_(static_cast<std::size_t>(grid.z.num + 3) * zs_),
+        xs_(static_cast<std::size_t>(grid.y.num + 3) * ys_),
+        data_(static_cast<std::size_t>(grid.x.num + 3) * xs_, T(0))
+  {
+    assert(num_splines > 0);
+  }
+
+  [[nodiscard]] const Grid3D<T>& grid() const noexcept { return grid_; }
+  [[nodiscard]] int num_splines() const noexcept { return num_splines_; }
+  [[nodiscard]] std::size_t padded_splines() const noexcept { return n_pad_; }
+  [[nodiscard]] std::size_t stride_x() const noexcept { return xs_; }
+  [[nodiscard]] std::size_t stride_y() const noexcept { return ys_; }
+  [[nodiscard]] std::size_t stride_z() const noexcept { return zs_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return data_.size() * sizeof(T); }
+
+  /// Base of the length-Npad coefficient row at padded indices (i,j,k);
+  /// i in [0, nx+3) etc.  Guaranteed 64-byte aligned.
+  [[nodiscard]] const T* row(int i, int j, int k) const noexcept
+  {
+    return data_.data() + static_cast<std::size_t>(i) * xs_ + static_cast<std::size_t>(j) * ys_ +
+           static_cast<std::size_t>(k) * zs_;
+  }
+  [[nodiscard]] T* row(int i, int j, int k) noexcept
+  {
+    return data_.data() + static_cast<std::size_t>(i) * xs_ + static_cast<std::size_t>(j) * ys_ +
+           static_cast<std::size_t>(k) * zs_;
+  }
+
+  [[nodiscard]] T coef(int i, int j, int k, int n) const noexcept { return row(i, j, k)[n]; }
+  void set_coef(int i, int j, int k, int n, T value) noexcept { row(i, j, k)[n] = value; }
+
+  /// Write control point c[(ci,cj,ck)] of spline n into every padded storage
+  /// slot that aliases it under the periodic wrap.  Control indices are the
+  /// *unshifted* ones in [0, n); the (+1, mod) shift to storage indices and
+  /// the replication of the three wrapped layers happen here, once, at build
+  /// time — the evaluators never wrap.
+  void set_control_point_periodic(int ci, int cj, int ck, int n, T value) noexcept
+  {
+    const int nx = grid_.x.num, ny = grid_.y.num, nz = grid_.z.num;
+    for (int i = ci + 1; i < nx + 3; i += nx)
+      for (int j = cj + 1; j < ny + 3; j += ny)
+        for (int k = ck + 1; k < nz + 3; k += nz)
+          set_coef(i, j, k, n, value);
+    // Indices below the first period (storage index 0 holds c[n-1]).
+    if (ci == nx - 1)
+      for (int j = cj + 1; j < ny + 3; j += ny)
+        for (int k = ck + 1; k < nz + 3; k += nz)
+          set_coef(0, j, k, n, value);
+    if (cj == ny - 1)
+      for (int i = ci + 1; i < nx + 3; i += nx)
+        for (int k = ck + 1; k < nz + 3; k += nz)
+          set_coef(i, 0, k, n, value);
+    if (ck == nz - 1)
+      for (int i = ci + 1; i < nx + 3; i += nx)
+        for (int j = cj + 1; j < ny + 3; j += ny)
+          set_coef(i, j, 0, n, value);
+    if (ci == nx - 1 && cj == ny - 1)
+      for (int k = ck + 1; k < nz + 3; k += nz)
+        set_coef(0, 0, k, n, value);
+    if (ci == nx - 1 && ck == nz - 1)
+      for (int j = cj + 1; j < ny + 3; j += ny)
+        set_coef(0, j, 0, n, value);
+    if (cj == ny - 1 && ck == nz - 1)
+      for (int i = ci + 1; i < nx + 3; i += nx)
+        set_coef(i, 0, 0, n, value);
+    if (ci == nx - 1 && cj == ny - 1 && ck == nz - 1)
+      set_coef(0, 0, 0, n, value);
+  }
+
+  /// Fill with deterministic pseudo-random coefficients.  Kernel performance
+  /// is independent of coefficient values, so the bench harness uses this to
+  /// avoid the (expensive, irrelevant) interpolation solve at N=4096 — the
+  /// same shortcut miniQMC takes.
+  void fill_random(std::uint64_t seed)
+  {
+    Xoshiro256 rng(seed);
+    for (auto& v : data_)
+      v = static_cast<T>(rng.uniform(-0.5, 0.5));
+  }
+
+  /// Copy splines [first, first+count) of @p src into this storage's
+  /// [0, count) — the AoSoA tile split.  Grids must match.
+  void assign_spline_range(const CoefStorage& src, int first, int count)
+  {
+    assert(count <= num_splines_);
+    assert(first + count <= src.num_splines());
+    const int nx = grid_.x.num + 3, ny = grid_.y.num + 3, nz = grid_.z.num + 3;
+    for (int i = 0; i < nx; ++i)
+      for (int j = 0; j < ny; ++j)
+        for (int k = 0; k < nz; ++k) {
+          const T* s = src.row(i, j, k) + first;
+          T* d = row(i, j, k);
+          for (int n = 0; n < count; ++n)
+            d[n] = s[n];
+        }
+  }
+
+private:
+  Grid3D<T> grid_;
+  int num_splines_ = 0;
+  std::size_t n_pad_ = 0;
+  std::size_t zs_ = 0, ys_ = 0, xs_ = 0;
+  aligned_vector<T> data_;
+};
+
+} // namespace mqc
+
+#endif // MQC_CORE_COEF_STORAGE_H

@@ -1,0 +1,95 @@
+// Uniform grids and periodic coordinate reduction (paper Eq. 5/6).
+//
+// A position x is reduced to (cell index i, fractional offset t in [0,1))
+// with i = floor((x-start)/delta).  For periodic splines — the only boundary
+// condition production QMC orbitals use — the cell index wraps modulo the
+// number of grid intervals so any real x is valid input.
+#ifndef MQC_CORE_GRID_H
+#define MQC_CORE_GRID_H
+
+#include <cmath>
+#include <cstddef>
+
+namespace mqc {
+
+/// One uniform axis of the interpolation domain.
+template <typename T>
+struct Grid1D
+{
+  T start = T(0);
+  T end = T(1);
+  int num = 1; ///< number of grid intervals (== grid points for periodic data)
+  T delta = T(1);
+  T delta_inv = T(1);
+
+  Grid1D() = default;
+  Grid1D(T s, T e, int n)
+      : start(s), end(e), num(n), delta((e - s) / static_cast<T>(n)),
+        delta_inv(static_cast<T>(n) / (e - s))
+  {
+  }
+
+  /// Reduced coordinate: wrapped cell index in [0,num) and t in [0,1).
+  struct Reduced
+  {
+    int cell;
+    T frac;
+  };
+
+  Reduced reduce_periodic(T x) const noexcept
+  {
+    const T u = (x - start) * delta_inv;
+    T ipart = std::floor(u);
+    T t = u - ipart;
+    int i = static_cast<int>(ipart) % num;
+    if (i < 0)
+      i += num;
+    // Guard against floating rounding pushing t to 1.0 (x == end exactly).
+    if (t >= T(1)) {
+      t = T(0);
+      i = (i + 1) % num;
+    }
+    return Reduced{i, t};
+  }
+
+  /// Reduced coordinate clamped to the domain (for bounded 1D splines).
+  Reduced reduce_clamped(T x) const noexcept
+  {
+    T u = (x - start) * delta_inv;
+    if (u < T(0))
+      u = T(0);
+    int i = static_cast<int>(u);
+    if (i > num - 1)
+      i = num - 1;
+    T t = u - static_cast<T>(i);
+    if (t > T(1))
+      t = T(1);
+    return Reduced{i, t};
+  }
+};
+
+/// Tensor-product 3D grid.
+template <typename T>
+struct Grid3D
+{
+  Grid1D<T> x, y, z;
+
+  Grid3D() = default;
+  Grid3D(Grid1D<T> gx, Grid1D<T> gy, Grid1D<T> gz) : x(gx), y(gy), z(gz) {}
+
+  /// Cube [0,L)^3 with n intervals per side — the paper's 48^3 setting.
+  static Grid3D cube(int n, T length = T(1))
+  {
+    return Grid3D(Grid1D<T>(T(0), length, n), Grid1D<T>(T(0), length, n),
+                  Grid1D<T>(T(0), length, n));
+  }
+
+  [[nodiscard]] std::size_t num_points() const noexcept
+  {
+    return static_cast<std::size_t>(x.num) * y.num * z.num;
+  }
+};
+
+} // namespace mqc
+
+#endif // MQC_CORE_GRID_H

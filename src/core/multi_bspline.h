@@ -1,0 +1,122 @@
+// AoSoA ("tiled") engine — paper §V-B, Opt B.
+//
+// The orbital set is split along the spline dimension N into M tiles of
+// nominal size Nb.  Each tile is a self-contained BsplineSoA whose
+// coefficient table is (nx+3)(ny+3)(nz+3) x Nb — the blocked read working set
+// — and whose outputs land in a slice of the walker's component streams.
+// Tiles share nothing and can be evaluated in any order by any thread, which
+// is exactly the parallelism Opt C (nested threading) exploits.
+//
+// Slice layout: tile t writes component q at  base + q*stride + offset(t)
+// where offset(t) is the sum of padded sizes of tiles < t.  Because every
+// tile except possibly the last has Nb % simd_lanes == 0, each slice is
+// 64-byte aligned and the union of slices is exactly the padded full set.
+#ifndef MQC_CORE_MULTI_BSPLINE_H
+#define MQC_CORE_MULTI_BSPLINE_H
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "core/bspline_soa.h"
+#include "core/coef_storage.h"
+
+namespace mqc {
+
+template <typename T>
+class MultiBspline
+{
+public:
+  /// Split an existing full coefficient table into tiles of @p tile_size.
+  /// tile_size must be a multiple of the SIMD lane count; the last tile
+  /// absorbs any remainder of num_splines.
+  MultiBspline(const CoefStorage<T>& full, int tile_size)
+      : num_splines_(full.num_splines()), tile_size_(tile_size)
+  {
+    assert(tile_size > 0);
+    assert(static_cast<std::size_t>(tile_size) % simd_lanes<T> == 0);
+    const int n = full.num_splines();
+    std::size_t offset = 0;
+    for (int first = 0; first < n; first += tile_size) {
+      const int count = std::min(tile_size, n - first);
+      auto tile_coefs = std::make_shared<CoefStorage<T>>(full.grid(), count);
+      tile_coefs->assign_spline_range(full, first, count);
+      offsets_.push_back(offset);
+      offset += tile_coefs->padded_splines();
+      tiles_.emplace_back(std::move(tile_coefs));
+    }
+    padded_splines_ = offset;
+  }
+
+  [[nodiscard]] int num_splines() const noexcept { return num_splines_; }
+  [[nodiscard]] int tile_size() const noexcept { return tile_size_; }
+  [[nodiscard]] int num_tiles() const noexcept { return static_cast<int>(tiles_.size()); }
+  /// Total slice length of one output component (also the natural stride).
+  [[nodiscard]] std::size_t padded_splines() const noexcept { return padded_splines_; }
+  [[nodiscard]] std::size_t out_stride() const noexcept { return padded_splines_; }
+  [[nodiscard]] std::size_t tile_offset(int t) const noexcept
+  {
+    return offsets_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] const BsplineSoA<T>& tile(int t) const noexcept
+  {
+    return tiles_[static_cast<std::size_t>(t)];
+  }
+  /// Bytes of coefficient data per tile — the blocked input working set
+  /// 4*Ng*Nb the paper's cache analysis is written in terms of.
+  [[nodiscard]] std::size_t tile_bytes(int t) const noexcept
+  {
+    return tiles_[static_cast<std::size_t>(t)].coefs().size_bytes();
+  }
+
+  // -- per-tile kernels (the unit of nested-threading work) ---------------
+
+  void evaluate_v_tile(int t, T x, T y, T z, T* v) const
+  {
+    tiles_[static_cast<std::size_t>(t)].evaluate_v(x, y, z, v + offsets_[static_cast<std::size_t>(t)]);
+  }
+
+  void evaluate_vgl_tile(int t, T x, T y, T z, T* v, T* g, T* l, std::size_t stride) const
+  {
+    const std::size_t off = offsets_[static_cast<std::size_t>(t)];
+    tiles_[static_cast<std::size_t>(t)].evaluate_vgl(x, y, z, v + off, g + off, l + off, stride);
+  }
+
+  void evaluate_vgh_tile(int t, T x, T y, T z, T* v, T* g, T* h, std::size_t stride) const
+  {
+    const std::size_t off = offsets_[static_cast<std::size_t>(t)];
+    tiles_[static_cast<std::size_t>(t)].evaluate_vgh(x, y, z, v + off, g + off, h + off, stride);
+  }
+
+  // -- whole-set kernels (serial tile loop; Fig. 6 with one thread) -------
+
+  void evaluate_v(T x, T y, T z, T* v) const
+  {
+    for (int t = 0; t < num_tiles(); ++t)
+      evaluate_v_tile(t, x, y, z, v);
+  }
+
+  void evaluate_vgl(T x, T y, T z, T* v, T* g, T* l, std::size_t stride) const
+  {
+    for (int t = 0; t < num_tiles(); ++t)
+      evaluate_vgl_tile(t, x, y, z, v, g, l, stride);
+  }
+
+  void evaluate_vgh(T x, T y, T z, T* v, T* g, T* h, std::size_t stride) const
+  {
+    for (int t = 0; t < num_tiles(); ++t)
+      evaluate_vgh_tile(t, x, y, z, v, g, h, stride);
+  }
+
+private:
+  int num_splines_;
+  int tile_size_;
+  std::size_t padded_splines_ = 0;
+  std::vector<std::size_t> offsets_;
+  std::vector<BsplineSoA<T>> tiles_;
+};
+
+} // namespace mqc
+
+#endif // MQC_CORE_MULTI_BSPLINE_H

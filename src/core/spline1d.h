@@ -1,0 +1,189 @@
+// Interpolating 1D cubic B-spline (paper Eq. 5) with selectable boundary
+// conditions.  This is both a standalone public utility and the substrate for
+// the radial Jastrow functors (QMCPACK's BsplineFunctor is exactly a bounded
+// 1D cubic B-spline).
+//
+// Boundary conditions:
+//   Periodic — data[i] at x0 + i*delta, i in [0,n), period end-start;
+//   Natural  — f'' = 0 at both ends;
+//   Clamped  — f' prescribed at both ends (used for cusp conditions).
+//
+// Control points are solved in double precision; evaluation is templated on
+// the storage type.
+#ifndef MQC_CORE_SPLINE1D_H
+#define MQC_CORE_SPLINE1D_H
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/bspline_basis.h"
+#include "core/bspline_builder.h"
+#include "core/grid.h"
+
+namespace mqc {
+
+enum class Boundary1D
+{
+  Periodic,
+  Natural,
+  Clamped
+};
+
+template <typename T>
+class Spline1D
+{
+public:
+  Spline1D() = default;
+
+  /// Periodic: @p data holds n samples at x0 + i*(x1-x0)/n, i in [0,n);
+  /// the function repeats with period x1-x0.
+  static Spline1D periodic(T x0, T x1, std::span<const double> data)
+  {
+    Spline1D s;
+    const int n = static_cast<int>(data.size());
+    assert(n >= 1);
+    s.boundary_ = Boundary1D::Periodic;
+    s.grid_ = Grid1D<T>(x0, x1, n);
+    std::vector<double> c(static_cast<std::size_t>(n));
+    solve_periodic_spline_line(data.data(), c.data(), n);
+    s.coefs_.resize(static_cast<std::size_t>(n) + 3);
+    for (int m = 0; m < n + 3; ++m)
+      s.coefs_[static_cast<std::size_t>(m)] =
+          static_cast<T>(c[static_cast<std::size_t>(((m - 1) % n + n) % n)]);
+    return s;
+  }
+
+  /// Natural: @p data holds n samples at x0 + i*(x1-x0)/(n-1) inclusive of
+  /// both ends, with zero second derivative at the ends.  n >= 4.
+  static Spline1D natural(T x0, T x1, std::span<const double> data)
+  {
+    return bounded(x0, x1, data, /*clamped=*/false, 0.0, 0.0);
+  }
+
+  /// Clamped: like natural but with prescribed end slopes f'(x0)=s0,
+  /// f'(x1)=s1.  n >= 4.
+  static Spline1D clamped(T x0, T x1, std::span<const double> data, double s0, double s1)
+  {
+    return bounded(x0, x1, data, /*clamped=*/true, s0, s1);
+  }
+
+  [[nodiscard]] Boundary1D boundary() const noexcept { return boundary_; }
+  [[nodiscard]] const Grid1D<T>& grid() const noexcept { return grid_; }
+  [[nodiscard]] T domain_begin() const noexcept { return grid_.start; }
+  [[nodiscard]] T domain_end() const noexcept { return grid_.end; }
+
+  /// Value at x (periodic wrap or clamp to the domain as appropriate).
+  [[nodiscard]] T value(T x) const noexcept
+  {
+    const auto r = reduce(x);
+    T a[4];
+    bspline_weights(r.frac, a);
+    const T* c = coefs_.data() + r.cell;
+    return a[0] * c[0] + a[1] * c[1] + a[2] * c[2] + a[3] * c[3];
+  }
+
+  /// Value, first and second derivative at x.
+  void evaluate(T x, T& v, T& dv, T& d2v) const noexcept
+  {
+    const auto r = reduce(x);
+    T a[4], da[4], d2a[4];
+    bspline_weights_d2(r.frac, a, da, d2a);
+    const T* c = coefs_.data() + r.cell;
+    v = a[0] * c[0] + a[1] * c[1] + a[2] * c[2] + a[3] * c[3];
+    const T di = grid_.delta_inv;
+    dv = di * (da[0] * c[0] + da[1] * c[1] + da[2] * c[2] + da[3] * c[3]);
+    d2v = di * di * (d2a[0] * c[0] + d2a[1] * c[1] + d2a[2] * c[2] + d2a[3] * c[3]);
+  }
+
+  /// Raw control points (storage layout, size n+3 periodic / n+2 bounded).
+  [[nodiscard]] std::span<const T> control_points() const noexcept
+  {
+    return {coefs_.data(), coefs_.size()};
+  }
+
+private:
+  static Spline1D bounded(T x0, T x1, std::span<const double> data, bool clamped, double s0,
+                          double s1)
+  {
+    Spline1D s;
+    const int n = static_cast<int>(data.size());
+    assert(n >= 4);
+    s.boundary_ = clamped ? Boundary1D::Clamped : Boundary1D::Natural;
+    s.grid_ = Grid1D<T>(x0, x1, n - 1); // n points span n-1 intervals
+    const double delta = (static_cast<double>(x1) - static_cast<double>(x0)) / (n - 1);
+
+    // Unknowns c[0..n-1]; end coefficients c[-1], c[n] follow from the BC.
+    std::vector<double> c(static_cast<std::size_t>(n));
+    if (!clamped) {
+      // Natural BC collapses the end rows: c[0]=d[0], c[n-1]=d[n-1] and the
+      // interior is a standard tridiagonal system (see builder docs).
+      c[0] = data[0];
+      c[static_cast<std::size_t>(n) - 1] = data[static_cast<std::size_t>(n) - 1];
+      const int m = n - 2; // unknowns c[1..n-2]
+      if (m > 0) {
+        std::vector<double> sub(static_cast<std::size_t>(m), 1.0);
+        std::vector<double> diag(static_cast<std::size_t>(m), 4.0);
+        std::vector<double> sup(static_cast<std::size_t>(m), 1.0);
+        std::vector<double> rhs(static_cast<std::size_t>(m));
+        for (int i = 0; i < m; ++i)
+          rhs[static_cast<std::size_t>(i)] = 6.0 * data[static_cast<std::size_t>(i) + 1];
+        rhs[0] -= c[0];
+        rhs[static_cast<std::size_t>(m) - 1] -= c[static_cast<std::size_t>(n) - 1];
+        solve_tridiagonal(sub.data(), diag.data(), sup.data(), rhs.data(), m);
+        for (int i = 0; i < m; ++i)
+          c[static_cast<std::size_t>(i) + 1] = rhs[static_cast<std::size_t>(i)];
+      }
+    } else {
+      // Clamped BC: eliminating c[-1] and c[n] gives modified first/last rows
+      //   2c[0] +  c[1]   = 3 d[0]   + delta*s0
+      //    c[n-2] + 2c[n-1] = 3 d[n-1] - delta*s1
+      std::vector<double> sub(static_cast<std::size_t>(n), 1.0);
+      std::vector<double> diag(static_cast<std::size_t>(n), 4.0);
+      std::vector<double> sup(static_cast<std::size_t>(n), 1.0);
+      std::vector<double> rhs(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i)
+        rhs[static_cast<std::size_t>(i)] = 6.0 * data[static_cast<std::size_t>(i)];
+      diag[0] = 2.0;
+      sup[0] = 1.0;
+      rhs[0] = 3.0 * data[0] + delta * s0;
+      diag[static_cast<std::size_t>(n) - 1] = 2.0;
+      sub[static_cast<std::size_t>(n) - 1] = 1.0;
+      rhs[static_cast<std::size_t>(n) - 1] = 3.0 * data[static_cast<std::size_t>(n) - 1] - delta * s1;
+      solve_tridiagonal(sub.data(), diag.data(), sup.data(), rhs.data(), n);
+      for (int i = 0; i < n; ++i)
+        c[static_cast<std::size_t>(i)] = rhs[static_cast<std::size_t>(i)];
+    }
+
+    // End coefficients from the boundary relations.
+    double c_lo, c_hi;
+    if (!clamped) {
+      c_lo = 2.0 * c[0] - c[1];
+      c_hi = 2.0 * c[static_cast<std::size_t>(n) - 1] - c[static_cast<std::size_t>(n) - 2];
+    } else {
+      c_lo = c[1] - 2.0 * delta * s0;
+      c_hi = c[static_cast<std::size_t>(n) - 2] + 2.0 * delta * s1;
+    }
+
+    s.coefs_.resize(static_cast<std::size_t>(n) + 2);
+    s.coefs_[0] = static_cast<T>(c_lo);
+    for (int i = 0; i < n; ++i)
+      s.coefs_[static_cast<std::size_t>(i) + 1] = static_cast<T>(c[static_cast<std::size_t>(i)]);
+    s.coefs_[static_cast<std::size_t>(n) + 1] = static_cast<T>(c_hi);
+    return s;
+  }
+
+  [[nodiscard]] typename Grid1D<T>::Reduced reduce(T x) const noexcept
+  {
+    return boundary_ == Boundary1D::Periodic ? grid_.reduce_periodic(x) : grid_.reduce_clamped(x);
+  }
+
+  Boundary1D boundary_ = Boundary1D::Natural;
+  Grid1D<T> grid_;
+  std::vector<T> coefs_;
+};
+
+} // namespace mqc
+
+#endif // MQC_CORE_SPLINE1D_H

@@ -1,0 +1,65 @@
+#include "core/tuner.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/config.h"
+
+namespace mqc {
+
+std::string Wisdom::make_key(const std::string& kernel, const std::string& precision,
+                             int num_splines, int nx, int ny, int nz)
+{
+  std::ostringstream os;
+  os << kernel << ':' << precision << ":N=" << num_splines << ":grid=" << nx << 'x' << ny << 'x'
+     << nz;
+  return os.str();
+}
+
+std::optional<Wisdom::Entry> Wisdom::lookup(const std::string& key) const
+{
+  const auto it = entries_.find(key);
+  if (it == entries_.end())
+    return std::nullopt;
+  return it->second;
+}
+
+bool Wisdom::save(const std::string& path) const
+{
+  std::ofstream out(path);
+  if (!out)
+    return false;
+  out << "# miniqmcpp wisdom v1: key tile_size throughput\n";
+  for (const auto& [key, entry] : entries_)
+    out << key << ' ' << entry.tile_size << ' ' << entry.throughput << '\n';
+  return static_cast<bool>(out);
+}
+
+bool Wisdom::load(const std::string& path)
+{
+  std::ifstream in(path);
+  if (!in)
+    return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#')
+      continue;
+    std::istringstream ls(line);
+    std::string key;
+    Entry entry;
+    if (ls >> key >> entry.tile_size >> entry.throughput)
+      entries_[key] = entry;
+  }
+  return true;
+}
+
+std::vector<int> default_tile_candidates(int num_splines, int min_tile)
+{
+  std::vector<int> out;
+  for (int nb = min_tile; nb < num_splines; nb *= 2)
+    out.push_back(nb);
+  out.push_back(num_splines); // untiled upper end of the sweep
+  return out;
+}
+
+} // namespace mqc

@@ -1,0 +1,102 @@
+// Tile-size auto-tuning with FFTW-style "wisdom" persistence (paper §VI:
+// "We plan to provide an auto-tuning capability using miniQMC to guide the
+// production runs similar to FFTW's solution using wisdom files").
+//
+// The optimal Nb depends only on the architecture's cache hierarchy, not on
+// the problem size N (paper §VI-B), so one tuning run per (kernel, precision,
+// grid) is recorded and reused.
+#ifndef MQC_CORE_TUNER_H
+#define MQC_CORE_TUNER_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/multi_bspline.h"
+#include "core/synthetic_orbitals.h"
+#include "qmc/walker.h"
+
+namespace mqc {
+
+/// Persistent map from tuning keys to the winning tile size.
+class Wisdom
+{
+public:
+  struct Entry
+  {
+    int tile_size = 0;
+    double throughput = 0.0; ///< orbital evaluations per second at tuning time
+  };
+
+  static std::string make_key(const std::string& kernel, const std::string& precision,
+                              int num_splines, int nx, int ny, int nz);
+
+  void insert(const std::string& key, Entry entry) { entries_[key] = entry; }
+  [[nodiscard]] std::optional<Entry> lookup(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Plain-text persistence: one "key tile_size throughput" line per entry.
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+
+private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// Result of one tile-size sweep.
+struct TuneResult
+{
+  int best_tile = 0;
+  double best_throughput = 0.0;
+  std::vector<int> tiles;             ///< candidates probed
+  std::vector<double> throughputs;    ///< T = N*ns/t for each candidate
+};
+
+/// Default candidate list: powers of two from the SIMD lane count up to N.
+std::vector<int> default_tile_candidates(int num_splines, int min_tile);
+
+/// Probe VGH throughput for each candidate tile size over @p ns random
+/// positions and return the sweep (the Fig. 7(c) experiment as a library
+/// call).  min_seconds bounds the per-candidate measurement time.
+template <typename T>
+TuneResult tune_tile_size_vgh(const CoefStorage<T>& full, const std::vector<int>& candidates,
+                              int ns = 128, double min_seconds = 0.05, std::uint64_t seed = 11)
+{
+  TuneResult result;
+  Xoshiro256 rng(seed);
+  const auto& g = full.grid();
+  std::vector<T> px(static_cast<std::size_t>(ns)), py(px), pz(px);
+  for (int s = 0; s < ns; ++s) {
+    px[static_cast<std::size_t>(s)] = static_cast<T>(rng.uniform(g.x.start, g.x.end));
+    py[static_cast<std::size_t>(s)] = static_cast<T>(rng.uniform(g.y.start, g.y.end));
+    pz[static_cast<std::size_t>(s)] = static_cast<T>(rng.uniform(g.z.start, g.z.end));
+  }
+  for (int nb : candidates) {
+    MultiBspline<T> engine(full, nb);
+    WalkerSoA<T> w(engine.out_stride());
+    const double sec = time_per_iteration(
+        [&] {
+          for (int s = 0; s < ns; ++s)
+            engine.evaluate_vgh(px[static_cast<std::size_t>(s)], py[static_cast<std::size_t>(s)],
+                                pz[static_cast<std::size_t>(s)], w.v.data(), w.g.data(),
+                                w.h.data(), w.stride);
+        },
+        min_seconds, 2);
+    const double throughput = static_cast<double>(full.num_splines()) * ns / sec;
+    result.tiles.push_back(nb);
+    result.throughputs.push_back(throughput);
+    if (throughput > result.best_throughput) {
+      result.best_throughput = throughput;
+      result.best_tile = nb;
+    }
+  }
+  return result;
+}
+
+} // namespace mqc
+
+#endif // MQC_CORE_TUNER_H

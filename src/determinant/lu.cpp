@@ -1,0 +1,120 @@
+#include "determinant/lu.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace mqc {
+
+bool lu_factor(Matrix<double>& a, std::vector<int>& piv)
+{
+  const int n = a.rows();
+  assert(a.cols() == n);
+  piv.assign(static_cast<std::size_t>(n), 0);
+  for (int k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    int p = k;
+    double pmax = std::abs(a(k, k));
+    for (int i = k + 1; i < n; ++i) {
+      const double v = std::abs(a(i, k));
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    piv[static_cast<std::size_t>(k)] = p;
+    if (pmax == 0.0)
+      return false;
+    if (p != k)
+      for (int j = 0; j < n; ++j)
+        std::swap(a(k, j), a(p, j));
+    const double dinv = 1.0 / a(k, k);
+    for (int i = k + 1; i < n; ++i) {
+      const double m = a(i, k) * dinv;
+      a(i, k) = m;
+      if (m != 0.0)
+        for (int j = k + 1; j < n; ++j)
+          a(i, j) -= m * a(k, j);
+    }
+  }
+  return true;
+}
+
+void lu_logdet(const Matrix<double>& lu, const std::vector<int>& piv, double& log_det,
+               double& sign)
+{
+  const int n = lu.rows();
+  log_det = 0.0;
+  sign = 1.0;
+  for (int k = 0; k < n; ++k) {
+    const double d = lu(k, k);
+    log_det += std::log(std::abs(d));
+    if (d < 0.0)
+      sign = -sign;
+    if (piv[static_cast<std::size_t>(k)] != k)
+      sign = -sign;
+  }
+}
+
+void lu_invert(Matrix<double>& a, const std::vector<int>& piv)
+{
+  const int n = a.rows();
+  // Solve A X = I column by column using the LU factors in place; gather the
+  // result in a scratch matrix, then copy back.
+  Matrix<double> inv(n);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int col = 0; col < n; ++col) {
+    // Apply the row permutation to the unit vector e_col.
+    for (int i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(i)] = (i == col) ? 1.0 : 0.0;
+    for (int k = 0; k < n; ++k) {
+      const int p = piv[static_cast<std::size_t>(k)];
+      if (p != k)
+        std::swap(x[static_cast<std::size_t>(k)], x[static_cast<std::size_t>(p)]);
+    }
+    // Forward substitution (L has unit diagonal).
+    for (int i = 1; i < n; ++i) {
+      double s = x[static_cast<std::size_t>(i)];
+      for (int j = 0; j < i; ++j)
+        s -= a(i, j) * x[static_cast<std::size_t>(j)];
+      x[static_cast<std::size_t>(i)] = s;
+    }
+    // Back substitution.
+    for (int i = n - 1; i >= 0; --i) {
+      double s = x[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < n; ++j)
+        s -= a(i, j) * x[static_cast<std::size_t>(j)];
+      x[static_cast<std::size_t>(i)] = s / a(i, i);
+    }
+    for (int i = 0; i < n; ++i)
+      inv(i, col) = x[static_cast<std::size_t>(i)];
+  }
+  a = std::move(inv);
+}
+
+bool invert_matrix(Matrix<double>& a, double& log_det, double& sign)
+{
+  std::vector<int> piv;
+  if (!lu_factor(a, piv))
+    return false;
+  lu_logdet(a, piv, log_det, sign);
+  lu_invert(a, piv);
+  return true;
+}
+
+Matrix<double> matmul(const Matrix<double>& a, const Matrix<double>& b)
+{
+  assert(a.cols() == b.rows());
+  Matrix<double> c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i)
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0)
+        continue;
+      for (int j = 0; j < b.cols(); ++j)
+        c(i, j) += aik * b(k, j);
+    }
+  return c;
+}
+
+} // namespace mqc

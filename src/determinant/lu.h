@@ -1,0 +1,39 @@
+// LU factorization with partial pivoting, determinant and inverse.
+//
+// The Slater-determinant machinery (paper Eq. 2-4) needs an O(N^3) reference
+// inverse against which the O(N^2) Sherman-Morrison path is both seeded and
+// verified.  No external BLAS/LAPACK is assumed; this is a self-contained
+// double-precision implementation adequate for the N <= O(10^3) matrices QMC
+// walkers carry.
+#ifndef MQC_DETERMINANT_LU_H
+#define MQC_DETERMINANT_LU_H
+
+#include <vector>
+
+#include "determinant/matrix.h"
+
+namespace mqc {
+
+/// In-place LU factorization (Doolittle, partial pivoting).
+/// Returns false if the matrix is numerically singular.
+/// piv[k] records the row swapped into position k at step k.
+bool lu_factor(Matrix<double>& a, std::vector<int>& piv);
+
+/// log|det| and sign from a factorization produced by lu_factor.
+void lu_logdet(const Matrix<double>& lu, const std::vector<int>& piv, double& log_det,
+               double& sign);
+
+/// Invert in place given the factorization data (a holds LU on entry, the
+/// inverse on exit).
+void lu_invert(Matrix<double>& a, const std::vector<int>& piv);
+
+/// Convenience: inverse + log|det| + sign of @p a (overwritten).
+/// Returns false on singularity.
+bool invert_matrix(Matrix<double>& a, double& log_det, double& sign);
+
+/// C = A * B (naive triple loop, used in tests and the delayed-update flush).
+Matrix<double> matmul(const Matrix<double>& a, const Matrix<double>& b);
+
+} // namespace mqc
+
+#endif // MQC_DETERMINANT_LU_H

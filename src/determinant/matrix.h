@@ -1,0 +1,56 @@
+// Dense row-major matrix with aligned storage (determinant substrate).
+#ifndef MQC_DETERMINANT_MATRIX_H
+#define MQC_DETERMINANT_MATRIX_H
+
+#include <cassert>
+#include <cstddef>
+
+#include "common/aligned_allocator.h"
+
+namespace mqc {
+
+template <typename T>
+class Matrix
+{
+public:
+  Matrix() = default;
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, T(0))
+  {
+  }
+  explicit Matrix(int n) : Matrix(n, n) {}
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+
+  [[nodiscard]] T& operator()(int i, int j) noexcept
+  {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+  [[nodiscard]] const T& operator()(int i, int j) const noexcept
+  {
+    return data_[static_cast<std::size_t>(i) * cols_ + j];
+  }
+
+  [[nodiscard]] T* row(int i) noexcept { return data_.data() + static_cast<std::size_t>(i) * cols_; }
+  [[nodiscard]] const T* row(int i) const noexcept
+  {
+    return data_.data() + static_cast<std::size_t>(i) * cols_;
+  }
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+
+  void fill(T value)
+  {
+    for (auto& v : data_)
+      v = value;
+  }
+
+private:
+  int rows_ = 0, cols_ = 0;
+  aligned_vector<T> data_;
+};
+
+} // namespace mqc
+
+#endif // MQC_DETERMINANT_MATRIX_H

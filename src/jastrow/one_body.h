@@ -1,0 +1,124 @@
+// One-body (electron-ion) Jastrow factor J1.
+//
+//   log psi_J1 = -sum_i sum_I u(|r_i - R_I|)
+//
+// Gradients/Laplacians are with respect to electron coordinates:
+//   grad_i = -sum_I u'(r) * dr/r          (dr = r_i - R_I, min image)
+//   lap_i  = -sum_I (u''(r) + 2 u'(r)/r)
+//
+// Two evaluation paths mirror the paper's layouts: the AoS baseline walks
+// Vec3 displacements; the SoA path streams distance-table rows.
+#ifndef MQC_JASTROW_ONE_BODY_H
+#define MQC_JASTROW_ONE_BODY_H
+
+#include <vector>
+
+#include "common/aligned_allocator.h"
+#include "common/vec3.h"
+#include "distance/distance_table.h"
+#include "jastrow/bspline_functor.h"
+
+namespace mqc {
+
+template <typename T>
+class OneBodyJastrowAoS
+{
+public:
+  explicit OneBodyJastrowAoS(const BsplineJastrowFunctor<T>& f) : f_(&f) {}
+
+  /// Full evaluation from an ion-electron AoS table; fills per-electron
+  /// grad/lap (sized num_targets) and returns log psi_J1.
+  T evaluate_log(const DistanceTableAB_AoS<T>& table, Vec3<T>* grad, T* lap) const
+  {
+    T usum = T(0);
+    for (int i = 0; i < table.num_targets(); ++i) {
+      Vec3<T> g{};
+      T l = T(0);
+      for (int j = 0; j < table.num_sources(); ++j) {
+        const T r = table.dist(i, j);
+        T du, d2u;
+        const T u = f_->evaluate(r, du, d2u);
+        usum += u;
+        const Vec3<T>& dr = table.displ(i, j);
+        const T rinv = r > T(0) ? T(1) / r : T(0);
+        g += (du * rinv) * dr;
+        l += d2u + T(2) * du * rinv;
+      }
+      grad[i] = T(-1) * g;
+      lap[i] = -l;
+    }
+    return -usum;
+  }
+
+  /// log of the wave-function ratio for a single-electron move, from the
+  /// old row (index iel) and a proposed temp row.
+  T ratio_log(const DistanceTableAB_AoS<T>& table, int iel) const
+  {
+    T u_old = T(0), u_new = T(0);
+    for (int j = 0; j < table.num_sources(); ++j) {
+      u_old += f_->evaluate(table.dist(iel, j));
+      u_new += f_->evaluate(table.temp_r()[j]);
+    }
+    return u_old - u_new; // log(psi_new/psi_old) = -(U_new - U_old)
+  }
+
+private:
+  const BsplineJastrowFunctor<T>* f_;
+};
+
+template <typename T>
+class OneBodyJastrowSoA
+{
+public:
+  explicit OneBodyJastrowSoA(const BsplineJastrowFunctor<T>& f) : f_(&f) {}
+
+  T evaluate_log(const DistanceTableAB_SoA<T>& table, Vec3<T>* grad, T* lap) const
+  {
+    T usum = T(0);
+    const int ns = table.num_sources();
+    // Row scratch for the vectorized functor kernel (per call, so the
+    // Jastrow object itself stays shareable across walker threads).
+    aligned_vector<T> u_row(table.row_stride()), du_row(table.row_stride()),
+        d2u_row(table.row_stride());
+    for (int i = 0; i < table.num_targets(); ++i) {
+      const T* MQC_RESTRICT r = table.dist_row(i);
+      const T* MQC_RESTRICT dx = table.dx_row(i);
+      const T* MQC_RESTRICT dy = table.dy_row(i);
+      const T* MQC_RESTRICT dz = table.dz_row(i);
+      f_->evaluate_row(r, ns, u_row.data(), du_row.data(), d2u_row.data());
+      const T* MQC_RESTRICT u_r = u_row.data();
+      const T* MQC_RESTRICT du_r = du_row.data();
+      const T* MQC_RESTRICT d2u_r = d2u_row.data();
+      T gx = T(0), gy = T(0), gz = T(0), l = T(0), u = T(0);
+      MQC_SIMD_REDUCTION(+ : gx, gy, gz, l, u)
+      for (int j = 0; j < ns; ++j) {
+        const T rinv = r[j] > T(0) ? T(1) / r[j] : T(0);
+        const T fac = du_r[j] * rinv;
+        u += u_r[j];
+        gx += fac * dx[j];
+        gy += fac * dy[j];
+        gz += fac * dz[j];
+        l += d2u_r[j] + T(2) * fac;
+      }
+      usum += u;
+      grad[i] = Vec3<T>{-gx, -gy, -gz};
+      lap[i] = -l;
+    }
+    return -usum;
+  }
+
+  T ratio_log(const DistanceTableAB_SoA<T>& table, int iel) const
+  {
+    const int ns = table.num_sources();
+    const T u_old = f_->sum_row(table.dist_row(iel), ns);
+    const T u_new = f_->sum_row(table.temp_r(), ns);
+    return u_old - u_new;
+  }
+
+private:
+  const BsplineJastrowFunctor<T>* f_;
+};
+
+} // namespace mqc
+
+#endif // MQC_JASTROW_ONE_BODY_H

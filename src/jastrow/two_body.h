@@ -1,0 +1,123 @@
+// Two-body (electron-electron) Jastrow factor J2.
+//
+//   log psi_J2 = -sum_{i<j} u(r_ij)
+//
+// Per-electron derivatives (dr_ij = r_i - r_j stored in row i of an AA
+// distance table):
+//   grad_i = -sum_{j != i} u'(r_ij) * dr_ij / r_ij
+//   lap_i  = -sum_{j != i} (u''(r_ij) + 2 u'(r_ij)/r_ij)
+//
+// Self-pairs are excluded by the table's self-distance sentinel (far beyond
+// the functor cutoff), keeping the SoA inner loop branch-free.
+#ifndef MQC_JASTROW_TWO_BODY_H
+#define MQC_JASTROW_TWO_BODY_H
+
+#include "common/aligned_allocator.h"
+#include "common/vec3.h"
+#include "distance/distance_table.h"
+#include "jastrow/bspline_functor.h"
+
+namespace mqc {
+
+template <typename T>
+class TwoBodyJastrowAoS
+{
+public:
+  explicit TwoBodyJastrowAoS(const BsplineJastrowFunctor<T>& f) : f_(&f) {}
+
+  T evaluate_log(const DistanceTableAA_AoS<T>& table, Vec3<T>* grad, T* lap) const
+  {
+    T usum = T(0);
+    const int n = table.size();
+    for (int i = 0; i < n; ++i) {
+      Vec3<T> g{};
+      T l = T(0);
+      for (int j = 0; j < n; ++j) {
+        const T r = table.dist(i, j);
+        T du, d2u;
+        const T u = f_->evaluate(r, du, d2u);
+        usum += u; // counts each pair twice; halved below
+        const Vec3<T>& dr = table.displ(i, j);
+        const T rinv = r > T(0) ? T(1) / r : T(0);
+        g += (du * rinv) * dr;
+        l += d2u + T(2) * du * rinv;
+      }
+      grad[i] = T(-1) * g;
+      lap[i] = -l;
+    }
+    return -T(0.5) * usum;
+  }
+
+  /// log(psi_new/psi_old) for a proposed move of electron iel (temp row must
+  /// be primed via compute_temp).
+  T ratio_log(const DistanceTableAA_AoS<T>& table, int iel) const
+  {
+    T u_old = T(0), u_new = T(0);
+    for (int j = 0; j < table.size(); ++j) {
+      if (j == iel)
+        continue;
+      u_old += f_->evaluate(table.dist(iel, j));
+      u_new += f_->evaluate(table.temp_r()[j]);
+    }
+    return u_old - u_new;
+  }
+
+private:
+  const BsplineJastrowFunctor<T>* f_;
+};
+
+template <typename T>
+class TwoBodyJastrowSoA
+{
+public:
+  explicit TwoBodyJastrowSoA(const BsplineJastrowFunctor<T>& f) : f_(&f) {}
+
+  T evaluate_log(const DistanceTableAA_SoA<T>& table, Vec3<T>* grad, T* lap) const
+  {
+    T usum = T(0);
+    const int n = table.size();
+    aligned_vector<T> u_row(table.row_stride()), du_row(table.row_stride()),
+        d2u_row(table.row_stride());
+    for (int i = 0; i < n; ++i) {
+      const T* MQC_RESTRICT r = table.dist_row(i);
+      const T* MQC_RESTRICT dx = table.dx_row(i);
+      const T* MQC_RESTRICT dy = table.dy_row(i);
+      const T* MQC_RESTRICT dz = table.dz_row(i);
+      f_->evaluate_row(r, n, u_row.data(), du_row.data(), d2u_row.data());
+      const T* MQC_RESTRICT u_r = u_row.data();
+      const T* MQC_RESTRICT du_r = du_row.data();
+      const T* MQC_RESTRICT d2u_r = d2u_row.data();
+      T gx = T(0), gy = T(0), gz = T(0), l = T(0), u = T(0);
+      MQC_SIMD_REDUCTION(+ : gx, gy, gz, l, u)
+      for (int j = 0; j < n; ++j) {
+        const T rinv = r[j] > T(0) ? T(1) / r[j] : T(0);
+        const T fac = du_r[j] * rinv;
+        u += u_r[j];
+        gx += fac * dx[j];
+        gy += fac * dy[j];
+        gz += fac * dz[j];
+        l += d2u_r[j] + T(2) * fac;
+      }
+      usum += u;
+      grad[i] = Vec3<T>{-gx, -gy, -gz};
+      lap[i] = -l;
+    }
+    return -T(0.5) * usum;
+  }
+
+  T ratio_log(const DistanceTableAA_SoA<T>& table, int iel) const
+  {
+    const int n = table.size();
+    // Self entries contribute zero through the cutoff sentinel in both rows.
+    const T u_old = f_->sum_row(table.dist_row(iel), n);
+    const T u_new = f_->sum_row(table.temp_r(), n);
+    return u_old - u_new;
+  }
+
+private:
+  const BsplineJastrowFunctor<T>* f_;
+};
+
+} // namespace mqc
+
+#endif // MQC_JASTROW_TWO_BODY_H

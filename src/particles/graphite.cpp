@@ -1,0 +1,68 @@
+#include "particles/graphite.h"
+
+#include <array>
+#include <cmath>
+
+namespace mqc {
+namespace {
+
+// Experimental graphite lattice parameters in bohr:
+// a = 2.462 A = 4.6526 bohr (in-plane), c = 6.708 A = 12.6763 bohr.
+constexpr double kA = 4.6526;
+constexpr double kC = 12.6763;
+
+} // namespace
+
+CrystalSystem make_graphite_supercell(int n1, int n2, int n3)
+{
+  // Hexagonal primitive vectors: a1 = a(1,0,0), a2 = a(-1/2, sqrt(3)/2, 0),
+  // a3 = c(0,0,1).  AB stacking: layer A atoms at (0,0,0) and (1/3,2/3,0);
+  // layer B at (0,0,1/2) and (2/3,1/3,1/2) (fractional coordinates).
+  const double s3 = std::sqrt(3.0) / 2.0;
+  const std::array<Vec3<double>, 3> prim{Vec3<double>{kA, 0, 0},
+                                         Vec3<double>{-0.5 * kA, s3 * kA, 0},
+                                         Vec3<double>{0, 0, kC}};
+  const std::array<Vec3<double>, 3> super{static_cast<double>(n1) * prim[0],
+                                          static_cast<double>(n2) * prim[1],
+                                          static_cast<double>(n3) * prim[2]};
+  CrystalSystem sys{Lattice(super), ParticleSetSoA<double>(4 * n1 * n2 * n3), 4};
+
+  const std::array<Vec3<double>, 4> basis{
+      Vec3<double>{0.0, 0.0, 0.0}, Vec3<double>{1.0 / 3.0, 2.0 / 3.0, 0.0},
+      Vec3<double>{0.0, 0.0, 0.5}, Vec3<double>{2.0 / 3.0, 1.0 / 3.0, 0.5}};
+
+  const Lattice prim_lattice(prim);
+  int idx = 0;
+  for (int i = 0; i < n1; ++i)
+    for (int j = 0; j < n2; ++j)
+      for (int k = 0; k < n3; ++k)
+        for (const auto& b : basis) {
+          const Vec3<double> f{(b.x + i), (b.y + j), (b.z + k)};
+          sys.ions.set(idx++, prim_lattice.to_cartesian(f));
+        }
+  return sys;
+}
+
+CrystalSystem make_orthorhombic_carbon(int n1, int n2, int n3)
+{
+  // Same volume per atom as graphite, laid out on a rectangular lattice with
+  // 4 atoms per cell (two offset pairs) so the density matches.
+  const double vol_per_cell = std::sqrt(3.0) / 2.0 * kA * kA * kC; // hexagonal cell volume
+  const double l = std::cbrt(vol_per_cell);
+  const std::array<Vec3<double>, 3> super{Vec3<double>{n1 * l, 0, 0}, Vec3<double>{0, n2 * l, 0},
+                                          Vec3<double>{0, 0, n3 * l}};
+  CrystalSystem sys{Lattice(super), ParticleSetSoA<double>(4 * n1 * n2 * n3), 4};
+
+  const std::array<Vec3<double>, 4> basis{
+      Vec3<double>{0.0, 0.0, 0.0}, Vec3<double>{0.5, 0.5, 0.0}, Vec3<double>{0.5, 0.0, 0.5},
+      Vec3<double>{0.0, 0.5, 0.5}};
+  int idx = 0;
+  for (int i = 0; i < n1; ++i)
+    for (int j = 0; j < n2; ++j)
+      for (int k = 0; k < n3; ++k)
+        for (const auto& b : basis)
+          sys.ions.set(idx++, Vec3<double>{(b.x + i) * l, (b.y + j) * l, (b.z + k) * l});
+  return sys;
+}
+
+} // namespace mqc

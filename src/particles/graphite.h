@@ -1,0 +1,36 @@
+// AB-stacked graphite supercell factory — the paper's physical workload
+// (CORAL 4x4x1 benchmark: 64-carbon AB graphite, 256 electrons, 128 SPOs;
+// paper Fig. 1(b) shows the 4-atom unit cell).
+#ifndef MQC_PARTICLES_GRAPHITE_H
+#define MQC_PARTICLES_GRAPHITE_H
+
+#include "particles/lattice.h"
+#include "particles/particle_set.h"
+
+namespace mqc {
+
+/// A crystal plus the electron counts QMC derives from it.
+struct CrystalSystem
+{
+  Lattice lattice;
+  ParticleSetSoA<double> ions;
+  int electrons_per_atom = 0;
+  [[nodiscard]] int num_ions() const noexcept { return ions.size(); }
+  [[nodiscard]] int num_electrons() const noexcept { return num_ions() * electrons_per_atom; }
+  /// Spin-restricted orbital count (N_up == N_down == N_el / 2).
+  [[nodiscard]] int num_orbitals() const noexcept { return num_electrons() / 2; }
+};
+
+/// Build an n1 x n2 x n3 supercell of AB-stacked graphite (hexagonal cell,
+/// 4 carbon atoms, 4 valence electrons per atom under a carbon
+/// pseudopotential).  Lengths in bohr.  The CORAL benchmark system of the
+/// paper is make_graphite_supercell(4, 4, 1).
+CrystalSystem make_graphite_supercell(int n1, int n2, int n3);
+
+/// Orthorhombic analogue with the same atom density, for tests/benches that
+/// need an exact Fast minimum image.  4*n1*n2*n3 atoms on a cubic-ish grid.
+CrystalSystem make_orthorhombic_carbon(int n1, int n2, int n3);
+
+} // namespace mqc
+
+#endif // MQC_PARTICLES_GRAPHITE_H

@@ -1,0 +1,108 @@
+#include "particles/lattice.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mqc {
+namespace {
+
+Vec3<double> cross(const Vec3<double>& a, const Vec3<double>& b) noexcept
+{
+  return Vec3<double>{a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+} // namespace
+
+Lattice::Lattice()
+    : Lattice(std::array<Vec3<double>, 3>{Vec3<double>{1, 0, 0}, Vec3<double>{0, 1, 0},
+                                          Vec3<double>{0, 0, 1}})
+{
+}
+
+Lattice::Lattice(const std::array<Vec3<double>, 3>& rows) : a_(rows) { finalize(); }
+
+Lattice Lattice::orthorhombic(double lx, double ly, double lz)
+{
+  return Lattice(std::array<Vec3<double>, 3>{Vec3<double>{lx, 0, 0}, Vec3<double>{0, ly, 0},
+                                             Vec3<double>{0, 0, lz}});
+}
+
+void Lattice::finalize()
+{
+  const Vec3<double> bc = cross(a_[1], a_[2]);
+  volume_ = dot(a_[0], bc);
+  // b rows satisfy b_i . a_j = delta_ij (reciprocal vectors without 2*pi).
+  const double inv = 1.0 / volume_;
+  b_[0] = inv * cross(a_[1], a_[2]);
+  b_[1] = inv * cross(a_[2], a_[0]);
+  b_[2] = inv * cross(a_[0], a_[1]);
+  volume_ = std::abs(volume_);
+  constexpr double eps = 1e-12;
+  orthorhombic_ = std::abs(a_[0].y) < eps && std::abs(a_[0].z) < eps && std::abs(a_[1].x) < eps &&
+                  std::abs(a_[1].z) < eps && std::abs(a_[2].x) < eps && std::abs(a_[2].y) < eps;
+}
+
+Vec3<double> Lattice::to_cartesian(const Vec3<double>& f) const noexcept
+{
+  return f.x * a_[0] + f.y * a_[1] + f.z * a_[2];
+}
+
+Vec3<double> Lattice::to_fractional(const Vec3<double>& r) const noexcept
+{
+  return Vec3<double>{dot(b_[0], r), dot(b_[1], r), dot(b_[2], r)};
+}
+
+Vec3<double> Lattice::wrap(const Vec3<double>& r) const noexcept
+{
+  Vec3<double> f = to_fractional(r);
+  f.x -= std::floor(f.x);
+  f.y -= std::floor(f.y);
+  f.z -= std::floor(f.z);
+  return to_cartesian(f);
+}
+
+Vec3<double> Lattice::min_image(const Vec3<double>& dr, MinImageMode mode) const noexcept
+{
+  Vec3<double> f = to_fractional(dr);
+  f.x -= std::nearbyint(f.x);
+  f.y -= std::nearbyint(f.y);
+  f.z -= std::nearbyint(f.z);
+  Vec3<double> best = to_cartesian(f);
+  if (mode == MinImageMode::Fast || orthorhombic_)
+    return best;
+  double best2 = norm2(best);
+  for (int i = -1; i <= 1; ++i)
+    for (int j = -1; j <= 1; ++j)
+      for (int k = -1; k <= 1; ++k) {
+        if (i == 0 && j == 0 && k == 0)
+          continue;
+        const Vec3<double> cand =
+            best + static_cast<double>(i) * a_[0] + static_cast<double>(j) * a_[1] +
+            static_cast<double>(k) * a_[2];
+        const double c2 = norm2(cand);
+        if (c2 < best2) {
+          best2 = c2;
+          best = cand;
+        }
+      }
+  return best;
+}
+
+double Lattice::wigner_seitz_radius() const noexcept
+{
+  // Half the minimum distance between the origin and any non-zero lattice
+  // point in the immediate neighbour shell.
+  double r2 = std::numeric_limits<double>::infinity();
+  for (int i = -1; i <= 1; ++i)
+    for (int j = -1; j <= 1; ++j)
+      for (int k = -1; k <= 1; ++k) {
+        if (i == 0 && j == 0 && k == 0)
+          continue;
+        const Vec3<double> g = static_cast<double>(i) * a_[0] + static_cast<double>(j) * a_[1] +
+                               static_cast<double>(k) * a_[2];
+        r2 = std::min(r2, norm2(g));
+      }
+  return 0.5 * std::sqrt(r2);
+}
+
+} // namespace mqc

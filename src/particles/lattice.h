@@ -1,0 +1,67 @@
+// Periodic simulation cell (general triclinic 3x3 lattice).
+//
+// Provides Cartesian<->fractional conversion, periodic wrapping and
+// minimum-image displacements.  Two minimum-image policies are offered:
+//   Fast  — wrap fractional components into [-1/2, 1/2): exact for
+//           orthorhombic cells, the standard approximation for mildly
+//           skewed cells (what the SIMD distance-table path vectorizes);
+//   Exact — Fast followed by a scan of the 26 neighbouring images, correct
+//           for any cell (used as the testing oracle and for skewed cells
+//           such as the hexagonal graphite cell).
+#ifndef MQC_PARTICLES_LATTICE_H
+#define MQC_PARTICLES_LATTICE_H
+
+#include <array>
+
+#include "common/vec3.h"
+
+namespace mqc {
+
+enum class MinImageMode
+{
+  Fast,
+  Exact
+};
+
+class Lattice
+{
+public:
+  /// Identity (unit cube) lattice.
+  Lattice();
+
+  /// Rows are the lattice vectors a1, a2, a3 (Cartesian).
+  explicit Lattice(const std::array<Vec3<double>, 3>& rows);
+
+  static Lattice orthorhombic(double lx, double ly, double lz);
+
+  [[nodiscard]] const std::array<Vec3<double>, 3>& rows() const noexcept { return a_; }
+  [[nodiscard]] double volume() const noexcept { return volume_; }
+  [[nodiscard]] bool is_orthorhombic() const noexcept { return orthorhombic_; }
+
+  /// r = f1*a1 + f2*a2 + f3*a3.
+  [[nodiscard]] Vec3<double> to_cartesian(const Vec3<double>& f) const noexcept;
+  [[nodiscard]] Vec3<double> to_fractional(const Vec3<double>& r) const noexcept;
+
+  /// Wrap a Cartesian position into the home cell (fractional in [0,1)).
+  [[nodiscard]] Vec3<double> wrap(const Vec3<double>& r) const noexcept;
+
+  /// Minimum-image displacement for dr = r_a - r_b.
+  [[nodiscard]] Vec3<double> min_image(const Vec3<double>& dr,
+                                       MinImageMode mode = MinImageMode::Exact) const noexcept;
+
+  /// Radius of the sphere inscribed in the Wigner–Seitz cell; pair
+  /// interactions cut off below this radius see each image at most once.
+  [[nodiscard]] double wigner_seitz_radius() const noexcept;
+
+private:
+  void finalize();
+
+  std::array<Vec3<double>, 3> a_;   ///< lattice vectors (rows)
+  std::array<Vec3<double>, 3> b_;   ///< reciprocal rows / 2pi: f_i = b_i . r
+  double volume_ = 1.0;
+  bool orthorhombic_ = true;
+};
+
+} // namespace mqc
+
+#endif // MQC_PARTICLES_LATTICE_H

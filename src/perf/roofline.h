@@ -1,0 +1,66 @@
+// Roofline performance substrate (paper §VII, Fig. 10).
+//
+// The paper uses Intel Advisor to place each optimization step on a
+// cache-aware roofline.  We reproduce the analysis from first principles:
+//   * measured ceilings — a STREAM-triad sweep for memory bandwidth and an
+//     FMA-saturating microkernel for peak GFLOPS;
+//   * analytic kernel models — per-evaluation FLOP and main-memory byte
+//     counts for each kernel/layout (the paper's "64N reads and 10N writes");
+//   * measured points — GFLOPS = model FLOPs / measured seconds at the
+//     model's arithmetic intensity.
+#ifndef MQC_PERF_ROOFLINE_H
+#define MQC_PERF_ROOFLINE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mqc {
+
+/// Best-of-@p reps STREAM triad bandwidth in bytes/second
+/// (a[i] = b[i] + s*c[i]; STREAM convention: 3 x n x sizeof(float) per pass).
+double measure_triad_bandwidth(std::size_t n = (std::size_t{1} << 25), int reps = 5);
+
+/// Peak single-precision GFLOP/s from an FMA-chain microkernel on all
+/// OpenMP threads (counts 2 FLOPs per FMA).
+double measure_peak_gflops_sp(int reps = 5);
+
+/// Analytic per-evaluation cost model for one kernel invocation over N
+/// orbitals (single position).  flops counts multiply+add as 2;
+/// mem_bytes is the cold-cache main-memory traffic.
+struct KernelCostModel
+{
+  double flops = 0.0;
+  double mem_bytes = 0.0;
+  [[nodiscard]] double arithmetic_intensity() const noexcept
+  {
+    return mem_bytes > 0.0 ? flops / mem_bytes : 0.0;
+  }
+};
+
+enum class KernelId
+{
+  V,
+  VGL,
+  VGH
+};
+
+/// Cost model for the AoS baseline (13 output components for VGH, 64
+/// sub-cube inner loops) or the SoA/AoSoA engines (10 components, fused
+/// z sums).  element_bytes is sizeof(T) of the storage type.
+KernelCostModel kernel_cost_model(KernelId kernel, bool soa, int num_splines, int element_bytes);
+
+/// One point of the Fig. 10 plot.
+struct RooflinePoint
+{
+  std::string label;
+  double gflops = 0.0;
+  double ai = 0.0; ///< FLOPs per byte
+};
+
+/// Attainable GFLOPS at intensity @p ai under the measured ceilings.
+double roofline_ceiling(double ai, double peak_gflops, double bandwidth_bytes_per_sec);
+
+} // namespace mqc
+
+#endif // MQC_PERF_ROOFLINE_H

@@ -1,0 +1,68 @@
+// miniQMC driver — the paper's vehicle (Fig. 3/6 and Tables II/III).
+//
+// A self-contained pseudo-QMC sweep reproducing the computational and data
+// access pattern of a production DMC drift-diffusion step:
+//   per electron:  propose a Gaussian move -> distance-table temp rows ->
+//                  Jastrow ratios -> B-spline VGH at the trial position ->
+//                  determinant ratio -> Metropolis accept/reject with
+//                  Sherman-Morrison update and table row commits;
+//   per step:      a measurement phase (B-spline VGL for kinetic energy,
+//                  V at quadrature points for the pseudopotential analogue).
+// Walkers run one per OpenMP thread and share the read-only coefficient
+// table; every section is timed into a ProfileRegistry from which the
+// Table II/III percentage rows are printed.
+#ifndef MQC_QMC_MINIQMC_DRIVER_H
+#define MQC_QMC_MINIQMC_DRIVER_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/timer.h"
+
+namespace mqc {
+
+enum class SpoLayout
+{
+  AoS,   ///< baseline (Fig. 4(a))
+  SoA,   ///< Opt A (Fig. 4(b))
+  AoSoA  ///< Opt B (tiled, Fig. 6)
+};
+
+/// Timed section keys used by the driver's profile.
+inline constexpr const char* kSectionBspline = "B-splines";
+inline constexpr const char* kSectionDistance = "Distance Tables";
+inline constexpr const char* kSectionJastrow = "Jastrow";
+inline constexpr const char* kSectionDeterminant = "Determinant";
+
+struct MiniQMCConfig
+{
+  std::array<int, 3> supercell{2, 2, 1}; ///< graphite supercell (paper: 4x4x1)
+  int grid_size = 32;                    ///< spline grid per dimension (paper: 48)
+  int num_splines = 0;                   ///< 0 => orbital count of the crystal
+  int tile_size = 128;                   ///< AoSoA tile size Nb
+  SpoLayout spo = SpoLayout::AoS;
+  bool optimized_dt_jastrow = false;     ///< SoA distance tables + Jastrow paths
+  int num_walkers = 0;                   ///< 0 => one per OpenMP thread
+  int steps = 1;                         ///< Monte Carlo sweeps
+  int quadrature_points = 4;             ///< V evaluations per electron per step
+  double move_sigma = 0.4;               ///< Gaussian move width (bohr)
+  std::uint64_t seed = 20170512;
+};
+
+struct MiniQMCResult
+{
+  ProfileRegistry profile;     ///< merged across walkers (section keys above)
+  double seconds = 0.0;        ///< wall time of the sweep region
+  double acceptance_ratio = 0.0;
+  int num_walkers = 0;
+  int num_electrons = 0;
+  int num_orbitals = 0;
+  std::size_t moves_attempted = 0;
+  std::size_t spline_orbital_evals = 0; ///< total N * (kernel calls), all walkers
+};
+
+MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg);
+
+} // namespace mqc
+
+#endif // MQC_QMC_MINIQMC_DRIVER_H

@@ -1,0 +1,93 @@
+#include "qmc/nested_driver.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "common/rng.h"
+#include "common/threading.h"
+#include "common/timer.h"
+#include "qmc/walker.h"
+
+namespace mqc {
+
+NestedResult run_nested(const MultiBspline<float>& engine, const NestedConfig& cfg)
+{
+  const int total = cfg.total_threads > 0 ? cfg.total_threads : max_threads();
+  const int nth = std::max(1, cfg.nth);
+  const int nw = cfg.num_walkers > 0 ? cfg.num_walkers : std::max(1, total / nth);
+  const int nthreads = nw * nth;
+  const int ntiles = engine.num_tiles();
+
+  // Per-walker buffers and positions, prepared outside the timed region.
+  std::vector<std::unique_ptr<WalkerSoA<float>>> outputs;
+  outputs.reserve(static_cast<std::size_t>(nw));
+  std::vector<std::vector<float>> xs(static_cast<std::size_t>(nw)), ys(xs), zs(xs);
+  const auto& grid = engine.tile(0).coefs().grid();
+  for (int wdx = 0; wdx < nw; ++wdx) {
+    outputs.push_back(std::make_unique<WalkerSoA<float>>(engine.out_stride()));
+    Xoshiro256 rng = Xoshiro256::for_stream(cfg.seed, static_cast<std::uint64_t>(wdx));
+    auto& x = xs[static_cast<std::size_t>(wdx)];
+    auto& y = ys[static_cast<std::size_t>(wdx)];
+    auto& z = zs[static_cast<std::size_t>(wdx)];
+    x.resize(static_cast<std::size_t>(cfg.ns));
+    y.resize(static_cast<std::size_t>(cfg.ns));
+    z.resize(static_cast<std::size_t>(cfg.ns));
+    for (int s = 0; s < cfg.ns; ++s) {
+      x[static_cast<std::size_t>(s)] = static_cast<float>(rng.uniform(grid.x.start, grid.x.end));
+      y[static_cast<std::size_t>(s)] = static_cast<float>(rng.uniform(grid.y.start, grid.y.end));
+      z[static_cast<std::size_t>(s)] = static_cast<float>(rng.uniform(grid.z.start, grid.z.end));
+    }
+  }
+
+  Stopwatch watch;
+#pragma omp parallel num_threads(nthreads)
+  {
+    const TeamCoordinates tc = team_coordinates(thread_id(), nth);
+    WalkerSoA<float>& out = *outputs[static_cast<std::size_t>(tc.walker)];
+    const auto& x = xs[static_cast<std::size_t>(tc.walker)];
+    const auto& y = ys[static_cast<std::size_t>(tc.walker)];
+    const auto& z = zs[static_cast<std::size_t>(tc.walker)];
+    const StridedRange my_tiles(static_cast<std::size_t>(ntiles), static_cast<std::size_t>(nth),
+                                static_cast<std::size_t>(tc.member));
+    for (int it = 0; it < cfg.niters; ++it)
+      for (int s = 0; s < cfg.ns; ++s) {
+        const float px = x[static_cast<std::size_t>(s)];
+        const float py = y[static_cast<std::size_t>(s)];
+        const float pz = z[static_cast<std::size_t>(s)];
+        switch (cfg.kernel) {
+        case NestedKernel::V:
+          my_tiles.for_each([&](std::size_t t) {
+            engine.evaluate_v_tile(static_cast<int>(t), px, py, pz, out.v.data());
+          });
+          break;
+        case NestedKernel::VGL:
+          my_tiles.for_each([&](std::size_t t) {
+            engine.evaluate_vgl_tile(static_cast<int>(t), px, py, pz, out.v.data(), out.g.data(),
+                                     out.l.data(), out.stride);
+          });
+          break;
+        case NestedKernel::VGH:
+          my_tiles.for_each([&](std::size_t t) {
+            engine.evaluate_vgh_tile(static_cast<int>(t), px, py, pz, out.v.data(), out.g.data(),
+                                     out.h.data(), out.stride);
+          });
+          break;
+        }
+      }
+  }
+
+  NestedResult result;
+  result.seconds = watch.elapsed();
+  result.num_walkers = nw;
+  result.nth = nth;
+  const double evals = static_cast<double>(nw) * cfg.niters * cfg.ns * engine.num_splines();
+  result.throughput = evals / result.seconds;
+  return result;
+}
+
+} // namespace mqc

@@ -1,0 +1,49 @@
+// Nested-threading driver (paper §V-C, Fig. 6/9, Opt C).
+//
+// One flat OpenMP region runs Nw x nth threads; thread tid serves
+// (walker tid/nth, member tid%nth) and evaluates the tile subset
+// {member, member+nth, ...} of its walker's AoSoA engine — the explicit
+// data-partition scheme the paper uses to avoid nested-runtime overhead.
+// Strong scaling: the walker count is reduced by the same nth factor, so
+// total work (and the output working set 40*Nw*Nb*nth bytes) stays fixed.
+#ifndef MQC_QMC_NESTED_DRIVER_H
+#define MQC_QMC_NESTED_DRIVER_H
+
+#include <cstdint>
+
+#include "core/multi_bspline.h"
+
+namespace mqc {
+
+enum class NestedKernel
+{
+  V,
+  VGL,
+  VGH
+};
+
+struct NestedConfig
+{
+  int nth = 1;           ///< threads per walker
+  int num_walkers = 0;   ///< 0 => total_threads / nth (>= 1)
+  int total_threads = 0; ///< 0 => omp_get_max_threads()
+  int ns = 64;           ///< random positions per walker per iteration
+  int niters = 1;
+  NestedKernel kernel = NestedKernel::VGH;
+  std::uint64_t seed = 4242;
+};
+
+struct NestedResult
+{
+  double seconds = 0.0;
+  double throughput = 0.0; ///< orbital evaluations per second, whole node
+  int num_walkers = 0;
+  int nth = 1;
+};
+
+/// Run the strong-scaling kernel loop on an existing AoSoA engine.
+NestedResult run_nested(const MultiBspline<float>& engine, const NestedConfig& cfg);
+
+} // namespace mqc
+
+#endif // MQC_QMC_NESTED_DRIVER_H

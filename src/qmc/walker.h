@@ -1,0 +1,65 @@
+// Per-walker output buffers (paper Fig. 3 `WalkerAoS` / Fig. 6 `WalkerSoA`).
+//
+// Each Monte Carlo walker owns private copies of the kernel outputs; the
+// coefficient table is the only shared (read-only) state.  Buffer sizes use
+// the padded spline count so every engine can run its inner loop over full
+// SIMD vectors.
+#ifndef MQC_QMC_WALKER_H
+#define MQC_QMC_WALKER_H
+
+#include <cstddef>
+
+#include "common/aligned_allocator.h"
+#include "common/config.h"
+
+namespace mqc {
+
+/// Outputs in the baseline AoS layout: G[N][3], H[N][3][3].
+template <typename T>
+struct WalkerAoS
+{
+  explicit WalkerAoS(std::size_t padded_splines)
+      : v(padded_splines), g(3 * padded_splines), l(padded_splines), h(9 * padded_splines)
+  {
+  }
+
+  aligned_vector<T> v; ///< values [Np]
+  aligned_vector<T> g; ///< gradients, AoS [3*Np] as xyz|xyz|...
+  aligned_vector<T> l; ///< Laplacians [Np]
+  aligned_vector<T> h; ///< Hessians, AoS [9*Np] row-major 3x3 per orbital
+};
+
+/// Outputs in the SoA layout: 10 component streams with a common stride.
+/// Works unchanged for the tiled (AoSoA) engine: tile t occupies the slice
+/// [offset(t), offset(t)+padded_tile) of every stream.
+template <typename T>
+struct WalkerSoA
+{
+  explicit WalkerSoA(std::size_t component_stride)
+      : stride(component_stride), v(component_stride), g(3 * component_stride),
+        l(component_stride), h(6 * component_stride)
+  {
+  }
+
+  std::size_t stride; ///< component stride (padded spline count)
+  aligned_vector<T> v; ///< values [stride]
+  aligned_vector<T> g; ///< gx|gy|gz, each [stride]
+  aligned_vector<T> l; ///< Laplacians [stride]
+  aligned_vector<T> h; ///< hxx|hxy|hxz|hyy|hyz|hzz, each [stride]
+
+  [[nodiscard]] T* gx() noexcept { return g.data(); }
+  [[nodiscard]] T* gy() noexcept { return g.data() + stride; }
+  [[nodiscard]] T* gz() noexcept { return g.data() + 2 * stride; }
+  [[nodiscard]] const T* gx() const noexcept { return g.data(); }
+  [[nodiscard]] const T* gy() const noexcept { return g.data() + stride; }
+  [[nodiscard]] const T* gz() const noexcept { return g.data() + 2 * stride; }
+  [[nodiscard]] T* hcomp(int q) noexcept { return h.data() + static_cast<std::size_t>(q) * stride; }
+  [[nodiscard]] const T* hcomp(int q) const noexcept
+  {
+    return h.data() + static_cast<std::size_t>(q) * stride;
+  }
+};
+
+} // namespace mqc
+
+#endif // MQC_QMC_WALKER_H

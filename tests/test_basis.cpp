@@ -1,0 +1,185 @@
+// Tests for the cubic B-spline basis weights (paper Eq. 5, Fig. 2):
+// closed-form values, derivative consistency, the classic invariants
+// (partition of unity, derivative sums), and C2 continuity across cells.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/bspline_basis.h"
+#include "core/grid.h"
+#include "core/weights.h"
+
+using namespace mqc;
+
+namespace {
+
+// Closed forms for the four cell-local basis functions.
+double a0(double t) { return (1 - t) * (1 - t) * (1 - t) / 6.0; }
+double a1(double t) { return (3 * t * t * t - 6 * t * t + 4) / 6.0; }
+double a2(double t) { return (-3 * t * t * t + 3 * t * t + 3 * t + 1) / 6.0; }
+double a3(double t) { return t * t * t / 6.0; }
+
+} // namespace
+
+TEST(Basis, MatchesClosedForm)
+{
+  for (double t : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999}) {
+    double a[4];
+    bspline_weights(t, a);
+    EXPECT_NEAR(a[0], a0(t), 1e-14);
+    EXPECT_NEAR(a[1], a1(t), 1e-14);
+    EXPECT_NEAR(a[2], a2(t), 1e-14);
+    EXPECT_NEAR(a[3], a3(t), 1e-14);
+  }
+}
+
+TEST(Basis, PartitionOfUnity)
+{
+  for (int i = 0; i <= 100; ++i) {
+    const double t = i / 100.0;
+    double a[4], da[4], d2a[4];
+    bspline_weights_d2(t, a, da, d2a);
+    EXPECT_NEAR(a[0] + a[1] + a[2] + a[3], 1.0, 1e-14) << t;
+    EXPECT_NEAR(da[0] + da[1] + da[2] + da[3], 0.0, 1e-14) << t;
+    EXPECT_NEAR(d2a[0] + d2a[1] + d2a[2] + d2a[3], 0.0, 1e-14) << t;
+  }
+}
+
+TEST(Basis, WeightsNonNegativeAndBounded)
+{
+  for (int i = 0; i <= 50; ++i) {
+    const double t = i / 50.0;
+    double a[4];
+    bspline_weights(t, a);
+    for (double w : a) {
+      EXPECT_GE(w, 0.0);
+      EXPECT_LE(w, 2.0 / 3.0 + 1e-14); // max of the cubic B-spline basis
+    }
+  }
+}
+
+TEST(Basis, FirstDerivativeMatchesFiniteDifference)
+{
+  const double h = 1e-6;
+  for (double t : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    double ap[4], am[4], a[4], da[4];
+    bspline_weights(t + h, ap);
+    bspline_weights(t - h, am);
+    bspline_weights_d1(t, a, da);
+    for (int k = 0; k < 4; ++k)
+      EXPECT_NEAR(da[k], (ap[k] - am[k]) / (2 * h), 1e-8) << "t=" << t << " k=" << k;
+  }
+}
+
+TEST(Basis, SecondDerivativeMatchesFiniteDifference)
+{
+  const double h = 1e-4;
+  for (double t : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    double ap[4], am[4], a[4], da[4], d2a[4];
+    bspline_weights(t + h, ap);
+    bspline_weights(t - h, am);
+    bspline_weights_d2(t, a, da, d2a);
+    for (int k = 0; k < 4; ++k) {
+      const double fd = (ap[k] - 2 * a[k] + am[k]) / (h * h);
+      EXPECT_NEAR(d2a[k], fd, 1e-5) << "t=" << t << " k=" << k;
+    }
+  }
+}
+
+// C2 continuity: approaching a knot from the left (t->1 of cell i) must match
+// approaching from the right (t=0 of cell i+1) for value, first and second
+// derivative, with the basis index shifted by one.
+TEST(Basis, C2ContinuityAcrossKnots)
+{
+  double al[4], dal[4], d2al[4];
+  double ar[4], dar[4], d2ar[4];
+  bspline_weights_d2(1.0 - 1e-12, al, dal, d2al);
+  bspline_weights_d2(0.0, ar, dar, d2ar);
+  // At the knot the left-cell weights (a1..a3 acting on points p,p+1,p+2)
+  // must equal the right-cell weights (a0..a2 on the same points).
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_NEAR(al[k + 1], ar[k], 1e-9);
+    EXPECT_NEAR(dal[k + 1], dar[k], 1e-9);
+    EXPECT_NEAR(d2al[k + 1], d2ar[k], 1e-6);
+  }
+  // And the weight falling out of support must vanish.
+  EXPECT_NEAR(al[0], 0.0, 1e-9);
+  EXPECT_NEAR(ar[3], 0.0, 1e-12);
+}
+
+TEST(Grid, PeriodicReductionBasics)
+{
+  Grid1D<double> g(0.0, 2.0, 8); // delta = 0.25
+  auto r = g.reduce_periodic(0.3);
+  EXPECT_EQ(r.cell, 1);
+  EXPECT_NEAR(r.frac, 0.2, 1e-12);
+  // Wrap below and above the domain.
+  auto rneg = g.reduce_periodic(-0.1);
+  EXPECT_EQ(rneg.cell, 7);
+  EXPECT_NEAR(rneg.frac, 0.6, 1e-12);
+  auto rbig = g.reduce_periodic(2.3);
+  EXPECT_EQ(rbig.cell, 1);
+  EXPECT_NEAR(rbig.frac, 0.2, 1e-9);
+}
+
+TEST(Grid, PeriodicReductionAtDomainEnd)
+{
+  Grid1D<double> g(0.0, 1.0, 4);
+  const auto r = g.reduce_periodic(1.0);
+  EXPECT_EQ(r.cell, 0);
+  EXPECT_NEAR(r.frac, 0.0, 1e-12);
+}
+
+TEST(Grid, PeriodicReductionManyPeriodsAway)
+{
+  Grid1D<float> g(0.0f, 1.0f, 10);
+  const auto a = g.reduce_periodic(0.37f);
+  const auto b = g.reduce_periodic(5.37f);
+  EXPECT_EQ(a.cell, b.cell);
+  EXPECT_NEAR(a.frac, b.frac, 1e-4f);
+}
+
+TEST(Grid, ClampedReductionStaysInDomain)
+{
+  Grid1D<double> g(0.0, 1.0, 10);
+  auto lo = g.reduce_clamped(-0.5);
+  EXPECT_EQ(lo.cell, 0);
+  EXPECT_DOUBLE_EQ(lo.frac, 0.0);
+  auto hi = g.reduce_clamped(1.5);
+  EXPECT_EQ(hi.cell, 9);
+  EXPECT_DOUBLE_EQ(hi.frac, 1.0);
+  auto mid = g.reduce_clamped(0.55);
+  EXPECT_EQ(mid.cell, 5);
+  EXPECT_NEAR(mid.frac, 0.5, 1e-12);
+}
+
+TEST(Weights, VghScalingCarriesDeltaInv)
+{
+  // A grid with delta=0.5 must scale first derivatives by 2 and second by 4
+  // relative to a unit grid at the same fractional position.
+  Grid3D<double> unit = Grid3D<double>::cube(4, 4.0);   // delta = 1
+  Grid3D<double> fine = Grid3D<double>::cube(8, 4.0);   // delta = 0.5
+  BsplineWeights3D<double> wu, wf;
+  compute_weights_vgh(unit, 1.25, 1.25, 1.25, wu);
+  compute_weights_vgh(fine, 0.625, 0.625, 0.625, wf); // same frac = 0.25
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(wf.da[k], 2.0 * wu.da[k], 1e-12);
+    EXPECT_NEAR(wf.d2a[k], 4.0 * wu.d2a[k], 1e-12);
+  }
+}
+
+TEST(Weights, VOnlyMatchesFullWeights)
+{
+  Grid3D<float> g = Grid3D<float>::cube(12, 3.0f);
+  BsplineWeights3D<float> wv, wf;
+  compute_weights_v(g, 0.7f, 1.1f, 2.9f, wv);
+  compute_weights_vgh(g, 0.7f, 1.1f, 2.9f, wf);
+  EXPECT_EQ(wv.i0, wf.i0);
+  EXPECT_EQ(wv.j0, wf.j0);
+  EXPECT_EQ(wv.k0, wf.k0);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_FLOAT_EQ(wv.a[k], wf.a[k]);
+    EXPECT_FLOAT_EQ(wv.b[k], wf.b[k]);
+    EXPECT_FLOAT_EQ(wv.c[k], wf.c[k]);
+  }
+}

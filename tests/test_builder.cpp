@@ -1,0 +1,256 @@
+// Tests for the spline coefficient builder: the tridiagonal and cyclic
+// solvers against dense references, the periodic interpolation condition,
+// separability of the 3D solve, and O(h^4) convergence on smooth functions.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/bspline_builder.h"
+#include "core/bspline_ref.h"
+#include "core/coef_storage.h"
+#include "test_utils.h"
+
+using namespace mqc;
+
+namespace {
+
+/// Dense Gaussian elimination with partial pivoting (test oracle only).
+std::vector<double> dense_solve(std::vector<std::vector<double>> a, std::vector<double> b)
+{
+  const int n = static_cast<int>(b.size());
+  for (int k = 0; k < n; ++k) {
+    int p = k;
+    for (int i = k + 1; i < n; ++i)
+      if (std::abs(a[i][k]) > std::abs(a[p][k]))
+        p = i;
+    std::swap(a[k], a[p]);
+    std::swap(b[k], b[p]);
+    for (int i = k + 1; i < n; ++i) {
+      const double m = a[i][k] / a[k][k];
+      for (int j = k; j < n; ++j)
+        a[i][j] -= m * a[k][j];
+      b[i] -= m * b[k];
+    }
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    for (int j = i + 1; j < n; ++j)
+      b[i] -= a[i][j] * b[j];
+    b[i] /= a[i][i];
+  }
+  return b;
+}
+
+} // namespace
+
+TEST(Builder, TridiagonalMatchesDenseSolve)
+{
+  Xoshiro256 rng(5);
+  for (int n : {1, 2, 3, 5, 17, 64}) {
+    std::vector<double> sub(n), diag(n), sup(n), rhs(n);
+    std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+    for (int i = 0; i < n; ++i) {
+      sub[i] = rng.uniform(-0.4, 0.4);
+      sup[i] = rng.uniform(-0.4, 0.4);
+      diag[i] = rng.uniform(2.0, 3.0); // diagonally dominant
+      rhs[i] = rng.uniform(-1.0, 1.0);
+      dense[i][i] = diag[i];
+      if (i > 0)
+        dense[i][i - 1] = sub[i];
+      if (i + 1 < n)
+        dense[i][i + 1] = sup[i];
+    }
+    const std::vector<double> expected = dense_solve(dense, rhs);
+    std::vector<double> d = diag, x = rhs;
+    solve_tridiagonal(sub.data(), d.data(), sup.data(), x.data(), n);
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(x[i], expected[i], 1e-10) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(Builder, CyclicTridiagonalMatchesDenseSolve)
+{
+  Xoshiro256 rng(6);
+  for (int n : {3, 4, 5, 16, 48}) {
+    const double sub = 1.0 / 6.0, diag = 4.0 / 6.0, sup = 1.0 / 6.0;
+    std::vector<double> rhs(n);
+    for (auto& v : rhs)
+      v = rng.uniform(-1.0, 1.0);
+    std::vector<std::vector<double>> dense(n, std::vector<double>(n, 0.0));
+    for (int i = 0; i < n; ++i) {
+      dense[i][i] = diag;
+      dense[i][(i + 1) % n] += sup;
+      dense[i][(i + n - 1) % n] += sub;
+    }
+    const std::vector<double> expected = dense_solve(dense, rhs);
+    std::vector<double> x(n);
+    solve_cyclic_tridiagonal_const(sub, diag, sup, sub, sup, rhs.data(), x.data(), n);
+    for (int i = 0; i < n; ++i)
+      EXPECT_NEAR(x[i], expected[i], 1e-10) << "n=" << n;
+  }
+}
+
+// The defining property: control points must satisfy the interpolation
+// stencil (c[m-1] + 4 c[m] + c[m+1]) / 6 == data[m] cyclically.
+TEST(Builder, PeriodicLineInterpolationCondition)
+{
+  Xoshiro256 rng(7);
+  for (int n : {1, 2, 3, 4, 7, 48, 101}) {
+    std::vector<double> data(n), c(n);
+    for (auto& v : data)
+      v = rng.uniform(-2.0, 2.0);
+    solve_periodic_spline_line(data.data(), c.data(), n);
+    for (int m = 0; m < n; ++m) {
+      const double lhs =
+          (c[(m + n - 1) % n] + 4.0 * c[m] + c[(m + 1) % n]) / 6.0;
+      EXPECT_NEAR(lhs, data[m], 1e-11) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(Builder, StridedLineMatchesContiguous)
+{
+  Xoshiro256 rng(8);
+  const int n = 24;
+  std::vector<double> data(n), c_ref(n);
+  for (auto& v : data)
+    v = rng.uniform(-1.0, 1.0);
+  solve_periodic_spline_line(data.data(), c_ref.data(), n);
+
+  const std::size_t stride = 5;
+  std::vector<double> strided(n * stride, -99.0), out(n * stride, -99.0);
+  for (int i = 0; i < n; ++i)
+    strided[static_cast<std::size_t>(i) * stride] = data[i];
+  solve_periodic_spline_line_strided(strided.data(), stride, out.data(), stride, n);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(out[static_cast<std::size_t>(i) * stride], c_ref[i], 1e-13);
+  // Untouched gaps remain.
+  EXPECT_EQ(out[1], -99.0);
+}
+
+// The 3D tensor solve of a separable product must equal the tensor product
+// of 1D solves.
+TEST(Builder, SeparableProductFactorizes)
+{
+  const int nx = 6, ny = 5, nz = 7;
+  Xoshiro256 rng(9);
+  std::vector<double> fx(nx), fy(ny), fz(nz);
+  for (auto& v : fx)
+    v = rng.uniform(0.5, 1.5);
+  for (auto& v : fy)
+    v = rng.uniform(0.5, 1.5);
+  for (auto& v : fz)
+    v = rng.uniform(0.5, 1.5);
+  std::vector<double> data(static_cast<std::size_t>(nx) * ny * nz);
+  for (int i = 0; i < nx; ++i)
+    for (int j = 0; j < ny; ++j)
+      for (int k = 0; k < nz; ++k)
+        data[(static_cast<std::size_t>(i) * ny + j) * nz + k] = fx[i] * fy[j] * fz[k];
+  solve_periodic_spline_3d(data.data(), nx, ny, nz);
+
+  std::vector<double> cx(nx), cy(ny), cz(nz);
+  solve_periodic_spline_line(fx.data(), cx.data(), nx);
+  solve_periodic_spline_line(fy.data(), cy.data(), ny);
+  solve_periodic_spline_line(fz.data(), cz.data(), nz);
+  for (int i = 0; i < nx; ++i)
+    for (int j = 0; j < ny; ++j)
+      for (int k = 0; k < nz; ++k)
+        EXPECT_NEAR(data[(static_cast<std::size_t>(i) * ny + j) * nz + k], cx[i] * cy[j] * cz[k],
+                    1e-11);
+}
+
+// End-to-end: build a spline from samples of a periodic function and check
+// interpolation at the grid nodes through the reference evaluator.
+TEST(Builder, SplineInterpolatesSamplesAtNodes)
+{
+  const int ng = 10;
+  const double L = 2.0;
+  const auto grid = Grid3D<double>::cube(ng, L);
+  CoefStorage<double> storage(grid, 2);
+
+  auto f0 = [&](double x, double y, double z) {
+    constexpr double two_pi = 6.283185307179586;
+    return std::sin(two_pi * x / L) * std::cos(two_pi * y / L) + 0.3 * std::sin(two_pi * z / L);
+  };
+  auto f1 = [&](double x, double y, double z) {
+    constexpr double two_pi = 6.283185307179586;
+    return std::cos(two_pi * (x + 2 * y - z) / L);
+  };
+  std::vector<double> samples(static_cast<std::size_t>(ng) * ng * ng);
+  for (int which = 0; which < 2; ++which) {
+    for (int i = 0; i < ng; ++i)
+      for (int j = 0; j < ng; ++j)
+        for (int k = 0; k < ng; ++k) {
+          const double x = i * L / ng, y = j * L / ng, z = k * L / ng;
+          samples[(static_cast<std::size_t>(i) * ng + j) * ng + k] =
+              which == 0 ? f0(x, y, z) : f1(x, y, z);
+        }
+    set_spline_from_samples(storage, which, samples.data());
+  }
+
+  BsplineRef<double> ref(storage);
+  for (int i = 0; i < ng; ++i)
+    for (int j = 0; j < ng; j += 3)
+      for (int k = 0; k < ng; k += 4) {
+        const double x = i * L / ng, y = j * L / ng, z = k * L / ng;
+        const auto v = ref.evaluate_v(x, y, z);
+        EXPECT_NEAR(v[0], f0(x, y, z), 1e-10) << i << ' ' << j << ' ' << k;
+        EXPECT_NEAR(v[1], f1(x, y, z), 1e-10);
+      }
+}
+
+// Off-node accuracy improves as O(h^4) for smooth periodic functions.
+TEST(Builder, FourthOrderConvergence)
+{
+  constexpr double two_pi = 6.283185307179586;
+  auto f = [](double x, double y, double z) {
+    return std::sin(two_pi * x) * std::sin(two_pi * y) * std::sin(two_pi * z);
+  };
+  double prev_err = 0.0;
+  std::vector<int> grids{8, 16, 32};
+  std::vector<double> errs;
+  for (int ng : grids) {
+    const auto grid = Grid3D<double>::cube(ng, 1.0);
+    CoefStorage<double> storage(grid, 1);
+    std::vector<double> samples(static_cast<std::size_t>(ng) * ng * ng);
+    for (int i = 0; i < ng; ++i)
+      for (int j = 0; j < ng; ++j)
+        for (int k = 0; k < ng; ++k)
+          samples[(static_cast<std::size_t>(i) * ng + j) * ng + k] =
+              f(i / double(ng), j / double(ng), k / double(ng));
+    set_spline_from_samples(storage, 0, samples.data());
+    BsplineRef<double> ref(storage);
+    double err = 0.0;
+    Xoshiro256 rng(13);
+    for (int s = 0; s < 200; ++s) {
+      const double x = rng.uniform(), y = rng.uniform(), z = rng.uniform();
+      err = std::max(err, std::abs(ref.evaluate_v(x, y, z)[0] - f(x, y, z)));
+    }
+    errs.push_back(err);
+    prev_err = err;
+  }
+  (void)prev_err;
+  // Halving h must reduce the max error by ~16; allow slack (>= 10x).
+  EXPECT_GT(errs[0] / errs[1], 10.0);
+  EXPECT_GT(errs[1] / errs[2], 10.0);
+}
+
+TEST(Builder, ConstantFunctionReproducedExactly)
+{
+  const int ng = 6;
+  const auto grid = Grid3D<double>::cube(ng, 1.0);
+  CoefStorage<double> storage(grid, 1);
+  std::vector<double> samples(static_cast<std::size_t>(ng) * ng * ng, 2.5);
+  set_spline_from_samples(storage, 0, samples.data());
+  BsplineRef<double> ref(storage);
+  Xoshiro256 rng(3);
+  for (int s = 0; s < 50; ++s) {
+    const auto r = ref.evaluate_vgh(rng.uniform(), rng.uniform(), rng.uniform());
+    EXPECT_NEAR(r.v[0], 2.5, 1e-12);
+    EXPECT_NEAR(r.gx[0], 0.0, 1e-10);
+    EXPECT_NEAR(r.gy[0], 0.0, 1e-10);
+    EXPECT_NEAR(r.gz[0], 0.0, 1e-10);
+    EXPECT_NEAR(r.hxx[0] + r.hyy[0] + r.hzz[0], 0.0, 1e-8);
+  }
+}

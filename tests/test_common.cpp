@@ -1,0 +1,271 @@
+// Unit tests for the common substrate: alignment math, aligned allocator,
+// RNG determinism and statistics, thread-team partitions, timers, tables.
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/aligned_allocator.h"
+#include "common/config.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/sysinfo.h"
+#include "common/table.h"
+#include "common/threading.h"
+#include "common/timer.h"
+
+using namespace mqc;
+
+TEST(Config, AlignedSizeRoundsUpToLaneMultiple)
+{
+  EXPECT_EQ(aligned_size<float>(1), 16u);
+  EXPECT_EQ(aligned_size<float>(16), 16u);
+  EXPECT_EQ(aligned_size<float>(17), 32u);
+  EXPECT_EQ(aligned_size<double>(1), 8u);
+  EXPECT_EQ(aligned_size<double>(8), 8u);
+  EXPECT_EQ(aligned_size<double>(9), 16u);
+  EXPECT_EQ(aligned_size<float>(0), 0u);
+}
+
+TEST(Config, AlignedBytes)
+{
+  EXPECT_EQ(aligned_bytes(1), kAlignment);
+  EXPECT_EQ(aligned_bytes(64), 64u);
+  EXPECT_EQ(aligned_bytes(65), 128u);
+  EXPECT_EQ(aligned_bytes(0), 0u);
+}
+
+TEST(AlignedAllocator, VectorDataIsAligned)
+{
+  for (std::size_t n : {1u, 7u, 63u, 64u, 1000u}) {
+    aligned_vector<float> v(n, 1.0f);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kAlignment, 0u) << n;
+  }
+  aligned_vector<double> d(123, 2.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % kAlignment, 0u);
+}
+
+TEST(AlignedAllocator, EqualityAndRebind)
+{
+  aligned_allocator<float> a;
+  aligned_allocator<double> b;
+  EXPECT_TRUE(a == aligned_allocator<float>());
+  EXPECT_FALSE(a != aligned_allocator<float>());
+  using rebound = aligned_allocator<float>::rebind<double>::other;
+  static_assert(std::is_same_v<rebound, aligned_allocator<double>>);
+  (void)b;
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i)
+    ASSERT_EQ(a(), b());
+}
+
+TEST(Rng, DistinctSeedsDiverge)
+{
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, StreamsAreDecorrelated)
+{
+  auto s0 = Xoshiro256::for_stream(42, 0);
+  auto s1 = Xoshiro256::for_stream(42, 1);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i)
+    same += (s0() == s1());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+  Xoshiro256 rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stats.add(u);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 5e-3);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, GaussianMoments)
+{
+  Xoshiro256 rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i)
+    stats.add(rng.gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 1e-2);
+  EXPECT_NEAR(stats.stddev(), 1.0, 1e-2);
+}
+
+TEST(Stats, RunningStatsBasics)
+{
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0})
+    s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, RelativeErrorNearZeroUsesScale)
+{
+  EXPECT_NEAR(relative_error(1e-12, 0.0), 1e-12, 1e-15);
+  EXPECT_NEAR(relative_error(2.0, 1.0), 0.5, 1e-15);
+}
+
+TEST(Threading, BlockRangeCoversEverythingOnce)
+{
+  for (std::size_t total : {0u, 1u, 7u, 64u, 101u})
+    for (std::size_t parts : {1u, 2u, 3u, 7u, 16u, 128u}) {
+      std::size_t covered = 0;
+      std::size_t last_end = 0;
+      for (std::size_t p = 0; p < parts; ++p) {
+        const Range r = block_range(total, parts, p);
+        EXPECT_EQ(r.first, last_end);
+        last_end = r.last;
+        covered += r.size();
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_EQ(last_end, total);
+    }
+}
+
+TEST(Threading, BlockRangeBalanced)
+{
+  for (std::size_t p = 0; p < 7; ++p) {
+    const Range r = block_range(100, 7, p);
+    EXPECT_GE(r.size(), 14u);
+    EXPECT_LE(r.size(), 15u);
+  }
+}
+
+TEST(Threading, StridedRangePartitionIsDisjointAndComplete)
+{
+  const std::size_t total = 37;
+  for (std::size_t parts : {1u, 2u, 4u, 5u, 40u}) {
+    std::set<std::size_t> seen;
+    std::size_t count = 0;
+    for (std::size_t which = 0; which < parts; ++which) {
+      const StridedRange r(total, parts, which);
+      EXPECT_EQ(r.count(), [&] {
+        std::size_t c = 0;
+        r.for_each([&](std::size_t) { ++c; });
+        return c;
+      }());
+      r.for_each([&](std::size_t i) {
+        EXPECT_TRUE(seen.insert(i).second) << "duplicate index " << i;
+        ++count;
+      });
+    }
+    EXPECT_EQ(count, total);
+    EXPECT_EQ(seen.size(), total);
+  }
+}
+
+TEST(Threading, TeamCoordinatesLayout)
+{
+  // 8 threads, teams of 4: walkers 0..1, members 0..3, consecutive threads
+  // in the same team.
+  const auto c0 = team_coordinates(0, 4);
+  const auto c3 = team_coordinates(3, 4);
+  const auto c4 = team_coordinates(4, 4);
+  EXPECT_EQ(c0.walker, 0);
+  EXPECT_EQ(c0.member, 0);
+  EXPECT_EQ(c3.walker, 0);
+  EXPECT_EQ(c3.member, 3);
+  EXPECT_EQ(c4.walker, 1);
+  EXPECT_EQ(c4.member, 0);
+}
+
+TEST(Timer, StopwatchMonotone)
+{
+  Stopwatch w;
+  const double t0 = w.elapsed();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double t1 = w.elapsed();
+  EXPECT_GE(t1, t0);
+  EXPECT_GT(t1, 0.0);
+}
+
+TEST(Timer, ProfileRegistryAccumulatesAndMerges)
+{
+  ProfileRegistry a, b;
+  a.add("x", 1.0, 2);
+  a.add("x", 0.5);
+  b.add("x", 0.5);
+  b.add("y", 2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.seconds("x"), 2.0);
+  EXPECT_EQ(a.calls("x"), 4u);
+  EXPECT_DOUBLE_EQ(a.seconds("y"), 2.0);
+  EXPECT_DOUBLE_EQ(a.total(), 4.0);
+  EXPECT_DOUBLE_EQ(a.percent("x"), 50.0);
+  EXPECT_EQ(a.keys().size(), 2u);
+}
+
+TEST(Timer, ScopedTimerAddsTime)
+{
+  ProfileRegistry reg;
+  {
+    ScopedTimer t(reg, "scope");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(reg.seconds("scope"), 0.0);
+  EXPECT_EQ(reg.calls("scope"), 1u);
+}
+
+TEST(Timer, TimePerIterationPositiveAndBounded)
+{
+  volatile double sink = 0.0;
+  const double t = time_per_iteration([&] { sink = sink + 1.0; }, 0.001, 3);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 0.1);
+}
+
+TEST(Table, PrintsAlignedColumns)
+{
+  TablePrinter tp({"name", "value"});
+  tp.add_row({"alpha", TablePrinter::cell(1.5, 2)});
+  tp.add_row({"b", TablePrinter::cell(std::size_t{42})});
+  std::ostringstream os;
+  tp.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(SysInfo, QueryReturnsSaneValues)
+{
+  const SystemInfo info = query_system_info();
+  EXPECT_GE(info.logical_cpus, 1);
+  EXPECT_GE(info.omp_max_threads, 1);
+  EXPECT_GE(info.simd_width_bits, 64u);
+  std::ostringstream os;
+  print_system_info(os, info);
+  EXPECT_NE(os.str().find("SIMD"), std::string::npos);
+}

@@ -1,0 +1,211 @@
+// Tests for the distance tables: both kinds (AA, AB) and both layouts
+// (AoS, SoA) against brute force, cross-layout equivalence, and the
+// particle-by-particle temp/accept protocol.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distance/distance_table.h"
+#include "particles/graphite.h"
+
+using namespace mqc;
+
+namespace {
+
+struct Fixture
+{
+  Lattice lattice = Lattice::orthorhombic(3.0, 3.5, 4.0);
+  ParticleSetSoA<float> elec_soa;
+  ParticleSetAoS<float> elec_aos;
+  ParticleSetSoA<float> ions_soa;
+  ParticleSetAoS<float> ions_aos;
+
+  explicit Fixture(int nel = 24, int nion = 8, std::uint64_t seed = 42)
+  {
+    elec_soa = random_particles<float>(nel, lattice, seed);
+    elec_aos = to_aos(elec_soa);
+    ions_soa = random_particles<float>(nion, lattice, seed + 1);
+    ions_aos = to_aos(ions_soa);
+  }
+};
+
+double brute_distance(const Lattice& lat, Vec3<float> a, Vec3<float> b)
+{
+  const auto d = lat.min_image(Vec3<double>{double(a.x) - b.x, double(a.y) - b.y,
+                                            double(a.z) - b.z},
+                               MinImageMode::Exact);
+  return norm(d);
+}
+
+} // namespace
+
+TEST(DistanceAA, AoSMatchesBruteForce)
+{
+  Fixture f;
+  DistanceTableAA_AoS<float> tab(f.lattice, f.elec_aos.size());
+  tab.evaluate(f.elec_aos);
+  for (int i = 0; i < f.elec_aos.size(); ++i)
+    for (int j = 0; j < f.elec_aos.size(); ++j) {
+      if (i == j) {
+        EXPECT_GE(tab.dist(i, j), 1e9f);
+        continue;
+      }
+      EXPECT_NEAR(tab.dist(i, j), brute_distance(f.lattice, f.elec_aos[i], f.elec_aos[j]), 1e-4);
+    }
+}
+
+TEST(DistanceAA, SoAMatchesAoS)
+{
+  Fixture f;
+  DistanceTableAA_AoS<float> aos(f.lattice, f.elec_aos.size());
+  DistanceTableAA_SoA<float> soa(f.lattice, f.elec_soa.size());
+  aos.evaluate(f.elec_aos);
+  soa.evaluate(f.elec_soa);
+  for (int i = 0; i < f.elec_aos.size(); ++i) {
+    const float* r = soa.dist_row(i);
+    const float* dx = soa.dx_row(i);
+    for (int j = 0; j < f.elec_aos.size(); ++j) {
+      EXPECT_NEAR(r[j], aos.dist(i, j), 1e-4) << i << ',' << j;
+      if (i != j) {
+        EXPECT_NEAR(dx[j], aos.displ(i, j).x, 1e-4);
+      }
+    }
+  }
+}
+
+TEST(DistanceAA, DisplacementAntisymmetry)
+{
+  Fixture f;
+  DistanceTableAA_SoA<float> soa(f.lattice, f.elec_soa.size());
+  soa.evaluate(f.elec_soa);
+  for (int i = 0; i < f.elec_soa.size(); ++i)
+    for (int j = 0; j < i; ++j) {
+      EXPECT_NEAR(soa.dx_row(i)[j], -soa.dx_row(j)[i], 2e-4);
+      EXPECT_NEAR(soa.dy_row(i)[j], -soa.dy_row(j)[i], 2e-4);
+      EXPECT_NEAR(soa.dz_row(i)[j], -soa.dz_row(j)[i], 2e-4);
+    }
+}
+
+TEST(DistanceAA, DistanceConsistentWithDisplacement)
+{
+  Fixture f;
+  DistanceTableAA_SoA<float> soa(f.lattice, f.elec_soa.size());
+  soa.evaluate(f.elec_soa);
+  for (int i = 0; i < f.elec_soa.size(); ++i)
+    for (int j = 0; j < f.elec_soa.size(); ++j) {
+      if (i == j)
+        continue;
+      const double d = std::sqrt(double(soa.dx_row(i)[j]) * soa.dx_row(i)[j] +
+                                 double(soa.dy_row(i)[j]) * soa.dy_row(i)[j] +
+                                 double(soa.dz_row(i)[j]) * soa.dz_row(i)[j]);
+      EXPECT_NEAR(soa.dist_row(i)[j], d, 1e-4);
+    }
+}
+
+TEST(DistanceAA, TempAcceptEqualsRebuild)
+{
+  Fixture f;
+  DistanceTableAA_SoA<float> soa(f.lattice, f.elec_soa.size());
+  DistanceTableAA_AoS<float> aos(f.lattice, f.elec_aos.size());
+  soa.evaluate(f.elec_soa);
+  aos.evaluate(f.elec_aos);
+
+  // Move electron 5 and commit.
+  const int iel = 5;
+  const Vec3<float> rnew{0.4f, 2.9f, 1.7f};
+  soa.compute_temp(f.elec_soa, rnew, iel);
+  aos.compute_temp(f.elec_aos, rnew, iel);
+  soa.accept_move(iel);
+  aos.accept_move(iel);
+  f.elec_soa.set(iel, rnew);
+  f.elec_aos[iel] = rnew;
+
+  DistanceTableAA_SoA<float> fresh(f.lattice, f.elec_soa.size());
+  fresh.evaluate(f.elec_soa);
+  for (int i = 0; i < f.elec_soa.size(); ++i)
+    for (int j = 0; j < f.elec_soa.size(); ++j) {
+      EXPECT_NEAR(soa.dist_row(i)[j], fresh.dist_row(i)[j], 1e-4) << i << ',' << j;
+      EXPECT_NEAR(aos.dist(i, j), fresh.dist_row(i)[j], 1e-4);
+      EXPECT_NEAR(soa.dx_row(i)[j], fresh.dx_row(i)[j], 2e-4);
+    }
+}
+
+TEST(DistanceAB, AoSMatchesBruteForce)
+{
+  Fixture f;
+  DistanceTableAB_AoS<float> tab(f.lattice, f.ions_aos, f.elec_aos.size());
+  tab.evaluate(f.elec_aos);
+  for (int i = 0; i < f.elec_aos.size(); ++i)
+    for (int j = 0; j < f.ions_aos.size(); ++j)
+      EXPECT_NEAR(tab.dist(i, j), brute_distance(f.lattice, f.elec_aos[i], f.ions_aos[j]), 1e-4);
+}
+
+TEST(DistanceAB, SoAMatchesAoS)
+{
+  Fixture f;
+  DistanceTableAB_AoS<float> aos(f.lattice, f.ions_aos, f.elec_aos.size());
+  DistanceTableAB_SoA<float> soa(f.lattice, f.ions_soa, f.elec_soa.size());
+  aos.evaluate(f.elec_aos);
+  soa.evaluate(f.elec_soa);
+  for (int i = 0; i < f.elec_aos.size(); ++i)
+    for (int j = 0; j < f.ions_aos.size(); ++j) {
+      EXPECT_NEAR(soa.dist_row(i)[j], aos.dist(i, j), 1e-4);
+      EXPECT_NEAR(soa.dy_row(i)[j], aos.displ(i, j).y, 1e-4);
+    }
+}
+
+TEST(DistanceAB, TempAcceptEqualsRowUpdate)
+{
+  Fixture f;
+  DistanceTableAB_SoA<float> soa(f.lattice, f.ions_soa, f.elec_soa.size());
+  soa.evaluate(f.elec_soa);
+  const Vec3<float> rnew{1.0f, 1.0f, 1.0f};
+  soa.compute_temp(rnew);
+  soa.accept_move(3);
+  DistanceTableAB_SoA<float> fresh(f.lattice, f.ions_soa, f.elec_soa.size());
+  fresh.update_row(rnew, 3);
+  for (int j = 0; j < f.ions_soa.size(); ++j)
+    EXPECT_NEAR(soa.dist_row(3)[j], fresh.dist_row(3)[j], 1e-6);
+}
+
+TEST(DistanceSoA, HexagonalFastModeConsistentAcrossLayouts)
+{
+  // For the skewed graphite cell, Fast mode is an approximation — but it must
+  // be the *same* approximation in both layouts so layout benchmarks compare
+  // identical work.
+  const auto sys = make_graphite_supercell(2, 2, 1);
+  auto elec_soa = random_particles<float>(32, sys.lattice, 7);
+  auto elec_aos = to_aos(elec_soa);
+  DistanceTableAA_AoS<float> aos(sys.lattice, 32, MinImageMode::Fast);
+  DistanceTableAA_SoA<float> soa(sys.lattice, 32, MinImageMode::Fast);
+  aos.evaluate(elec_aos);
+  soa.evaluate(elec_soa);
+  for (int i = 0; i < 32; ++i)
+    for (int j = 0; j < 32; ++j)
+      EXPECT_NEAR(soa.dist_row(i)[j], aos.dist(i, j), 2e-4) << i << ',' << j;
+}
+
+TEST(DistanceSoA, ExactModeMatchesBruteForceOnHexagonal)
+{
+  const auto sys = make_graphite_supercell(1, 1, 1);
+  auto elec_soa = random_particles<float>(16, sys.lattice, 8);
+  DistanceTableAA_SoA<float> soa(sys.lattice, 16, MinImageMode::Exact);
+  soa.evaluate(elec_soa);
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) {
+      if (i == j)
+        continue;
+      EXPECT_NEAR(soa.dist_row(i)[j], brute_distance(sys.lattice, elec_soa[i], elec_soa[j]), 1e-4);
+    }
+}
+
+TEST(DistanceSoA, RowsAreAligned)
+{
+  Fixture f;
+  DistanceTableAA_SoA<float> soa(f.lattice, f.elec_soa.size());
+  soa.evaluate(f.elec_soa);
+  EXPECT_EQ(soa.row_stride() % simd_lanes<float>, 0u);
+  for (int i = 0; i < f.elec_soa.size(); ++i)
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(soa.dist_row(i)) % kAlignment, 0u);
+}

@@ -1,0 +1,310 @@
+// Tests for the Jastrow factors: functor accuracy (cusp, cutoff, smooth
+// truncation), gradient/Laplacian against finite differences of the log, and
+// AoS == SoA cross-layout equivalence including move ratios.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "distance/distance_table.h"
+#include "jastrow/bspline_functor.h"
+#include "jastrow/one_body.h"
+#include "jastrow/two_body.h"
+#include "particles/particle_set.h"
+
+using namespace mqc;
+
+namespace {
+
+struct JFixture
+{
+  Lattice lattice = Lattice::orthorhombic(6.0, 6.0, 6.0);
+  ParticleSetSoA<double> elec_soa;
+  ParticleSetAoS<double> elec_aos;
+  ParticleSetSoA<double> ions_soa;
+  ParticleSetAoS<double> ions_aos;
+  BsplineJastrowFunctor<double> fj2 =
+      BsplineJastrowFunctor<double>::make_exponential(-0.5, 1.0, 2.5);
+  BsplineJastrowFunctor<double> fj1 =
+      BsplineJastrowFunctor<double>::make_exponential(-1.0, 0.75, 2.5);
+
+  explicit JFixture(int nel = 16, int nion = 6, std::uint64_t seed = 5)
+  {
+    elec_soa = random_particles<double>(nel, lattice, seed);
+    elec_aos = to_aos(elec_soa);
+    ions_soa = random_particles<double>(nion, lattice, seed + 10);
+    ions_aos = to_aos(ions_soa);
+  }
+};
+
+/// Brute-force log J2 straight from positions.
+double brute_log_j2(const JFixture& f)
+{
+  double u = 0.0;
+  const int n = f.elec_soa.size();
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const auto d = f.lattice.min_image(
+          Vec3<double>{f.elec_soa[i].x - f.elec_soa[j].x, f.elec_soa[i].y - f.elec_soa[j].y,
+                       f.elec_soa[i].z - f.elec_soa[j].z});
+      u += f.fj2.evaluate(norm(d));
+    }
+  return -u;
+}
+
+double brute_log_j1(const JFixture& f)
+{
+  double u = 0.0;
+  for (int i = 0; i < f.elec_soa.size(); ++i)
+    for (int j = 0; j < f.ions_soa.size(); ++j) {
+      const auto d = f.lattice.min_image(
+          Vec3<double>{f.elec_soa[i].x - f.ions_soa[j].x, f.elec_soa[i].y - f.ions_soa[j].y,
+                       f.elec_soa[i].z - f.ions_soa[j].z});
+      u += f.fj1.evaluate(norm(d));
+    }
+  return -u;
+}
+
+} // namespace
+
+TEST(Functor, CuspConditionAtOrigin)
+{
+  const auto f = BsplineJastrowFunctor<double>::make_exponential(-0.5, 1.0, 3.0);
+  double du, d2u;
+  f.evaluate(0.0, du, d2u);
+  EXPECT_NEAR(du, -0.5, 1e-9);
+}
+
+TEST(Functor, VanishesSmoothlyAtCutoff)
+{
+  const auto f = BsplineJastrowFunctor<double>::make_exponential(-1.0, 0.8, 2.0);
+  double du, d2u;
+  const double v = f.evaluate(2.0 - 1e-9, du, d2u);
+  EXPECT_NEAR(v, 0.0, 1e-6);
+  EXPECT_NEAR(du, 0.0, 1e-5);
+  EXPECT_DOUBLE_EQ(f.evaluate(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.evaluate(5.0), 0.0);
+  double du2, d2u2;
+  EXPECT_DOUBLE_EQ(f.evaluate(2.5, du2, d2u2), 0.0);
+  EXPECT_DOUBLE_EQ(du2, 0.0);
+}
+
+TEST(Functor, MatchesTargetProfile)
+{
+  const double cusp = -0.5, b = 1.0, rc = 3.0;
+  const auto f = BsplineJastrowFunctor<double>::make_exponential(cusp, b, rc, 64);
+  const double A = cusp / (-1.0 / b - 2.0 / rc);
+  for (double r : {0.1, 0.5, 1.0, 1.7, 2.4}) {
+    const double damp = 1.0 - r / rc;
+    EXPECT_NEAR(f.evaluate(r), A * std::exp(-r / b) * damp * damp, 2e-4) << r;
+  }
+}
+
+TEST(Functor, DerivativesMatchFiniteDifferences)
+{
+  const auto f = BsplineJastrowFunctor<double>::make_exponential(-0.5, 1.0, 3.0, 64);
+  const double h = 1e-6;
+  for (double r : {0.2, 0.8, 1.5, 2.2}) {
+    double du, d2u;
+    f.evaluate(r, du, d2u);
+    EXPECT_NEAR(du, (f.evaluate(r + h) - f.evaluate(r - h)) / (2 * h), 1e-6) << r;
+    EXPECT_NEAR(d2u, (f.evaluate(r + h) - 2 * f.evaluate(r) + f.evaluate(r - h)) / (h * h), 1e-3)
+        << r;
+  }
+}
+
+TEST(Functor, SumRowHandlesSentinels)
+{
+  const auto f = BsplineJastrowFunctor<double>::make_exponential(-0.5, 1.0, 2.0);
+  const double row[4] = {0.5, kSelfDistance<double>, 1.0, 3.5};
+  EXPECT_NEAR(f.sum_row(row, 4), f.evaluate(0.5) + f.evaluate(1.0), 1e-12);
+}
+
+TEST(J2, ValueMatchesBruteForce)
+{
+  JFixture f;
+  DistanceTableAA_SoA<double> soa(f.lattice, f.elec_soa.size());
+  soa.evaluate(f.elec_soa);
+  const TwoBodyJastrowSoA<double> j2(f.fj2);
+  std::vector<Vec3<double>> g(static_cast<std::size_t>(f.elec_soa.size()));
+  std::vector<double> l(static_cast<std::size_t>(f.elec_soa.size()));
+  EXPECT_NEAR(j2.evaluate_log(soa, g.data(), l.data()), brute_log_j2(f), 1e-9);
+}
+
+TEST(J2, AoSAndSoAAgree)
+{
+  JFixture f;
+  DistanceTableAA_AoS<double> ta(f.lattice, f.elec_aos.size());
+  DistanceTableAA_SoA<double> ts(f.lattice, f.elec_soa.size());
+  ta.evaluate(f.elec_aos);
+  ts.evaluate(f.elec_soa);
+  const TwoBodyJastrowAoS<double> ja(f.fj2);
+  const TwoBodyJastrowSoA<double> js(f.fj2);
+  const int n = f.elec_soa.size();
+  std::vector<Vec3<double>> ga(static_cast<std::size_t>(n)), gs(static_cast<std::size_t>(n));
+  std::vector<double> la(static_cast<std::size_t>(n)), ls(static_cast<std::size_t>(n));
+  const double va = ja.evaluate_log(ta, ga.data(), la.data());
+  const double vs = js.evaluate_log(ts, gs.data(), ls.data());
+  EXPECT_NEAR(va, vs, 1e-9);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(ga[static_cast<std::size_t>(i)].x, gs[static_cast<std::size_t>(i)].x, 1e-9);
+    EXPECT_NEAR(ga[static_cast<std::size_t>(i)].y, gs[static_cast<std::size_t>(i)].y, 1e-9);
+    EXPECT_NEAR(la[static_cast<std::size_t>(i)], ls[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(J2, GradientMatchesFiniteDifferenceOfLog)
+{
+  JFixture f(10);
+  const TwoBodyJastrowSoA<double> j2(f.fj2);
+  const int n = f.elec_soa.size();
+  std::vector<Vec3<double>> g(static_cast<std::size_t>(n));
+  std::vector<double> l(static_cast<std::size_t>(n));
+
+  auto log_j2_at = [&](int iel, Vec3<double> r) {
+    auto elec = f.elec_soa;
+    elec.set(iel, r);
+    DistanceTableAA_SoA<double> t(f.lattice, n);
+    t.evaluate(elec);
+    std::vector<Vec3<double>> gg(static_cast<std::size_t>(n));
+    std::vector<double> ll(static_cast<std::size_t>(n));
+    return j2.evaluate_log(t, gg.data(), ll.data());
+  };
+
+  DistanceTableAA_SoA<double> t(f.lattice, n);
+  t.evaluate(f.elec_soa);
+  j2.evaluate_log(t, g.data(), l.data());
+
+  const double h = 1e-6;
+  for (int iel : {0, 4, 9}) {
+    const Vec3<double> r = f.elec_soa[iel];
+    const double fdx = (log_j2_at(iel, Vec3<double>{r.x + h, r.y, r.z}) -
+                        log_j2_at(iel, Vec3<double>{r.x - h, r.y, r.z})) /
+                       (2 * h);
+    const double fdy = (log_j2_at(iel, Vec3<double>{r.x, r.y + h, r.z}) -
+                        log_j2_at(iel, Vec3<double>{r.x, r.y - h, r.z})) /
+                       (2 * h);
+    EXPECT_NEAR(g[static_cast<std::size_t>(iel)].x, fdx, 1e-5) << iel;
+    EXPECT_NEAR(g[static_cast<std::size_t>(iel)].y, fdy, 1e-5) << iel;
+  }
+}
+
+TEST(J2, LaplacianMatchesFiniteDifferenceOfLog)
+{
+  JFixture f(8);
+  const TwoBodyJastrowSoA<double> j2(f.fj2);
+  const int n = f.elec_soa.size();
+
+  auto log_j2_at = [&](int iel, Vec3<double> r) {
+    auto elec = f.elec_soa;
+    elec.set(iel, r);
+    DistanceTableAA_SoA<double> t(f.lattice, n);
+    t.evaluate(elec);
+    std::vector<Vec3<double>> gg(static_cast<std::size_t>(n));
+    std::vector<double> ll(static_cast<std::size_t>(n));
+    return j2.evaluate_log(t, gg.data(), ll.data());
+  };
+
+  DistanceTableAA_SoA<double> t(f.lattice, n);
+  t.evaluate(f.elec_soa);
+  std::vector<Vec3<double>> g(static_cast<std::size_t>(n));
+  std::vector<double> l(static_cast<std::size_t>(n));
+  j2.evaluate_log(t, g.data(), l.data());
+
+  const double h = 1e-4;
+  const int iel = 3;
+  const Vec3<double> r = f.elec_soa[iel];
+  const double f0 = log_j2_at(iel, r);
+  double lap_fd = 0.0;
+  lap_fd += (log_j2_at(iel, Vec3<double>{r.x + h, r.y, r.z}) -
+             2 * f0 + log_j2_at(iel, Vec3<double>{r.x - h, r.y, r.z})) /
+            (h * h);
+  lap_fd += (log_j2_at(iel, Vec3<double>{r.x, r.y + h, r.z}) -
+             2 * f0 + log_j2_at(iel, Vec3<double>{r.x, r.y - h, r.z})) /
+            (h * h);
+  lap_fd += (log_j2_at(iel, Vec3<double>{r.x, r.y, r.z + h}) -
+             2 * f0 + log_j2_at(iel, Vec3<double>{r.x, r.y, r.z - h})) /
+            (h * h);
+  EXPECT_NEAR(l[static_cast<std::size_t>(iel)], lap_fd, 1e-3);
+}
+
+TEST(J2, RatioMatchesRecompute)
+{
+  JFixture f;
+  const int n = f.elec_soa.size();
+  const TwoBodyJastrowSoA<double> j2(f.fj2);
+  DistanceTableAA_SoA<double> t(f.lattice, n);
+  t.evaluate(f.elec_soa);
+
+  std::vector<Vec3<double>> g(static_cast<std::size_t>(n));
+  std::vector<double> l(static_cast<std::size_t>(n));
+  const double log_before = j2.evaluate_log(t, g.data(), l.data());
+
+  const int iel = 7;
+  const Vec3<double> rnew{2.1, 0.4, 5.0};
+  t.compute_temp(f.elec_soa, rnew, iel);
+  const double ratio = j2.ratio_log(t, iel);
+
+  auto elec = f.elec_soa;
+  elec.set(iel, rnew);
+  DistanceTableAA_SoA<double> t2(f.lattice, n);
+  t2.evaluate(elec);
+  const double log_after = j2.evaluate_log(t2, g.data(), l.data());
+  EXPECT_NEAR(ratio, log_after - log_before, 1e-9);
+}
+
+TEST(J1, ValueMatchesBruteForce)
+{
+  JFixture f;
+  DistanceTableAB_SoA<double> t(f.lattice, f.ions_soa, f.elec_soa.size());
+  t.evaluate(f.elec_soa);
+  const OneBodyJastrowSoA<double> j1(f.fj1);
+  std::vector<Vec3<double>> g(static_cast<std::size_t>(f.elec_soa.size()));
+  std::vector<double> l(static_cast<std::size_t>(f.elec_soa.size()));
+  EXPECT_NEAR(j1.evaluate_log(t, g.data(), l.data()), brute_log_j1(f), 1e-9);
+}
+
+TEST(J1, AoSAndSoAAgree)
+{
+  JFixture f;
+  DistanceTableAB_AoS<double> ta(f.lattice, f.ions_aos, f.elec_aos.size());
+  DistanceTableAB_SoA<double> ts(f.lattice, f.ions_soa, f.elec_soa.size());
+  ta.evaluate(f.elec_aos);
+  ts.evaluate(f.elec_soa);
+  const OneBodyJastrowAoS<double> ja(f.fj1);
+  const OneBodyJastrowSoA<double> js(f.fj1);
+  const int n = f.elec_soa.size();
+  std::vector<Vec3<double>> ga(static_cast<std::size_t>(n)), gs(static_cast<std::size_t>(n));
+  std::vector<double> la(static_cast<std::size_t>(n)), ls(static_cast<std::size_t>(n));
+  EXPECT_NEAR(ja.evaluate_log(ta, ga.data(), la.data()), js.evaluate_log(ts, gs.data(), ls.data()),
+              1e-9);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(ga[static_cast<std::size_t>(i)].z, gs[static_cast<std::size_t>(i)].z, 1e-9);
+    EXPECT_NEAR(la[static_cast<std::size_t>(i)], ls[static_cast<std::size_t>(i)], 1e-9);
+  }
+}
+
+TEST(J1, RatioMatchesRecompute)
+{
+  JFixture f;
+  const int n = f.elec_soa.size();
+  DistanceTableAB_SoA<double> t(f.lattice, f.ions_soa, n);
+  t.evaluate(f.elec_soa);
+  const OneBodyJastrowSoA<double> j1(f.fj1);
+  std::vector<Vec3<double>> g(static_cast<std::size_t>(n));
+  std::vector<double> l(static_cast<std::size_t>(n));
+  const double before = j1.evaluate_log(t, g.data(), l.data());
+
+  const int iel = 2;
+  const Vec3<double> rnew{0.5, 0.5, 0.5};
+  t.compute_temp(rnew);
+  const double ratio = j1.ratio_log(t, iel);
+
+  auto elec = f.elec_soa;
+  elec.set(iel, rnew);
+  DistanceTableAB_SoA<double> t2(f.lattice, f.ions_soa, n);
+  t2.evaluate(elec);
+  const double after = j1.evaluate_log(t2, g.data(), l.data());
+  EXPECT_NEAR(ratio, after - before, 1e-9);
+}

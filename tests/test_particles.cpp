@@ -1,0 +1,228 @@
+// Tests for the particle substrate: lattice algebra, minimum image (fast vs
+// exact vs brute force), particle-set layouts and the graphite factory.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "particles/graphite.h"
+#include "particles/lattice.h"
+#include "particles/particle_set.h"
+
+using namespace mqc;
+
+namespace {
+
+/// Brute-force minimum image over a generous image range (test oracle).
+/// Displacements may be several cells long, so wrap into the home cell first
+/// and then scan the neighbour shell.
+Vec3<double> brute_min_image(const Lattice& lat, const Vec3<double>& dr_in, int range = 2)
+{
+  Vec3<double> f = lat.to_fractional(dr_in);
+  f.x -= std::floor(f.x + 0.5);
+  f.y -= std::floor(f.y + 0.5);
+  f.z -= std::floor(f.z + 0.5);
+  const Vec3<double> dr = lat.to_cartesian(f);
+  Vec3<double> best = dr;
+  double best2 = norm2(dr);
+  const auto& a = lat.rows();
+  for (int i = -range; i <= range; ++i)
+    for (int j = -range; j <= range; ++j)
+      for (int k = -range; k <= range; ++k) {
+        const Vec3<double> cand = dr + double(i) * a[0] + double(j) * a[1] + double(k) * a[2];
+        if (norm2(cand) < best2) {
+          best2 = norm2(cand);
+          best = cand;
+        }
+      }
+  return best;
+}
+
+Lattice hexagonal(double a, double c)
+{
+  const double s3 = std::sqrt(3.0) / 2.0;
+  return Lattice({Vec3<double>{a, 0, 0}, Vec3<double>{-0.5 * a, s3 * a, 0}, Vec3<double>{0, 0, c}});
+}
+
+} // namespace
+
+TEST(Lattice, OrthorhombicBasics)
+{
+  const auto lat = Lattice::orthorhombic(2.0, 3.0, 4.0);
+  EXPECT_TRUE(lat.is_orthorhombic());
+  EXPECT_DOUBLE_EQ(lat.volume(), 24.0);
+  const Vec3<double> f{0.5, 0.25, 0.75};
+  const auto r = lat.to_cartesian(f);
+  EXPECT_DOUBLE_EQ(r.x, 1.0);
+  EXPECT_DOUBLE_EQ(r.y, 0.75);
+  EXPECT_DOUBLE_EQ(r.z, 3.0);
+  const auto fb = lat.to_fractional(r);
+  EXPECT_NEAR(fb.x, f.x, 1e-14);
+  EXPECT_NEAR(fb.y, f.y, 1e-14);
+  EXPECT_NEAR(fb.z, f.z, 1e-14);
+}
+
+TEST(Lattice, TriclinicRoundTrip)
+{
+  const Lattice lat({Vec3<double>{3.0, 0.1, 0.0}, Vec3<double>{-1.2, 2.8, 0.2},
+                     Vec3<double>{0.3, -0.4, 5.0}});
+  EXPECT_FALSE(lat.is_orthorhombic());
+  Xoshiro256 rng(1);
+  for (int s = 0; s < 20; ++s) {
+    const Vec3<double> f{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const auto fb = lat.to_fractional(lat.to_cartesian(f));
+    EXPECT_NEAR(fb.x, f.x, 1e-12);
+    EXPECT_NEAR(fb.y, f.y, 1e-12);
+    EXPECT_NEAR(fb.z, f.z, 1e-12);
+  }
+}
+
+TEST(Lattice, WrapPutsFractionalInUnitCell)
+{
+  const auto lat = hexagonal(2.0, 3.0);
+  Xoshiro256 rng(2);
+  for (int s = 0; s < 30; ++s) {
+    const Vec3<double> r{rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const auto f = lat.to_fractional(lat.wrap(r));
+    EXPECT_GE(f.x, -1e-12);
+    EXPECT_LT(f.x, 1.0 + 1e-12);
+    EXPECT_GE(f.y, -1e-12);
+    EXPECT_LT(f.y, 1.0 + 1e-12);
+  }
+}
+
+TEST(Lattice, MinImageExactMatchesBruteForceOrthorhombic)
+{
+  const auto lat = Lattice::orthorhombic(1.5, 2.5, 3.5);
+  Xoshiro256 rng(3);
+  for (int s = 0; s < 50; ++s) {
+    const Vec3<double> dr{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const auto got = lat.min_image(dr, MinImageMode::Exact);
+    const auto want = brute_min_image(lat, dr);
+    EXPECT_NEAR(norm(got), norm(want), 1e-12);
+  }
+}
+
+TEST(Lattice, MinImageExactMatchesBruteForceHexagonal)
+{
+  const auto lat = hexagonal(2.0, 3.0);
+  Xoshiro256 rng(4);
+  for (int s = 0; s < 100; ++s) {
+    const Vec3<double> dr{rng.uniform(-6, 6), rng.uniform(-6, 6), rng.uniform(-6, 6)};
+    const auto got = lat.min_image(dr, MinImageMode::Exact);
+    const auto want = brute_min_image(lat, dr);
+    EXPECT_NEAR(norm(got), norm(want), 1e-12) << "sample " << s;
+  }
+}
+
+TEST(Lattice, FastMinImageEqualsExactForOrthorhombic)
+{
+  const auto lat = Lattice::orthorhombic(2.0, 2.0, 2.0);
+  Xoshiro256 rng(5);
+  for (int s = 0; s < 50; ++s) {
+    const Vec3<double> dr{rng.uniform(-7, 7), rng.uniform(-7, 7), rng.uniform(-7, 7)};
+    EXPECT_NEAR(norm(lat.min_image(dr, MinImageMode::Fast)),
+                norm(lat.min_image(dr, MinImageMode::Exact)), 1e-12);
+  }
+}
+
+TEST(Lattice, FastMinImageNeverBeatsExact)
+{
+  const auto lat = hexagonal(2.0, 1.0);
+  Xoshiro256 rng(6);
+  for (int s = 0; s < 100; ++s) {
+    const Vec3<double> dr{rng.uniform(-4, 4), rng.uniform(-4, 4), rng.uniform(-4, 4)};
+    EXPECT_GE(norm(lat.min_image(dr, MinImageMode::Fast)) + 1e-12,
+              norm(lat.min_image(dr, MinImageMode::Exact)));
+  }
+}
+
+TEST(Lattice, WignerSeitzRadiusCube)
+{
+  const auto lat = Lattice::orthorhombic(2.0, 2.0, 2.0);
+  EXPECT_NEAR(lat.wigner_seitz_radius(), 1.0, 1e-12);
+}
+
+TEST(ParticleSet, SoAOperatorBracketBridging)
+{
+  ParticleSetSoA<float> p(5);
+  p.set(2, Vec3<float>{1.0f, 2.0f, 3.0f});
+  const Vec3<float> r = p[2];
+  EXPECT_FLOAT_EQ(r.x, 1.0f);
+  EXPECT_FLOAT_EQ(r.y, 2.0f);
+  EXPECT_FLOAT_EQ(r.z, 3.0f);
+  EXPECT_FLOAT_EQ(p.x()[2], 1.0f);
+}
+
+TEST(ParticleSet, LayoutRoundTrip)
+{
+  const auto lat = Lattice::orthorhombic(2, 2, 2);
+  const auto soa = random_particles<double>(17, lat, 9);
+  const auto aos = to_aos(soa);
+  const auto back = to_soa(aos);
+  for (int i = 0; i < 17; ++i) {
+    EXPECT_DOUBLE_EQ(soa[i].x, back[i].x);
+    EXPECT_DOUBLE_EQ(soa[i].y, back[i].y);
+    EXPECT_DOUBLE_EQ(soa[i].z, back[i].z);
+  }
+}
+
+TEST(ParticleSet, RandomParticlesInsideCell)
+{
+  const auto lat = hexagonal(3.0, 5.0);
+  const auto p = random_particles<double>(100, lat, 11);
+  for (int i = 0; i < 100; ++i) {
+    const auto f = lat.to_fractional(Vec3<double>{p[i].x, p[i].y, p[i].z});
+    EXPECT_GE(f.x, -1e-9);
+    EXPECT_LT(f.x, 1.0 + 1e-9);
+    EXPECT_GE(f.y, -1e-9);
+    EXPECT_LT(f.y, 1.0 + 1e-9);
+    EXPECT_GE(f.z, -1e-9);
+    EXPECT_LT(f.z, 1.0 + 1e-9);
+  }
+}
+
+TEST(Graphite, CoralBenchmarkCounts)
+{
+  // The paper's CORAL 4x4x1 problem: 64 carbons, 256 electrons, 128 SPOs.
+  const auto sys = make_graphite_supercell(4, 4, 1);
+  EXPECT_EQ(sys.num_ions(), 64);
+  EXPECT_EQ(sys.num_electrons(), 256);
+  EXPECT_EQ(sys.num_orbitals(), 128);
+}
+
+TEST(Graphite, NearestNeighbourDistanceIsPhysical)
+{
+  const auto sys = make_graphite_supercell(2, 2, 1);
+  // Graphite C-C bond: 1.421 A = 2.686 bohr.
+  double min_d = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < sys.num_ions(); ++i)
+    for (int j = 0; j < sys.num_ions(); ++j) {
+      if (i == j)
+        continue;
+      const auto d = sys.lattice.min_image(
+          Vec3<double>{sys.ions[i].x - sys.ions[j].x, sys.ions[i].y - sys.ions[j].y,
+                       sys.ions[i].z - sys.ions[j].z},
+          MinImageMode::Exact);
+      min_d = std::min(min_d, norm(d));
+    }
+  EXPECT_NEAR(min_d, 2.686, 0.02);
+}
+
+TEST(Graphite, SupercellVolumeScales)
+{
+  const auto s1 = make_graphite_supercell(1, 1, 1);
+  const auto s4 = make_graphite_supercell(2, 2, 1);
+  EXPECT_NEAR(s4.lattice.volume(), 4.0 * s1.lattice.volume(), 1e-9);
+}
+
+TEST(Graphite, OrthorhombicAnalogueMatchesDensity)
+{
+  const auto hex = make_graphite_supercell(2, 2, 2);
+  const auto ortho = make_orthorhombic_carbon(2, 2, 2);
+  EXPECT_TRUE(ortho.lattice.is_orthorhombic());
+  EXPECT_EQ(ortho.num_ions(), hex.num_ions());
+  EXPECT_NEAR(ortho.lattice.volume() / ortho.num_ions(), hex.lattice.volume() / hex.num_ions(),
+              1e-6);
+}

@@ -1,0 +1,94 @@
+// Tests for the perf/roofline substrate: measured ceilings are positive and
+// ordered sensibly, the kernel cost models encode the paper's counts, and
+// the roofline ceiling function has the right shape.
+#include <gtest/gtest.h>
+
+#include "perf/roofline.h"
+
+using namespace mqc;
+
+TEST(Perf, TriadBandwidthPositive)
+{
+  // Small array: this is a functional test, not a measurement.
+  const double bw = measure_triad_bandwidth(1u << 20, 2);
+  EXPECT_GT(bw, 1e8); // any machine manages > 0.1 GB/s
+}
+
+TEST(Perf, PeakGflopsPositive)
+{
+  const double gf = measure_peak_gflops_sp(1);
+  EXPECT_GT(gf, 0.1);
+}
+
+TEST(Perf, CostModelReadsAreSixtyFourStreams)
+{
+  // 64N reads of sizeof(float) regardless of layout (paper §VII).
+  const auto aos = kernel_cost_model(KernelId::VGH, /*soa=*/false, 1024, 4);
+  const auto soa = kernel_cost_model(KernelId::VGH, /*soa=*/true, 1024, 4);
+  const double reads = 64.0 * 1024 * 4;
+  EXPECT_GE(aos.mem_bytes, reads);
+  EXPECT_GE(soa.mem_bytes, reads);
+  // AoS writes 13 components, SoA 10 -> AoS moves more bytes.
+  EXPECT_GT(aos.mem_bytes, soa.mem_bytes);
+}
+
+TEST(Perf, CostModelFlopsOrdering)
+{
+  // The AoS VGH does 64x13 FMAs vs SoA's 16x22: AoS does redundant work.
+  const auto aos = kernel_cost_model(KernelId::VGH, false, 256, 4);
+  const auto soa = kernel_cost_model(KernelId::VGH, true, 256, 4);
+  EXPECT_GT(aos.flops, soa.flops);
+  // And the SoA transformation *raises* arithmetic intensity per byte
+  // is not required — but both must be positive and finite.
+  EXPECT_GT(aos.arithmetic_intensity(), 0.0);
+  EXPECT_GT(soa.arithmetic_intensity(), 0.0);
+}
+
+TEST(Perf, CostModelScalesLinearlyWithN)
+{
+  const auto a = kernel_cost_model(KernelId::V, true, 100, 4);
+  const auto b = kernel_cost_model(KernelId::V, true, 200, 4);
+  EXPECT_NEAR(b.flops / a.flops, 2.0, 1e-12);
+  EXPECT_NEAR(b.mem_bytes / a.mem_bytes, 2.0, 1e-12);
+}
+
+TEST(Perf, CostModelKernelOrdering)
+{
+  // VGH computes more than VGL computes more than V.
+  const auto v = kernel_cost_model(KernelId::V, true, 512, 4);
+  const auto vgl = kernel_cost_model(KernelId::VGL, true, 512, 4);
+  const auto vgh = kernel_cost_model(KernelId::VGH, true, 512, 4);
+  EXPECT_LT(v.flops, vgl.flops);
+  EXPECT_LT(vgl.flops, vgh.flops);
+  EXPECT_LT(v.mem_bytes, vgl.mem_bytes);
+  EXPECT_LT(vgl.mem_bytes, vgh.mem_bytes);
+}
+
+TEST(Perf, ElementBytesScaleTraffic)
+{
+  const auto sp = kernel_cost_model(KernelId::VGH, true, 128, 4);
+  const auto dp = kernel_cost_model(KernelId::VGH, true, 128, 8);
+  EXPECT_NEAR(dp.mem_bytes / sp.mem_bytes, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(dp.flops, sp.flops);
+}
+
+TEST(Perf, RooflineCeilingShape)
+{
+  const double peak = 1000.0;      // GFLOPS
+  const double bw = 100e9;         // bytes/s
+  // Memory-bound region: ceiling = AI * BW.
+  EXPECT_NEAR(roofline_ceiling(1.0, peak, bw), 100.0, 1e-9);
+  EXPECT_NEAR(roofline_ceiling(5.0, peak, bw), 500.0, 1e-9);
+  // Compute-bound region: ceiling = peak.
+  EXPECT_NEAR(roofline_ceiling(50.0, peak, bw), peak, 1e-9);
+  // The ridge point.
+  EXPECT_NEAR(roofline_ceiling(10.0, peak, bw), peak, 1e-9);
+}
+
+TEST(Perf, ArithmeticIntensityZeroBytesSafe)
+{
+  KernelCostModel m;
+  m.flops = 10.0;
+  m.mem_bytes = 0.0;
+  EXPECT_DOUBLE_EQ(m.arithmetic_intensity(), 0.0);
+}

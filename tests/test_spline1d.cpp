@@ -1,0 +1,164 @@
+// Tests for the general 1D interpolating spline: all three boundary
+// conditions, node interpolation, derivative accuracy, convergence order.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/spline1d.h"
+
+using namespace mqc;
+
+namespace {
+
+constexpr double two_pi = 6.283185307179586476925286766559;
+
+std::vector<double> sample(double (*f)(double), double x0, double x1, int n, bool periodic)
+{
+  std::vector<double> d(static_cast<std::size_t>(n));
+  const double dx = periodic ? (x1 - x0) / n : (x1 - x0) / (n - 1);
+  for (int i = 0; i < n; ++i)
+    d[static_cast<std::size_t>(i)] = f(x0 + i * dx);
+  return d;
+}
+
+} // namespace
+
+TEST(Spline1D, PeriodicInterpolatesNodes)
+{
+  auto f = +[](double x) { return std::sin(two_pi * x) + 0.5 * std::cos(2 * two_pi * x); };
+  const int n = 24;
+  const auto s = Spline1D<double>::periodic(0.0, 1.0, sample(f, 0.0, 1.0, n, true));
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(s.value(i / double(n)), f(i / double(n)), 1e-12);
+}
+
+TEST(Spline1D, PeriodicWrapsOutsideDomain)
+{
+  auto f = +[](double x) { return std::cos(two_pi * x); };
+  const auto s = Spline1D<double>::periodic(0.0, 1.0, sample(f, 0.0, 1.0, 32, true));
+  for (double x : {0.13, 0.77}) {
+    EXPECT_NEAR(s.value(x), s.value(x + 1.0), 1e-12);
+    EXPECT_NEAR(s.value(x), s.value(x - 3.0), 1e-12);
+  }
+}
+
+TEST(Spline1D, PeriodicDerivativesMatchAnalytic)
+{
+  auto f = +[](double x) { return std::sin(two_pi * x); };
+  const auto s = Spline1D<double>::periodic(0.0, 1.0, sample(f, 0.0, 1.0, 64, true));
+  for (double x : {0.05, 0.31, 0.62, 0.94}) {
+    double v, dv, d2v;
+    s.evaluate(x, v, dv, d2v);
+    EXPECT_NEAR(v, std::sin(two_pi * x), 1e-6);
+    EXPECT_NEAR(dv, two_pi * std::cos(two_pi * x), 1e-3);
+    EXPECT_NEAR(d2v, -two_pi * two_pi * std::sin(two_pi * x), 0.1);
+  }
+}
+
+TEST(Spline1D, NaturalInterpolatesNodesAndEnds)
+{
+  auto f = +[](double x) { return x * x * x - 2 * x + 1; };
+  const int n = 16;
+  const auto s = Spline1D<double>::natural(0.0, 2.0, sample(f, 0.0, 2.0, n, false));
+  const double dx = 2.0 / (n - 1);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(s.value(i * dx), f(i * dx), 1e-12) << i;
+}
+
+TEST(Spline1D, NaturalBoundarySecondDerivativeVanishes)
+{
+  auto f = +[](double x) { return std::exp(-x) * std::sin(3 * x); };
+  const auto s = Spline1D<double>::natural(0.0, 2.0, sample(f, 0.0, 2.0, 40, false));
+  double v, dv, d2v;
+  s.evaluate(0.0, v, dv, d2v);
+  EXPECT_NEAR(d2v, 0.0, 1e-9);
+  s.evaluate(2.0, v, dv, d2v);
+  EXPECT_NEAR(d2v, 0.0, 1e-9);
+}
+
+TEST(Spline1D, ClampedEndSlopesAreExact)
+{
+  auto f = +[](double x) { return std::cos(2 * x) + 0.2 * x; };
+  auto df = +[](double x) { return -2 * std::sin(2 * x) + 0.2; };
+  const int n = 30;
+  const auto s =
+      Spline1D<double>::clamped(0.0, 3.0, sample(f, 0.0, 3.0, n, false), df(0.0), df(3.0));
+  double v, dv, d2v;
+  s.evaluate(0.0, v, dv, d2v);
+  EXPECT_NEAR(v, f(0.0), 1e-12);
+  EXPECT_NEAR(dv, df(0.0), 1e-10);
+  s.evaluate(3.0, v, dv, d2v);
+  EXPECT_NEAR(v, f(3.0), 1e-12);
+  EXPECT_NEAR(dv, df(3.0), 1e-10);
+}
+
+TEST(Spline1D, ClampedInterpolatesNodes)
+{
+  auto f = +[](double x) { return 1.0 / (1.0 + x * x); };
+  const int n = 20;
+  const auto s = Spline1D<double>::clamped(0.0, 4.0, sample(f, 0.0, 4.0, n, false), 0.0,
+                                           -2.0 * 4.0 / ((1 + 16.0) * (1 + 16.0)));
+  const double dx = 4.0 / (n - 1);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(s.value(i * dx), f(i * dx), 1e-12);
+}
+
+TEST(Spline1D, ClampedReductionBeyondDomainClamps)
+{
+  auto f = +[](double x) { return x; };
+  const auto s = Spline1D<double>::clamped(0.0, 1.0, sample(f, 0.0, 1.0, 8, false), 1.0, 1.0);
+  // Beyond-domain evaluation returns the end values (clamped reduction).
+  EXPECT_NEAR(s.value(1.5), s.value(1.0), 1e-12);
+  EXPECT_NEAR(s.value(-0.5), s.value(0.0), 1e-12);
+}
+
+TEST(Spline1D, LinearFunctionReproducedExactlyByClamped)
+{
+  // Cubic splines reproduce polynomials up to degree 3; a linear function
+  // with exact end slopes must be reproduced to machine precision
+  // *everywhere*, not just at nodes.
+  auto f = +[](double x) { return 2.5 * x - 1.0; };
+  const auto s = Spline1D<double>::clamped(0.0, 1.0, sample(f, 0.0, 1.0, 9, false), 2.5, 2.5);
+  for (double x : {0.05, 0.21, 0.5, 0.83, 0.99}) {
+    double v, dv, d2v;
+    s.evaluate(x, v, dv, d2v);
+    EXPECT_NEAR(v, f(x), 1e-12);
+    EXPECT_NEAR(dv, 2.5, 1e-10);
+    EXPECT_NEAR(d2v, 0.0, 1e-8);
+  }
+}
+
+TEST(Spline1D, FourthOrderConvergencePeriodic)
+{
+  auto f = +[](double x) { return std::sin(two_pi * x); };
+  std::vector<double> errs;
+  for (int n : {16, 32, 64}) {
+    const auto s = Spline1D<double>::periodic(0.0, 1.0, sample(f, 0.0, 1.0, n, true));
+    double err = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+      const double x = (i + 0.5) / 1000.0;
+      err = std::max(err, std::abs(s.value(x) - f(x)));
+    }
+    errs.push_back(err);
+  }
+  EXPECT_GT(errs[0] / errs[1], 12.0);
+  EXPECT_GT(errs[1] / errs[2], 12.0);
+}
+
+TEST(Spline1D, FloatStorageStillAccurate)
+{
+  auto f = +[](double x) { return std::cos(two_pi * x); };
+  const auto s = Spline1D<float>::periodic(0.0f, 1.0f, sample(f, 0.0, 1.0, 32, true));
+  for (double x : {0.1, 0.4, 0.9})
+    EXPECT_NEAR(s.value(static_cast<float>(x)), f(x), 1e-4);
+}
+
+TEST(Spline1D, ControlPointsExposedWithExpectedSize)
+{
+  auto f = +[](double x) { return x; };
+  const auto sp = Spline1D<double>::periodic(0.0, 1.0, sample(f, 0.0, 1.0, 10, true));
+  EXPECT_EQ(sp.control_points().size(), 13u); // n + 3
+  const auto sn = Spline1D<double>::natural(0.0, 1.0, sample(f, 0.0, 1.0, 10, false));
+  EXPECT_EQ(sn.control_points().size(), 12u); // n + 2
+}

@@ -1,0 +1,170 @@
+// Tests for the 4D coefficient storage: padding/alignment guarantees, the
+// periodic control-point scatter, tile splitting, and deterministic fills.
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/bspline_ref.h"
+#include "core/coef_storage.h"
+#include "core/synthetic_orbitals.h"
+#include "test_utils.h"
+
+using namespace mqc;
+
+TEST(Storage, PaddedStridesAndAlignment)
+{
+  const auto grid = Grid3D<float>::cube(5, 1.0f);
+  CoefStorage<float> s(grid, 10); // pads to 16 for float
+  EXPECT_EQ(s.num_splines(), 10);
+  EXPECT_EQ(s.padded_splines(), 16u);
+  EXPECT_EQ(s.stride_z(), 16u);
+  EXPECT_EQ(s.stride_y(), 8u * 16u);
+  EXPECT_EQ(s.stride_x(), 8u * 8u * 16u);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      for (int k = 0; k < 8; ++k)
+        ASSERT_EQ(reinterpret_cast<std::uintptr_t>(s.row(i, j, k)) % kAlignment, 0u);
+}
+
+TEST(Storage, SizeBytesAccountsForPadding)
+{
+  const auto grid = Grid3D<double>::cube(4, 1.0);
+  CoefStorage<double> s(grid, 3); // pads to 8 doubles
+  EXPECT_EQ(s.size_bytes(), 7u * 7u * 7u * 8u * sizeof(double));
+}
+
+TEST(Storage, SetAndGetCoef)
+{
+  const auto grid = Grid3D<float>::cube(4, 1.0f);
+  CoefStorage<float> s(grid, 4);
+  s.set_coef(1, 2, 3, 2, 7.5f);
+  EXPECT_FLOAT_EQ(s.coef(1, 2, 3, 2), 7.5f);
+  EXPECT_FLOAT_EQ(s.coef(1, 2, 3, 1), 0.0f); // zero-initialized
+}
+
+// The periodic scatter must write a control point to *every* storage slot
+// that aliases it: storage index m holds control index (m-1) mod n.
+TEST(Storage, PeriodicControlPointAliasing)
+{
+  for (int n : {1, 2, 3, 5}) {
+    const auto grid = Grid3D<double>::cube(n, 1.0);
+    CoefStorage<double> s(grid, 1);
+    // Write each control point a distinct value; verify all aliases.
+    for (int ci = 0; ci < n; ++ci)
+      for (int cj = 0; cj < n; ++cj)
+        for (int ck = 0; ck < n; ++ck)
+          s.set_control_point_periodic(ci, cj, ck, 0,
+                                       100.0 * ci + 10.0 * cj + ck + 1.0);
+    for (int i = 0; i < n + 3; ++i)
+      for (int j = 0; j < n + 3; ++j)
+        for (int k = 0; k < n + 3; ++k) {
+          const int ci = ((i - 1) % n + n) % n;
+          const int cj = ((j - 1) % n + n) % n;
+          const int ck = ((k - 1) % n + n) % n;
+          EXPECT_DOUBLE_EQ(s.coef(i, j, k, 0), 100.0 * ci + 10.0 * cj + ck + 1.0)
+              << "n=" << n << " (" << i << ',' << j << ',' << k << ')';
+        }
+  }
+}
+
+TEST(Storage, FillRandomDeterministicAndBounded)
+{
+  const auto grid = Grid3D<float>::cube(6, 1.0f);
+  CoefStorage<float> a(grid, 8), b(grid, 8);
+  a.fill_random(99);
+  b.fill_random(99);
+  for (int i = 0; i < 9; ++i)
+    for (int j = 0; j < 9; ++j)
+      for (int k = 0; k < 9; ++k)
+        for (int n = 0; n < 8; ++n) {
+          ASSERT_FLOAT_EQ(a.coef(i, j, k, n), b.coef(i, j, k, n));
+          ASSERT_GE(a.coef(i, j, k, n), -0.5f);
+          ASSERT_LE(a.coef(i, j, k, n), 0.5f);
+        }
+  CoefStorage<float> c(grid, 8);
+  c.fill_random(100);
+  int diffs = 0;
+  for (int n = 0; n < 8; ++n)
+    diffs += (a.coef(2, 2, 2, n) != c.coef(2, 2, 2, n));
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Storage, AssignSplineRangeExtractsTile)
+{
+  const auto grid = Grid3D<float>::cube(4, 1.0f);
+  CoefStorage<float> full(grid, 48);
+  full.fill_random(1);
+  CoefStorage<float> tile(grid, 16);
+  tile.assign_spline_range(full, 16, 16);
+  for (int i = 0; i < 7; ++i)
+    for (int j = 0; j < 7; ++j)
+      for (int k = 0; k < 7; ++k)
+        for (int n = 0; n < 16; ++n)
+          ASSERT_FLOAT_EQ(tile.coef(i, j, k, n), full.coef(i, j, k, 16 + n));
+}
+
+TEST(Storage, PaddingLanesStayZeroAfterBuild)
+{
+  const int ng = 5;
+  const auto grid = Grid3D<float>::cube(ng, 1.0f);
+  CoefStorage<float> s(grid, 3); // padded to 16
+  std::vector<double> samples(static_cast<std::size_t>(ng) * ng * ng, 1.0);
+  set_spline_from_samples(s, 0, samples.data());
+  for (int i = 0; i < ng + 3; ++i)
+    for (int j = 0; j < ng + 3; ++j)
+      for (int k = 0; k < ng + 3; ++k)
+        for (std::size_t n = 3; n < s.padded_splines(); ++n)
+          ASSERT_FLOAT_EQ(s.row(i, j, k)[n], 0.0f);
+}
+
+TEST(SyntheticOrbitals, KVectorsOrderedByShell)
+{
+  const auto set = PlaneWaveOrbitals::make(27, Vec3<double>{1, 1, 1});
+  // Orbital 0 is the Gamma point (constant): zero gradient everywhere.
+  const auto g = set.gradient(0, Vec3<double>{0.3, 0.4, 0.5});
+  EXPECT_DOUBLE_EQ(norm2(g), 0.0);
+  EXPECT_EQ(set.num_orbitals(), 27);
+}
+
+TEST(SyntheticOrbitals, LaplacianIsHessianTrace)
+{
+  const auto set = PlaneWaveOrbitals::make(10, Vec3<double>{2, 3, 4}, 5);
+  for (int n = 0; n < 10; ++n) {
+    const Vec3<double> r{0.7, 1.1, 2.9};
+    double h[6];
+    set.hessian(n, r, h);
+    EXPECT_NEAR(set.laplacian(n, r), h[0] + h[3] + h[5], 1e-12);
+  }
+}
+
+TEST(SyntheticOrbitals, GradientMatchesFiniteDifference)
+{
+  const auto set = PlaneWaveOrbitals::make(6, Vec3<double>{1.5, 1.5, 1.5}, 2);
+  const double h = 1e-6;
+  const Vec3<double> r{0.4, 0.9, 1.2};
+  for (int n = 0; n < 6; ++n) {
+    const auto g = set.gradient(n, r);
+    const double fdx =
+        (set.value(n, Vec3<double>{r.x + h, r.y, r.z}) - set.value(n, Vec3<double>{r.x - h, r.y, r.z})) /
+        (2 * h);
+    EXPECT_NEAR(g.x, fdx, 1e-6);
+  }
+}
+
+TEST(SyntheticOrbitals, StorageBuilderMatchesAnalyticValues)
+{
+  const int ng = 20;
+  const double L = 1.0;
+  const auto grid = Grid3D<double>::cube(ng, L);
+  const auto set = PlaneWaveOrbitals::make(4, Vec3<double>{L, L, L}, 3);
+  const auto storage = build_planewave_storage(grid, set);
+  BsplineRef<double> ref(*storage);
+  Xoshiro256 rng(17);
+  for (int s = 0; s < 40; ++s) {
+    const double x = rng.uniform(0, L), y = rng.uniform(0, L), z = rng.uniform(0, L);
+    const auto v = ref.evaluate_v(x, y, z);
+    for (int n = 0; n < 4; ++n)
+      EXPECT_NEAR(v[static_cast<std::size_t>(n)], set.value(n, Vec3<double>{x, y, z}), 5e-4);
+  }
+}

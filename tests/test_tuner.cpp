@@ -1,0 +1,89 @@
+// Tests for the tile-size tuner and its FFTW-style wisdom persistence.
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/synthetic_orbitals.h"
+#include "core/tuner.h"
+
+using namespace mqc;
+
+TEST(Wisdom, KeyFormat)
+{
+  const auto key = Wisdom::make_key("vgh", "float", 2048, 48, 48, 48);
+  EXPECT_EQ(key, "vgh:float:N=2048:grid=48x48x48");
+}
+
+TEST(Wisdom, InsertLookup)
+{
+  Wisdom w;
+  EXPECT_FALSE(w.lookup("missing").has_value());
+  w.insert("k1", {64, 1.5e9});
+  const auto e = w.lookup("k1");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tile_size, 64);
+  EXPECT_DOUBLE_EQ(e->throughput, 1.5e9);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Wisdom, SaveLoadRoundTrip)
+{
+  const std::string path = std::filesystem::temp_directory_path() / "mqc_wisdom_test.txt";
+  Wisdom w;
+  w.insert(Wisdom::make_key("vgh", "float", 512, 48, 48, 48), {128, 2.5e9});
+  w.insert(Wisdom::make_key("v", "double", 256, 32, 32, 32), {64, 1.0e9});
+  ASSERT_TRUE(w.save(path));
+
+  Wisdom r;
+  ASSERT_TRUE(r.load(path));
+  EXPECT_EQ(r.size(), 2u);
+  const auto e = r.lookup(Wisdom::make_key("vgh", "float", 512, 48, 48, 48));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tile_size, 128);
+  EXPECT_NEAR(e->throughput, 2.5e9, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Wisdom, LoadMissingFileFails)
+{
+  Wisdom w;
+  EXPECT_FALSE(w.load("/nonexistent/path/wisdom.txt"));
+}
+
+TEST(Tuner, DefaultCandidatesArePowersOfTwoUpToN)
+{
+  const auto c = default_tile_candidates(256, 16);
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_EQ(c.front(), 16);
+  EXPECT_EQ(c[3], 128);
+  EXPECT_EQ(c.back(), 256);
+}
+
+TEST(Tuner, DefaultCandidatesNonPowerN)
+{
+  const auto c = default_tile_candidates(96, 16);
+  // 16, 32, 64, 96
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.back(), 96);
+}
+
+TEST(Tuner, SweepReturnsBestCandidate)
+{
+  const auto grid = Grid3D<float>::cube(8, 1.0f);
+  auto coefs = make_random_storage<float>(grid, 64, 9);
+  const auto result = tune_tile_size_vgh(*coefs, {16, 32, 64}, /*ns=*/8, /*min_seconds=*/0.005);
+  EXPECT_EQ(result.tiles.size(), 3u);
+  EXPECT_EQ(result.throughputs.size(), 3u);
+  EXPECT_GT(result.best_throughput, 0.0);
+  bool best_found = false;
+  for (std::size_t i = 0; i < result.tiles.size(); ++i) {
+    EXPECT_GT(result.throughputs[i], 0.0);
+    EXPECT_LE(result.throughputs[i], result.best_throughput + 1e-9);
+    if (result.tiles[i] == result.best_tile) {
+      best_found = true;
+      EXPECT_DOUBLE_EQ(result.throughputs[i], result.best_throughput);
+    }
+  }
+  EXPECT_TRUE(best_found);
+}

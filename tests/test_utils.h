@@ -1,0 +1,53 @@
+// Shared helpers for the test suite.
+#ifndef MQC_TESTS_TEST_UTILS_H
+#define MQC_TESTS_TEST_UTILS_H
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/coef_storage.h"
+#include "core/grid.h"
+
+namespace mqc::test {
+
+/// Relative tolerance appropriate for the storage precision: kernels sum 64
+/// products, so error scales with ~sqrt(64) ULPs of the accumulation type.
+template <typename T>
+constexpr double engine_tol()
+{
+  return std::is_same_v<T, float> ? 5e-4 : 1e-11;
+}
+
+/// assert |a-b| <= tol * max(1, |a|, |b|).
+inline void expect_close(double a, double b, double tol, const char* what = "")
+{
+  const double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  EXPECT_NEAR(a, b, tol * scale) << what;
+}
+
+/// Deterministic random positions across the grid domain (periodic images
+/// included: the range extends one period on each side to test wrapping).
+template <typename T>
+std::vector<std::array<T, 3>> random_positions(const Grid3D<T>& g, int count, std::uint64_t seed,
+                                               bool beyond_domain = false)
+{
+  Xoshiro256 rng(seed);
+  std::vector<std::array<T, 3>> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const double pad = beyond_domain ? 1.0 : 0.0;
+  for (int i = 0; i < count; ++i) {
+    const double lx = g.x.end - g.x.start, ly = g.y.end - g.y.start, lz = g.z.end - g.z.start;
+    out.push_back({static_cast<T>(rng.uniform(g.x.start - pad * lx, g.x.end + pad * lx)),
+                   static_cast<T>(rng.uniform(g.y.start - pad * ly, g.y.end + pad * ly)),
+                   static_cast<T>(rng.uniform(g.z.start - pad * lz, g.z.end + pad * lz))});
+  }
+  return out;
+}
+
+} // namespace mqc::test
+
+#endif // MQC_TESTS_TEST_UTILS_H

@@ -1,0 +1,94 @@
+// Unit tests for the small shared value types: Vec3 algebra and the
+// per-walker output buffers (sizing, alignment, stream accessors).
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/vec3.h"
+#include "qmc/walker.h"
+
+using namespace mqc;
+
+TEST(Vec3, IndexingAndMutation)
+{
+  Vec3<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  v[1] = 5.0;
+  EXPECT_DOUBLE_EQ(v.y, 5.0);
+}
+
+TEST(Vec3, Arithmetic)
+{
+  const Vec3<double> a{1, 2, 3}, b{4, 5, 6};
+  const auto s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 5.0);
+  const auto d = b - a;
+  EXPECT_DOUBLE_EQ(d.z, 3.0);
+  const auto m = 2.0 * a;
+  EXPECT_DOUBLE_EQ(m.y, 4.0);
+  const auto m2 = a * 3.0;
+  EXPECT_DOUBLE_EQ(m2.x, 3.0);
+}
+
+TEST(Vec3, DotAndNorm)
+{
+  const Vec3<double> a{3, 4, 0};
+  EXPECT_DOUBLE_EQ(dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 25.0);
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+  const Vec3<double> b{0, 0, 2};
+  EXPECT_DOUBLE_EQ(dot(a, b), 0.0);
+}
+
+TEST(Vec3, CompoundAssignment)
+{
+  Vec3<float> a{1, 1, 1};
+  a += Vec3<float>{1, 2, 3};
+  a -= Vec3<float>{0, 1, 0};
+  a *= 2.0f;
+  EXPECT_FLOAT_EQ(a.x, 4.0f);
+  EXPECT_FLOAT_EQ(a.y, 4.0f);
+  EXPECT_FLOAT_EQ(a.z, 8.0f);
+}
+
+TEST(WalkerAoS, BufferSizes)
+{
+  WalkerAoS<float> w(64);
+  EXPECT_EQ(w.v.size(), 64u);
+  EXPECT_EQ(w.g.size(), 192u);
+  EXPECT_EQ(w.l.size(), 64u);
+  EXPECT_EQ(w.h.size(), 576u);
+}
+
+TEST(WalkerSoA, BufferSizesAndStreams)
+{
+  WalkerSoA<float> w(48);
+  EXPECT_EQ(w.stride, 48u);
+  EXPECT_EQ(w.v.size(), 48u);
+  EXPECT_EQ(w.g.size(), 144u);
+  EXPECT_EQ(w.h.size(), 288u);
+  EXPECT_EQ(w.gy(), w.g.data() + 48);
+  EXPECT_EQ(w.gz(), w.g.data() + 96);
+  EXPECT_EQ(w.hcomp(5), w.h.data() + 5 * 48);
+}
+
+TEST(WalkerSoA, BuffersAreAligned)
+{
+  WalkerSoA<double> w(40);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.v.data()) % kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.g.data()) % kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.h.data()) % kAlignment, 0u);
+  // Component streams stay aligned because the stride is a lane multiple.
+  EXPECT_EQ((40 * sizeof(double)) % kAlignment, 0u);
+}
+
+TEST(WalkerAoS, BuffersAreAligned)
+{
+  WalkerAoS<float> w(32);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.v.data()) % kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.g.data()) % kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.l.data()) % kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.h.data()) % kAlignment, 0u);
+}
