@@ -16,11 +16,38 @@
 #include <cmath>
 #include <vector>
 
+#include "common/aligned_allocator.h"
 #include "common/config.h"
 #include "common/simd.h"
 #include "core/spline1d.h"
 
 namespace mqc {
+
+/// Per-thread scratch rows for the vectorized row kernels below.  One set is
+/// shared by every Jastrow object on the thread (the drivers share a single
+/// const Jastrow across walker threads, so the scratch cannot live in the
+/// object) and grows monotonically, so steady-state evaluation never
+/// allocates.
+template <typename T>
+struct JastrowRowScratch
+{
+  aligned_vector<T> u, du, d2u;
+
+  void ensure(std::size_t stride)
+  {
+    if (u.size() < stride) {
+      u.resize(stride);
+      du.resize(stride);
+      d2u.resize(stride);
+    }
+  }
+
+  static JastrowRowScratch& for_this_thread()
+  {
+    static thread_local JastrowRowScratch scratch;
+    return scratch;
+  }
+};
 
 template <typename T>
 class BsplineJastrowFunctor

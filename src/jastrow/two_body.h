@@ -76,8 +76,9 @@ public:
   {
     T usum = T(0);
     const int n = table.size();
-    aligned_vector<T> u_row(table.row_stride()), du_row(table.row_stride()),
-        d2u_row(table.row_stride());
+    auto& scratch = JastrowRowScratch<T>::for_this_thread();
+    scratch.ensure(table.row_stride());
+    aligned_vector<T>&u_row = scratch.u, &du_row = scratch.du, &d2u_row = scratch.d2u;
     for (int i = 0; i < n; ++i) {
       const T* MQC_RESTRICT r = table.dist_row(i);
       const T* MQC_RESTRICT dx = table.dx_row(i);

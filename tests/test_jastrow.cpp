@@ -121,6 +121,63 @@ TEST(Functor, SumRowHandlesSentinels)
   EXPECT_NEAR(f.sum_row(row, 4), f.evaluate(0.5) + f.evaluate(1.0), 1e-12);
 }
 
+namespace {
+
+/// The row kernels mask instead of branching; at the cutoff boundary and at
+/// the self-distance sentinel that mask must reproduce the scalar early-out
+/// path bit-for-bit (exact zeros, not merely small values).
+template <typename T>
+void check_row_kernels_at_cutoff()
+{
+  const T rc = T(2);
+  const auto f = BsplineJastrowFunctor<T>::make_exponential(T(-0.5), T(1), rc);
+  alignas(kAlignment) const T row[8] = {T(0.25),          rc,     T(1.3), kSelfDistance<T>,
+                                        std::nextafter(rc, T(3)), T(0.8), T(3.7), T(1.9)};
+  alignas(kAlignment) T u[8], du[8], d2u[8];
+  f.evaluate_row(row, 8, u, du, d2u);
+  T scalar_sum = T(0);
+  for (int j = 0; j < 8; ++j) {
+    T sdu, sd2u;
+    const T su = f.evaluate(row[j], sdu, sd2u);
+    scalar_sum += su;
+    if (row[j] >= rc) {
+      // Exact zero contribution, matching the scalar r >= rcut early-out.
+      EXPECT_EQ(u[j], T(0)) << row[j];
+      EXPECT_EQ(du[j], T(0)) << row[j];
+      EXPECT_EQ(d2u[j], T(0)) << row[j];
+    } else {
+      const T tol = std::is_same_v<T, double> ? T(1e-12) : T(1e-6);
+      EXPECT_NEAR(u[j], su, tol) << row[j];
+      EXPECT_NEAR(du[j], sdu, tol * 10) << row[j];
+      EXPECT_NEAR(d2u[j], sd2u, tol * 100) << row[j];
+    }
+  }
+  const T tol = std::is_same_v<T, double> ? T(1e-12) : T(1e-5);
+  EXPECT_NEAR(f.sum_row(row, 8), scalar_sum, tol);
+
+  // A row made entirely of at/beyond-cutoff entries sums to exactly zero.
+  alignas(kAlignment) const T dead_row[4] = {rc, kSelfDistance<T>, T(100), rc + T(1)};
+  EXPECT_EQ(f.sum_row(dead_row, 4), T(0));
+  f.evaluate_row(dead_row, 4, u, du, d2u);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(u[j], T(0)) << j;
+    EXPECT_EQ(du[j], T(0)) << j;
+    EXPECT_EQ(d2u[j], T(0)) << j;
+  }
+}
+
+} // namespace
+
+TEST(Functor, RowKernelsMaskCutoffBoundaryExactlyDouble)
+{
+  check_row_kernels_at_cutoff<double>();
+}
+
+TEST(Functor, RowKernelsMaskCutoffBoundaryExactlyFloat)
+{
+  check_row_kernels_at_cutoff<float>();
+}
+
 TEST(J2, ValueMatchesBruteForce)
 {
   JFixture f;
