@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <cstring>
+#include <fstream>
 #include <functional>
 
 namespace mqc::bench {
@@ -144,6 +146,68 @@ double measure_seconds_per_eval(Layout layout, Kernel kernel, const CoefStorage<
   auto batch = make_batch(layout, kernel, full, alias, aosoa, ns, seed);
   const double t = time_per_iteration(batch, min_seconds, 2);
   return t / ns;
+}
+
+// ---------------------------------------------------------------------------
+// JsonReporter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal JSON string escape (names/units are plain ASCII identifiers).
+std::string json_escape(const std::string& s)
+{
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\')
+      out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+} // namespace
+
+JsonReporter JsonReporter::from_args(int argc, char** argv, const std::string& bench_name)
+{
+  JsonReporter r;
+  r.bench_ = bench_name;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      r.path_ = argv[i + 1];
+      break;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      r.path_ = arg + 7;
+      break;
+    }
+  }
+  return r;
+}
+
+void JsonReporter::add(const std::string& name, double value, const std::string& unit)
+{
+  rows_.push_back({name, value, unit});
+}
+
+bool JsonReporter::write() const
+{
+  if (path_.empty())
+    return true;
+  std::ofstream out(path_);
+  if (!out)
+    return false;
+  out << "{\"bench\": \"" << json_escape(bench_) << "\", \"rows\": [";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (i > 0)
+      out << ", ";
+    out << "{\"name\": \"" << json_escape(rows_[i].name) << "\", \"value\": " << rows_[i].value
+        << ", \"unit\": \"" << json_escape(rows_[i].unit) << "\"}";
+  }
+  out << "]}\n";
+  return static_cast<bool>(out);
 }
 
 } // namespace mqc::bench

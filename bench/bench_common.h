@@ -144,6 +144,36 @@ double measure_throughput(Layout layout, Kernel kernel, const CoefStorage<float>
 double measure_seconds_per_eval(Layout layout, Kernel kernel, const CoefStorage<float>& full,
                                 int tile, int ns, double min_seconds, std::uint64_t seed = 7);
 
+/// Machine-readable result emission for the tier-1-adjacent benches: pass
+/// `--json <path>` (or `--json=<path>`) to a bench binary and it writes its
+/// headline numbers as
+///   {"bench": "<name>", "rows": [{"name": ..., "value": ..., "unit": ...}]}
+/// alongside the human-readable table — e.g. `BENCH_fig7b.json` for the perf
+/// trajectory.  Without the flag the reporter is inert.
+class JsonReporter
+{
+public:
+  /// Parse `--json <path>` / `--json=<path>` out of argv (first match wins).
+  static JsonReporter from_args(int argc, char** argv, const std::string& bench_name);
+
+  void add(const std::string& name, double value, const std::string& unit);
+  /// Write the collected rows; no-op (returns true) when no path was given.
+  bool write() const;
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+  struct Row
+  {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+  };
+  std::string bench_;
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
 } // namespace mqc::bench
 
 #endif // MQC_BENCH_BENCH_COMMON_H

@@ -8,11 +8,12 @@
 #include "core/tuner.h"
 #include "bench_common.h"
 
-int main()
+int main(int argc, char** argv)
 {
   using namespace mqc;
   using namespace mqc::bench;
   const BenchScale scale = bench_scale();
+  auto json = JsonReporter::from_args(argc, argv, "fig7b_tiling");
 
   // Tune Nb once at the largest sweep size (it is N-independent, §VI-B).
   const auto tgrid = Grid3D<float>::cube(scale.grid, 1.0f);
@@ -36,9 +37,13 @@ int main()
         measure_throughput(Layout::AoSoA, Kernel::VGH, *coefs, tile, scale.ns, scale.min_seconds);
     tp.add_row({TablePrinter::cell(n), TablePrinter::cell(t_soa / 1e6, 2),
                 TablePrinter::cell(t_aosoa / 1e6, 2), TablePrinter::cell(t_aosoa / t_soa, 2)});
+    json.add("vgh_soa_n" + std::to_string(n), t_soa, "eval/s");
+    json.add("vgh_aosoa_n" + std::to_string(n), t_aosoa, "eval/s");
   }
   tp.print(std::cout);
   std::cout << "\nShape check (paper): AoSoA holds throughput roughly flat across N\n"
                "(sustained performance), with the biggest wins at the largest N.\n";
+  if (!json.write())
+    std::cout << "warning: could not write " << json.path() << "\n";
   return 0;
 }

@@ -7,11 +7,12 @@
 #include "core/tuner.h"
 #include "bench_common.h"
 
-int main()
+int main(int argc, char** argv)
 {
   using namespace mqc;
   using namespace mqc::bench;
   const BenchScale scale = bench_scale();
+  auto json = JsonReporter::from_args(argc, argv, "fig7c_tilesize");
   const int n = scale.n_single;
 
   const auto grid = Grid3D<float>::cube(scale.grid, 1.0f);
@@ -29,11 +30,15 @@ int main()
     tp.add_row({TablePrinter::cell(nb), TablePrinter::cell((n + nb - 1) / nb),
                 TablePrinter::cell(set_mb, 1), TablePrinter::cell(sweep.throughputs[i] / 1e6, 2),
                 TablePrinter::cell(sweep.throughputs[i] / sweep.best_throughput, 2)});
+    json.add("vgh_aosoa_nb" + std::to_string(nb), sweep.throughputs[i], "eval/s");
   }
   tp.print(std::cout);
+  json.add("best_nb", sweep.best_tile, "splines");
   std::cout << "\nbest Nb on this host: " << sweep.best_tile
             << "  (paper: 64 on BDW/BGQ [L3-resident working set], 512 on KNC/KNL)\n"
             << "Shape check: throughput peaks at an intermediate Nb tied to cache size,\n"
                "not at the untiled extreme.\n";
+  if (!json.write())
+    std::cout << "warning: could not write " << json.path() << "\n";
   return 0;
 }

@@ -1,0 +1,165 @@
+// google-benchmark: per-(tile, walker) batched evaluation vs the fused
+// multi-position path (core/batched.h) at paper scale (N >= 1024, a walker
+// population of 8+).  The fused path precomputes one weight set per
+// position, sweeps each tile's coefficient slice once per position block,
+// and stores on the first weight iteration instead of zero-filling.
+//
+// The headline BM_*_FusedVsPerPair benchmarks interleave the two paths in
+// one timing loop and report both throughputs plus their ratio as counters
+// ("fused_speedup" > 1 means the fused path wins) — paired measurement, so
+// host noise (CPU steal, frequency drift) hits both paths equally instead of
+// whichever benchmark ran during a bad window.  The reported Time column is
+// the fused path's (manual time).
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/timer.h"
+#include "core/batched.h"
+#include "core/synthetic_orbitals.h"
+
+namespace {
+
+using namespace mqc;
+
+constexpr int kGrid = 24;
+
+std::shared_ptr<CoefStorage<float>> storage_for(int n)
+{
+  static std::map<int, std::shared_ptr<CoefStorage<float>>> cache;
+  auto& slot = cache[n];
+  if (!slot)
+    slot = make_random_storage<float>(Grid3D<float>::cube(kGrid, 1.0f), n,
+                                      91 + static_cast<std::uint64_t>(n));
+  return slot;
+}
+
+/// Shared fixture state: one engine, a walker population, output buffers.
+struct Population
+{
+  std::unique_ptr<MultiBspline<float>> engine;
+  std::vector<Vec3<float>> positions;
+  std::vector<std::unique_ptr<WalkerSoA<float>>> outs;
+  std::vector<WalkerSoA<float>*> out_ptrs;
+
+  Population(int n, int nb, int nw)
+  {
+    auto coefs = storage_for(n);
+    engine = std::make_unique<MultiBspline<float>>(*coefs, nb);
+    Xoshiro256 rng(7);
+    for (int w = 0; w < nw; ++w) {
+      positions.push_back(Vec3<float>{static_cast<float>(rng.uniform()),
+                                      static_cast<float>(rng.uniform()),
+                                      static_cast<float>(rng.uniform())});
+      outs.push_back(std::make_unique<WalkerSoA<float>>(engine->out_stride()));
+      out_ptrs.push_back(outs.back().get());
+    }
+  }
+};
+
+// -- paired comparisons (the acceptance-criterion benchmarks) ---------------
+
+void BM_BatchedVGH_FusedVsPerPair(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  const int nb = static_cast<int>(state.range(1));
+  const int nw = static_cast<int>(state.range(2));
+  const int pb = static_cast<int>(state.range(3)); // position block P (0 = whole population)
+  Population pop(n, nb, nw);
+  double t_pair = 0.0, t_fused = 0.0;
+  for (auto _ : state) {
+    Stopwatch a;
+    evaluate_vgh_batched(*pop.engine, pop.positions, pop.out_ptrs);
+    t_pair += a.elapsed();
+    Stopwatch b;
+    evaluate_vgh_batched_multi(*pop.engine, pop.positions, pop.out_ptrs, pb);
+    const double fused = b.elapsed();
+    t_fused += fused;
+    state.SetIterationTime(fused);
+    benchmark::DoNotOptimize(pop.outs[0]->v.data());
+  }
+  const double evals = static_cast<double>(n) * nw * static_cast<double>(state.iterations());
+  state.counters["per_pair_evals_per_s"] = evals / t_pair;
+  state.counters["fused_evals_per_s"] = evals / t_fused;
+  state.counters["fused_speedup"] = t_pair / t_fused;
+  state.SetItemsProcessed(state.iterations() * n * nw);
+}
+
+void BM_BatchedV_FusedVsPerPair(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  const int nb = static_cast<int>(state.range(1));
+  const int nw = static_cast<int>(state.range(2));
+  const int pb = static_cast<int>(state.range(3));
+  Population pop(n, nb, nw);
+  double t_pair = 0.0, t_fused = 0.0;
+  for (auto _ : state) {
+    Stopwatch a;
+    evaluate_v_batched(*pop.engine, pop.positions, pop.out_ptrs);
+    t_pair += a.elapsed();
+    Stopwatch b;
+    evaluate_v_batched_multi(*pop.engine, pop.positions, pop.out_ptrs, pb);
+    const double fused = b.elapsed();
+    t_fused += fused;
+    state.SetIterationTime(fused);
+    benchmark::DoNotOptimize(pop.outs[0]->v.data());
+  }
+  const double evals = static_cast<double>(n) * nw * static_cast<double>(state.iterations());
+  state.counters["per_pair_evals_per_s"] = evals / t_pair;
+  state.counters["fused_evals_per_s"] = evals / t_fused;
+  state.counters["fused_speedup"] = t_pair / t_fused;
+  state.SetItemsProcessed(state.iterations() * n * nw);
+}
+
+// -- standalone per-path latencies ------------------------------------------
+
+void BM_BatchedVGH_PerPair(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  const int nb = static_cast<int>(state.range(1));
+  const int nw = static_cast<int>(state.range(2));
+  Population pop(n, nb, nw);
+  for (auto _ : state) {
+    evaluate_vgh_batched(*pop.engine, pop.positions, pop.out_ptrs);
+    benchmark::DoNotOptimize(pop.outs[0]->v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * nw);
+}
+
+void BM_BatchedVGH_FusedMulti(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  const int nb = static_cast<int>(state.range(1));
+  const int nw = static_cast<int>(state.range(2));
+  const int pb = static_cast<int>(state.range(3));
+  Population pop(n, nb, nw);
+  for (auto _ : state) {
+    evaluate_vgh_batched_multi(*pop.engine, pop.positions, pop.out_ptrs, pb);
+    benchmark::DoNotOptimize(pop.outs[0]->v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * nw);
+}
+
+} // namespace
+
+// Paper scale (N=1024..2048, 8..16 walkers) across tile sizes from the
+// fine-tiled end (Nb=32, where per-pair pays one weight recomputation per
+// tile per walker and the fused path's up-front weight batch wins most) to
+// the paper's BDW-tuned Nb=64/128, plus one smaller CI-friendly point.
+// Args: {N, Nb, nw, P}; P=0 means one block spanning the whole population
+// (maximum table reuse).
+BENCHMARK(BM_BatchedVGH_FusedVsPerPair)
+    ->Args({512, 64, 8, 0})
+    ->Args({1024, 32, 8, 0})
+    ->Args({1024, 64, 8, 0})
+    ->Args({1024, 128, 8, 0})
+    ->Args({2048, 32, 16, 0})
+    ->Args({2048, 128, 16, 0})
+    ->UseManualTime();
+BENCHMARK(BM_BatchedV_FusedVsPerPair)->Args({1024, 128, 8, 0})->UseManualTime();
+BENCHMARK(BM_BatchedVGH_PerPair)->Args({1024, 128, 8});
+BENCHMARK(BM_BatchedVGH_FusedMulti)->Args({1024, 128, 8, 0})->Args({1024, 128, 8, 4});
+
+BENCHMARK_MAIN();

@@ -1,11 +1,17 @@
-// Domain scenario 2: tile-size auto-tuning with persistent wisdom — the
-// FFTW-style workflow the paper proposes for production runs (§VI).
+// Domain scenario 2: auto-tuning with persistent wisdom — the FFTW-style
+// workflow the paper proposes for production runs (§VI).
 //
-// First run probes candidate tile sizes for the requested problem and writes
-// the winner to a wisdom file; later runs (same problem, same machine) read
-// it back and skip the probe.
+// Two tuning modes share one wisdom file:
+//   * single-position tile sweep (v1 key): the Fig. 7(c) Nb probe;
+//   * joint (Nb, P) sweep (v2 key): tile size and position block of the
+//     fused batched multi-evaluation path (core/batched.h), probed over a
+//     walker population.
+// First run probes candidates for the requested problem and writes the
+// winners; later runs (same problem, same machine) read them back and skip
+// the probes.
 //
-//   ./examples/tile_tuning [N] [grid] [wisdom-file]
+//   ./examples/tile_tuning [N] [grid] [wisdom-file] [num-walkers]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -18,28 +24,51 @@ int main(int argc, char** argv)
   const int n = argc > 1 ? std::atoi(argv[1]) : 512;
   const int ng = argc > 2 ? std::atoi(argv[2]) : 32;
   const std::string path = argc > 3 ? argv[3] : "miniqmcpp_wisdom.txt";
+  const int nw = std::max(1, argc > 4 ? std::atoi(argv[4]) : 8);
 
   const auto key = Wisdom::make_key("vgh", "float", n, ng, ng, ng);
+  const auto key2 = Wisdom::make_key_v2("vgh", "float", n, ng, ng, ng, nw);
   Wisdom wisdom;
-  if (wisdom.load(path)) {
-    if (const auto entry = wisdom.lookup(key)) {
-      std::printf("wisdom hit: %s -> Nb=%d (%.1f Meval/s when tuned)\n", key.c_str(),
-                  entry->tile_size, entry->throughput / 1e6);
-      std::printf("delete %s to re-tune.\n", path.c_str());
-      return 0;
-    }
+  wisdom.load(path);
+  const auto hit1 = wisdom.lookup(key);
+  const auto hit2 = wisdom.lookup(key2);
+  if (hit1 && hit2) {
+    std::printf("wisdom hit: %s -> Nb=%d (%.1f Meval/s when tuned)\n", key.c_str(),
+                hit1->tile_size, hit1->throughput / 1e6);
+    std::printf("wisdom hit: %s -> Nb=%d P=%d (%.1f Meval/s when tuned)\n", key2.c_str(),
+                hit2->tile_size, hit2->pos_block, hit2->throughput / 1e6);
+    std::printf("delete %s to re-tune.\n", path.c_str());
+    return 0;
   }
 
-  std::printf("no wisdom for %s — probing tile sizes...\n", key.c_str());
   const auto grid = Grid3D<float>::cube(ng, 1.0f);
   auto coefs = make_random_storage<float>(grid, n, 5150);
-  const auto result = tune_tile_size_vgh(*coefs, default_tile_candidates(n, 16), /*ns=*/32,
-                                         /*min_seconds=*/0.1);
-  for (std::size_t i = 0; i < result.tiles.size(); ++i)
-    std::printf("  Nb=%4d  %8.1f Meval/s%s\n", result.tiles[i], result.throughputs[i] / 1e6,
-                result.tiles[i] == result.best_tile ? "   <-- best" : "");
 
-  wisdom.insert(key, {result.best_tile, result.best_throughput});
+  if (!hit1) {
+    std::printf("no wisdom for %s — probing tile sizes...\n", key.c_str());
+    const auto result = tune_tile_size_vgh(*coefs, default_tile_candidates(n, 16), /*ns=*/32,
+                                           /*min_seconds=*/0.1);
+    for (std::size_t i = 0; i < result.tiles.size(); ++i)
+      std::printf("  Nb=%4d  %8.1f Meval/s%s\n", result.tiles[i], result.throughputs[i] / 1e6,
+                  result.tiles[i] == result.best_tile ? "   <-- best" : "");
+    wisdom.insert(key, {result.best_tile, result.best_throughput});
+  }
+
+  if (!hit2) {
+    std::printf("no wisdom for %s — probing (Nb, P) jointly over %d walkers...\n", key2.c_str(),
+                nw);
+    const auto joint =
+        tune_tile_block_vgh(*coefs, default_tile_candidates(n, 16), default_block_candidates(nw),
+                            nw, /*min_seconds=*/0.05);
+    for (std::size_t i = 0; i < joint.tiles.size(); ++i)
+      std::printf("  Nb=%4d P=%3d  %8.1f Meval/s%s\n", joint.tiles[i], joint.blocks[i],
+                  joint.throughputs[i] / 1e6,
+                  joint.tiles[i] == joint.best_tile && joint.blocks[i] == joint.best_block
+                      ? "   <-- best"
+                      : "");
+    wisdom.insert(key2, {joint.best_tile, joint.best_throughput, joint.best_block});
+  }
+
   if (wisdom.save(path))
     std::printf("saved wisdom to %s\n", path.c_str());
   else

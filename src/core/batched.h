@@ -2,28 +2,205 @@
 // with ("we plan to extend this AoSoA design to parallelize other parts of
 // QMCPACK"), which production QMCPACK later realized as batched drivers.
 //
-// One flat parallel loop over (walker, tile) pairs evaluates a whole
-// population's positions against the shared tiled coefficient table.  Tiles
-// of different walkers are independent work items, so this generalizes the
-// nested-threading partition (Opt C) from "nth threads per walker" to "any
-// threads over any walkers" with the same cache-residency benefits: a thread
-// sweeping one tile across several walkers reuses that tile's table slice.
+// Two schedules over the same (walker, tile) work:
+//
+//  * Per-pair (ablation reference, evaluate_*_batched): one flat parallel
+//    loop over (tile, walker) pairs, each pair an independent single-position
+//    tile kernel call.  NOTE: with `collapse(2) schedule(static)` the pairs
+//    of one tile are CONTIGUOUS in the collapsed index, so a thread revisits
+//    a tile's table slice across consecutive walkers only when its static
+//    chunk happens to span several pairs of that tile — coefficient reuse is
+//    incidental, not guaranteed.  Every call also recomputes the position's
+//    weight set and (pre zero-fill-elimination) re-zeroed its output slice.
+//
+//  * Position-blocked (evaluate_*_batched_multi): all weight sets are
+//    precomputed once for the population, then work is parallelized over
+//    (tile, position-block) with the tile outer and a block of P positions
+//    inner.  The guarantee: within one work item the tile's 4*Ng*Nb-byte
+//    coefficient slice is streamed from memory once and reused from cache by
+//    all P positions of the block, and with the serial tile loop (or static
+//    scheduling) consecutive blocks of the same tile extend that residency
+//    across the whole population.  P trades input reuse against the output
+//    working set (40*P*Nb bytes for VGH) and is tuned jointly with Nb
+//    (core/tuner.h).
 #ifndef MQC_CORE_BATCHED_H
 #define MQC_CORE_BATCHED_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <vector>
 
 #include "common/vec3.h"
 #include "core/multi_bspline.h"
+#include "core/weights.h"
 #include "qmc/walker.h"
 
 namespace mqc {
 
-/// Evaluate VGH at positions[w] into outs[w] for every walker w.
-/// Work is parallelized over (tile, walker) with tile as the outer index so
-/// each thread's coefficient working set stays hot across walkers.
+/// Resolve a position-block request against the population size: pos_block
+/// <= 0 means "one block spanning the whole population" (maximum input
+/// reuse), anything else is clamped to [1, nw].
+inline int resolve_pos_block(int pos_block, int nw)
+{
+  if (pos_block <= 0)
+    return nw;
+  return std::min(pos_block, nw);
+}
+
+namespace detail {
+
+/// Per-thread scratch for the fused batched drivers: the population's weight
+/// sets and output-stream pointer tables.  Reused across calls (capacity is
+/// sticky) so steady-state driver iterations allocate nothing.
+template <typename T>
+struct BatchedScratch
+{
+  std::vector<BsplineWeights3D<T>> w;
+  std::vector<T*> v, g, lh;
+
+  void resize(int nw)
+  {
+    const auto n = static_cast<std::size_t>(nw);
+    w.resize(n);
+    v.resize(n);
+    g.resize(n);
+    lh.resize(n);
+  }
+
+  static BatchedScratch& get()
+  {
+    static thread_local BatchedScratch scratch;
+    return scratch;
+  }
+};
+
+} // namespace detail
+
+// ---------------------------------------------------------------------------
+// Position-blocked fused path
+// ---------------------------------------------------------------------------
+
+/// Fused multi-position VGH over a population: weights once per position,
+/// tile-outer / position-block-inner sweep, first-iteration stores (no
+/// zero-fill pass).  All output buffers must share one component stride.
+template <typename T>
+void evaluate_vgh_batched_multi(const MultiBspline<T>& engine,
+                                const std::vector<Vec3<T>>& positions,
+                                std::vector<WalkerSoA<T>*>& outs, int pos_block = 0)
+{
+  assert(positions.size() == outs.size());
+  const int nw = static_cast<int>(positions.size());
+  if (nw == 0)
+    return;
+  const int pb = resolve_pos_block(pos_block, nw);
+  const int nblocks = (nw + pb - 1) / pb;
+  const int nt = engine.num_tiles();
+
+  auto& scratch = detail::BatchedScratch<T>::get();
+  scratch.resize(nw);
+  compute_weights_vgh_batch(engine.grid(), positions.data(), nw, scratch.w.data());
+
+  const std::size_t stride = outs[0]->stride;
+  for (int i = 0; i < nw; ++i) {
+    assert(outs[static_cast<std::size_t>(i)]->stride == stride);
+    scratch.v[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->v.data();
+    scratch.g[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->g.data();
+    scratch.lh[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->h.data();
+  }
+  const BsplineWeights3D<T>* w = scratch.w.data();
+  T* const* v = scratch.v.data();
+  T* const* g = scratch.g.data();
+  T* const* h = scratch.lh.data();
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int t = 0; t < nt; ++t)
+    for (int b = 0; b < nblocks; ++b) {
+      const int first = b * pb;
+      const int count = std::min(pb, nw - first);
+      engine.evaluate_vgh_tile_multi(t, w + first, count, v + first, g + first, h + first,
+                                     stride);
+    }
+}
+
+/// Fused multi-position values-only path (pseudopotential quadrature batches).
+template <typename T>
+void evaluate_v_batched_multi(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
+                              std::vector<WalkerSoA<T>*>& outs, int pos_block = 0)
+{
+  assert(positions.size() == outs.size());
+  const int nw = static_cast<int>(positions.size());
+  if (nw == 0)
+    return;
+  const int pb = resolve_pos_block(pos_block, nw);
+  const int nblocks = (nw + pb - 1) / pb;
+  const int nt = engine.num_tiles();
+
+  auto& scratch = detail::BatchedScratch<T>::get();
+  scratch.resize(nw);
+  compute_weights_v_batch(engine.grid(), positions.data(), nw, scratch.w.data());
+
+  for (int i = 0; i < nw; ++i)
+    scratch.v[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->v.data();
+  const BsplineWeights3D<T>* w = scratch.w.data();
+  T* const* v = scratch.v.data();
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int t = 0; t < nt; ++t)
+    for (int b = 0; b < nblocks; ++b) {
+      const int first = b * pb;
+      const int count = std::min(pb, nw - first);
+      engine.evaluate_v_tile_multi(t, w + first, count, v + first);
+    }
+}
+
+/// Fused multi-position VGL (local-energy measurement over a population).
+template <typename T>
+void evaluate_vgl_batched_multi(const MultiBspline<T>& engine,
+                                const std::vector<Vec3<T>>& positions,
+                                std::vector<WalkerSoA<T>*>& outs, int pos_block = 0)
+{
+  assert(positions.size() == outs.size());
+  const int nw = static_cast<int>(positions.size());
+  if (nw == 0)
+    return;
+  const int pb = resolve_pos_block(pos_block, nw);
+  const int nblocks = (nw + pb - 1) / pb;
+  const int nt = engine.num_tiles();
+
+  auto& scratch = detail::BatchedScratch<T>::get();
+  scratch.resize(nw);
+  compute_weights_vgh_batch(engine.grid(), positions.data(), nw, scratch.w.data());
+
+  const std::size_t stride = outs[0]->stride;
+  for (int i = 0; i < nw; ++i) {
+    assert(outs[static_cast<std::size_t>(i)]->stride == stride);
+    scratch.v[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->v.data();
+    scratch.g[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->g.data();
+    scratch.lh[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->l.data();
+  }
+  const BsplineWeights3D<T>* w = scratch.w.data();
+  T* const* v = scratch.v.data();
+  T* const* g = scratch.g.data();
+  T* const* l = scratch.lh.data();
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (int t = 0; t < nt; ++t)
+    for (int b = 0; b < nblocks; ++b) {
+      const int first = b * pb;
+      const int count = std::min(pb, nw - first);
+      engine.evaluate_vgl_tile_multi(t, w + first, count, v + first, g + first, l + first,
+                                     stride);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-(tile, walker) path — kept as the ablation reference the position-
+// blocked schedule is benchmarked against (bench/gb_batched_multi.cpp).
+// ---------------------------------------------------------------------------
+
+/// Evaluate VGH at positions[w] into outs[w] for every walker w, one
+/// single-position tile kernel call per (tile, walker) pair.
 template <typename T>
 void evaluate_vgh_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
                           std::vector<WalkerSoA<T>*>& outs)
@@ -41,7 +218,7 @@ void evaluate_vgh_batched(const MultiBspline<T>& engine, const std::vector<Vec3<
     }
 }
 
-/// Batched values-only evaluation (pseudopotential quadrature batches).
+/// Batched values-only evaluation, per-pair schedule.
 template <typename T>
 void evaluate_v_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
                         std::vector<WalkerSoA<T>*>& outs)
@@ -57,7 +234,7 @@ void evaluate_v_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>
     }
 }
 
-/// Batched VGL (local-energy measurement over a population).
+/// Batched VGL, per-pair schedule.
 template <typename T>
 void evaluate_vgl_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
                           std::vector<WalkerSoA<T>*>& outs)

@@ -6,21 +6,36 @@
 //     AoS components (the symmetric Hessian is stored once),
 //   * the z loop is unrolled into fused partial sums, so the innermost loop
 //     reads four coefficient streams and performs pure FMA accumulation,
-//   * no temporaries are allocated per call.
+//   * no temporaries are allocated per call,
+//   * the first (i,j) weight iteration *stores* (`=`) into the output streams
+//     and only the remaining 15 accumulate (`+=`), so there is no separate
+//     zero-fill pass over the outputs (one fewer full write sweep per call).
 //
 // Output layout: component q of a family lives at base + q*stride where
 // stride is the caller's component stride (>= padded_splines(), multiple of
 // the SIMD lane count).  This lets one engine serve both a standalone SoA
 // walker buffer and a tile slice of an AoSoA walker buffer.
+//
+// Two entry-point families:
+//   * evaluate_v/vgl/vgh(x, y, z, ...) — single position, weights computed
+//     internally;
+//   * evaluate_v/vgl/vgh_w(weights, ...) and the *_multi block variants —
+//     the multi-position evaluation layer: the caller precomputes a block of
+//     weight sets (core/weights.h batch helpers) and the engine sweeps its
+//     coefficient table once per block, amortizing the table traffic over
+//     all P positions (the cache-residency extension of the paper's AoSoA
+//     analysis; see core/batched.h).
 #ifndef MQC_CORE_BSPLINE_SOA_H
 #define MQC_CORE_BSPLINE_SOA_H
 
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <vector>
 
 #include "common/config.h"
 #include "common/simd.h"
+#include "common/vec3.h"
 #include "core/coef_storage.h"
 #include "core/weights.h"
 
@@ -38,71 +53,23 @@ public:
   /// Natural component stride when this engine owns the whole orbital set.
   [[nodiscard]] std::size_t out_stride() const noexcept { return coefs_->padded_splines(); }
 
+  // -- single-position kernels (weights computed internally) ---------------
+
   /// Values only (z-unrolled; layout is already unit-stride for V).
   void evaluate_v(T x, T y, T z, T* MQC_RESTRICT v) const
   {
     BsplineWeights3D<T> w;
     compute_weights_v(coefs_->grid(), x, y, z, w);
-    const int np = static_cast<int>(coefs_->padded_splines());
-    const std::size_t zs = coefs_->stride_z();
-    std::fill_n(v, static_cast<std::size_t>(np), T(0));
-    for (int i = 0; i < 4; ++i)
-      for (int j = 0; j < 4; ++j) {
-        const T* MQC_RESTRICT p0 = coefs_->row(w.i0 + i, w.j0 + j, w.k0);
-        const T* MQC_RESTRICT p1 = p0 + zs;
-        const T* MQC_RESTRICT p2 = p0 + 2 * zs;
-        const T* MQC_RESTRICT p3 = p0 + 3 * zs;
-        const T pre00 = w.a[i] * w.b[j];
-        const T c0 = w.c[0], c1 = w.c[1], c2 = w.c[2], c3 = w.c[3];
-        MQC_SIMD_ALIGNED(v, p0, p1, p2, p3)
-        for (int n = 0; n < np; ++n)
-          v[n] += pre00 * (c0 * p0[n] + c1 * p1[n] + c2 * p2[n] + c3 * p3[n]);
-      }
+    evaluate_v_w(w, v);
   }
 
   /// Value + gradient + Laplacian; 5 SoA streams (v | gx gy gz via g,stride | l).
   void evaluate_vgl(T x, T y, T z, T* MQC_RESTRICT v, T* MQC_RESTRICT g, T* MQC_RESTRICT l,
                     std::size_t stride) const
   {
-    assert(stride >= coefs_->padded_splines() && stride % simd_lanes<T> == 0);
     BsplineWeights3D<T> w;
     compute_weights_vgh(coefs_->grid(), x, y, z, w);
-    const int np = static_cast<int>(coefs_->padded_splines());
-    const std::size_t zs = coefs_->stride_z();
-    T* MQC_RESTRICT gx = g;
-    T* MQC_RESTRICT gy = g + stride;
-    T* MQC_RESTRICT gz = g + 2 * stride;
-    std::fill_n(v, static_cast<std::size_t>(np), T(0));
-    std::fill_n(gx, static_cast<std::size_t>(np), T(0));
-    std::fill_n(gy, static_cast<std::size_t>(np), T(0));
-    std::fill_n(gz, static_cast<std::size_t>(np), T(0));
-    std::fill_n(l, static_cast<std::size_t>(np), T(0));
-    for (int i = 0; i < 4; ++i)
-      for (int j = 0; j < 4; ++j) {
-        const T* MQC_RESTRICT p0 = coefs_->row(w.i0 + i, w.j0 + j, w.k0);
-        const T* MQC_RESTRICT p1 = p0 + zs;
-        const T* MQC_RESTRICT p2 = p0 + 2 * zs;
-        const T* MQC_RESTRICT p3 = p0 + 3 * zs;
-        const T pre00 = w.a[i] * w.b[j];
-        const T pre01 = w.a[i] * w.db[j];
-        const T pre10 = w.da[i] * w.b[j];
-        const T pre2t = w.d2a[i] * w.b[j] + w.a[i] * w.d2b[j]; // (d2x + d2y) factor
-        const T c0 = w.c[0], c1 = w.c[1], c2 = w.c[2], c3 = w.c[3];
-        const T dc0 = w.dc[0], dc1 = w.dc[1], dc2 = w.dc[2], dc3 = w.dc[3];
-        const T e0 = w.d2c[0], e1 = w.d2c[1], e2 = w.d2c[2], e3 = w.d2c[3];
-        MQC_SIMD_ALIGNED(v, gx, gy, gz, l, p0, p1, p2, p3)
-        for (int n = 0; n < np; ++n) {
-          const T P0 = p0[n], P1 = p1[n], P2 = p2[n], P3 = p3[n];
-          const T s = c0 * P0 + c1 * P1 + c2 * P2 + c3 * P3;
-          const T ds = dc0 * P0 + dc1 * P1 + dc2 * P2 + dc3 * P3;
-          const T d2s = e0 * P0 + e1 * P1 + e2 * P2 + e3 * P3;
-          v[n] += pre00 * s;
-          gx[n] += pre10 * s;
-          gy[n] += pre01 * s;
-          gz[n] += pre00 * ds;
-          l[n] += pre2t * s + pre00 * d2s;
-        }
-      }
+    evaluate_vgl_w(w, v, g, l, stride);
   }
 
   /// Value + gradient + symmetric Hessian; 10 SoA streams
@@ -110,11 +77,42 @@ public:
   void evaluate_vgh(T x, T y, T z, T* MQC_RESTRICT v, T* MQC_RESTRICT g, T* MQC_RESTRICT h,
                     std::size_t stride) const
   {
-    assert(stride >= coefs_->padded_splines() && stride % simd_lanes<T> == 0);
     BsplineWeights3D<T> w;
     compute_weights_vgh(coefs_->grid(), x, y, z, w);
-    const int np = static_cast<int>(coefs_->padded_splines());
-    const std::size_t zs = coefs_->stride_z();
+    evaluate_vgh_w(w, v, g, h, stride);
+  }
+
+  // -- precomputed-weights kernels (unit of multi-position work) -----------
+  //
+  // The weights must have been computed on this engine's grid (for an AoSoA
+  // tile: the shared full-set grid) with compute_weights_v / _vgh or their
+  // batch variants.
+
+  void evaluate_v_w(const BsplineWeights3D<T>& w, T* MQC_RESTRICT v) const
+  {
+    v_term<true>(w, 0, 0, v);
+    for (int i = 0; i < 4; ++i)
+      for (int j = (i == 0 ? 1 : 0); j < 4; ++j)
+        v_term<false>(w, i, j, v);
+  }
+
+  void evaluate_vgl_w(const BsplineWeights3D<T>& w, T* MQC_RESTRICT v, T* MQC_RESTRICT g,
+                      T* MQC_RESTRICT l, std::size_t stride) const
+  {
+    assert(stride >= coefs_->padded_splines() && stride % simd_lanes<T> == 0);
+    T* MQC_RESTRICT gx = g;
+    T* MQC_RESTRICT gy = g + stride;
+    T* MQC_RESTRICT gz = g + 2 * stride;
+    vgl_term<true>(w, 0, 0, v, gx, gy, gz, l);
+    for (int i = 0; i < 4; ++i)
+      for (int j = (i == 0 ? 1 : 0); j < 4; ++j)
+        vgl_term<false>(w, i, j, v, gx, gy, gz, l);
+  }
+
+  void evaluate_vgh_w(const BsplineWeights3D<T>& w, T* MQC_RESTRICT v, T* MQC_RESTRICT g,
+                      T* MQC_RESTRICT h, std::size_t stride) const
+  {
+    assert(stride >= coefs_->padded_splines() && stride % simd_lanes<T> == 0);
     T* MQC_RESTRICT gx = g;
     T* MQC_RESTRICT gy = g + stride;
     T* MQC_RESTRICT gz = g + 2 * stride;
@@ -124,49 +122,63 @@ public:
     T* MQC_RESTRICT hyy = h + 3 * stride;
     T* MQC_RESTRICT hyz = h + 4 * stride;
     T* MQC_RESTRICT hzz = h + 5 * stride;
-    std::fill_n(v, static_cast<std::size_t>(np), T(0));
-    std::fill_n(gx, static_cast<std::size_t>(np), T(0));
-    std::fill_n(gy, static_cast<std::size_t>(np), T(0));
-    std::fill_n(gz, static_cast<std::size_t>(np), T(0));
-    std::fill_n(hxx, static_cast<std::size_t>(np), T(0));
-    std::fill_n(hxy, static_cast<std::size_t>(np), T(0));
-    std::fill_n(hxz, static_cast<std::size_t>(np), T(0));
-    std::fill_n(hyy, static_cast<std::size_t>(np), T(0));
-    std::fill_n(hyz, static_cast<std::size_t>(np), T(0));
-    std::fill_n(hzz, static_cast<std::size_t>(np), T(0));
+    vgh_term<true>(w, 0, 0, v, gx, gy, gz, hxx, hxy, hxz, hyy, hyz, hzz);
     for (int i = 0; i < 4; ++i)
-      for (int j = 0; j < 4; ++j) {
-        const T* MQC_RESTRICT p0 = coefs_->row(w.i0 + i, w.j0 + j, w.k0);
-        const T* MQC_RESTRICT p1 = p0 + zs;
-        const T* MQC_RESTRICT p2 = p0 + 2 * zs;
-        const T* MQC_RESTRICT p3 = p0 + 3 * zs;
-        const T pre00 = w.a[i] * w.b[j];
-        const T pre01 = w.a[i] * w.db[j];
-        const T pre02 = w.a[i] * w.d2b[j];
-        const T pre10 = w.da[i] * w.b[j];
-        const T pre11 = w.da[i] * w.db[j];
-        const T pre20 = w.d2a[i] * w.b[j];
-        const T c0 = w.c[0], c1 = w.c[1], c2 = w.c[2], c3 = w.c[3];
-        const T dc0 = w.dc[0], dc1 = w.dc[1], dc2 = w.dc[2], dc3 = w.dc[3];
-        const T e0 = w.d2c[0], e1 = w.d2c[1], e2 = w.d2c[2], e3 = w.d2c[3];
-        MQC_SIMD_ALIGNED(v, gx, gy, gz, hxx, hxy, hxz, hyy, hyz, hzz, p0, p1, p2, p3)
-        for (int n = 0; n < np; ++n) {
-          const T P0 = p0[n], P1 = p1[n], P2 = p2[n], P3 = p3[n];
-          const T s = c0 * P0 + c1 * P1 + c2 * P2 + c3 * P3;
-          const T ds = dc0 * P0 + dc1 * P1 + dc2 * P2 + dc3 * P3;
-          const T d2s = e0 * P0 + e1 * P1 + e2 * P2 + e3 * P3;
-          v[n] += pre00 * s;
-          gx[n] += pre10 * s;
-          gy[n] += pre01 * s;
-          gz[n] += pre00 * ds;
-          hxx[n] += pre20 * s;
-          hxy[n] += pre11 * s;
-          hxz[n] += pre10 * ds;
-          hyy[n] += pre02 * s;
-          hyz[n] += pre01 * ds;
-          hzz[n] += pre00 * d2s;
-        }
-      }
+      for (int j = (i == 0 ? 1 : 0); j < 4; ++j)
+        vgh_term<false>(w, i, j, v, gx, gy, gz, hxx, hxy, hxz, hyy, hyz, hzz);
+  }
+
+  // -- multi-position block kernels ----------------------------------------
+  //
+  // Evaluate `count` precomputed weight sets back to back against this
+  // engine's coefficient table; position p writes into v[p] (g[p], ...), all
+  // sharing one component stride.  While the block runs, the table (for an
+  // AoSoA tile: the 4*Ng*Nb-byte slice) stays cache-resident and is streamed
+  // from memory once instead of `count` times.
+
+  void evaluate_v_multi(const BsplineWeights3D<T>* w, int count, T* const* v) const
+  {
+    for (int p = 0; p < count; ++p)
+      evaluate_v_w(w[p], v[p]);
+  }
+
+  void evaluate_vgl_multi(const BsplineWeights3D<T>* w, int count, T* const* v, T* const* g,
+                          T* const* l, std::size_t stride) const
+  {
+    for (int p = 0; p < count; ++p)
+      evaluate_vgl_w(w[p], v[p], g[p], l[p], stride);
+  }
+
+  void evaluate_vgh_multi(const BsplineWeights3D<T>* w, int count, T* const* v, T* const* g,
+                          T* const* h, std::size_t stride) const
+  {
+    for (int p = 0; p < count; ++p)
+      evaluate_vgh_w(w[p], v[p], g[p], h[p], stride);
+  }
+
+  /// Position-based convenience: computes the block's weight sets up front
+  /// via the core/weights.h batch helper, then runs the block kernel.
+  void evaluate_v_multi(const Vec3<T>* pos, int count, T* const* v) const
+  {
+    std::vector<BsplineWeights3D<T>> w(static_cast<std::size_t>(count));
+    compute_weights_v_batch(coefs_->grid(), pos, count, w.data());
+    evaluate_v_multi(w.data(), count, v);
+  }
+
+  void evaluate_vgl_multi(const Vec3<T>* pos, int count, T* const* v, T* const* g, T* const* l,
+                          std::size_t stride) const
+  {
+    std::vector<BsplineWeights3D<T>> w(static_cast<std::size_t>(count));
+    compute_weights_vgh_batch(coefs_->grid(), pos, count, w.data());
+    evaluate_vgl_multi(w.data(), count, v, g, l, stride);
+  }
+
+  void evaluate_vgh_multi(const Vec3<T>* pos, int count, T* const* v, T* const* g, T* const* h,
+                          std::size_t stride) const
+  {
+    std::vector<BsplineWeights3D<T>> w(static_cast<std::size_t>(count));
+    compute_weights_vgh_batch(coefs_->grid(), pos, count, w.data());
+    evaluate_vgh_multi(w.data(), count, v, g, h, stride);
   }
 
   /// Convenience overloads using the engine's natural stride.
@@ -182,10 +194,13 @@ public:
   /// Ablation variant (DESIGN.md #1): SoA output layout but WITHOUT the
   /// fused z-sums — the inner loop still walks all 64 (i,j,k) sub-cubes as
   /// the baseline does.  Isolates the layout transformation from the z-loop
-  /// unrolling so the bench harness can attribute the Opt-A gain.
+  /// unrolling so the bench harness can attribute the Opt-A gain.  Also kept
+  /// on the old fill_n-then-accumulate scheme, so it doubles as the ablation
+  /// reference for the zero-fill elimination.
   void evaluate_vgh_no_zunroll(T x, T y, T z, T* MQC_RESTRICT v, T* MQC_RESTRICT g,
                                T* MQC_RESTRICT h, std::size_t stride) const
   {
+    assert(stride >= coefs_->padded_splines() && stride % simd_lanes<T> == 0);
     BsplineWeights3D<T> w;
     compute_weights_vgh(coefs_->grid(), x, y, z, w);
     const int np = static_cast<int>(coefs_->padded_splines());
@@ -235,6 +250,125 @@ public:
   }
 
 private:
+  // One (i,j) term of the tensor-product sum, z loop fused.  First=true
+  // stores (`=`) into the output streams, First=false accumulates (`+=`);
+  // running the (0,0) term with stores is what eliminates the zero-fill
+  // pass.  The three kernels share this structure; each reads exactly the
+  // four coefficient rows (i, j, k0..k0+3).
+
+  template <bool First>
+  void v_term(const BsplineWeights3D<T>& w, int i, int j, T* MQC_RESTRICT v) const
+  {
+    const int np = static_cast<int>(coefs_->padded_splines());
+    const std::size_t zs = coefs_->stride_z();
+    const T* MQC_RESTRICT p0 = coefs_->row(w.i0 + i, w.j0 + j, w.k0);
+    const T* MQC_RESTRICT p1 = p0 + zs;
+    const T* MQC_RESTRICT p2 = p0 + 2 * zs;
+    const T* MQC_RESTRICT p3 = p0 + 3 * zs;
+    const T pre00 = w.a[i] * w.b[j];
+    const T c0 = w.c[0], c1 = w.c[1], c2 = w.c[2], c3 = w.c[3];
+    MQC_SIMD_ALIGNED(v, p0, p1, p2, p3)
+    for (int n = 0; n < np; ++n) {
+      const T s = pre00 * (c0 * p0[n] + c1 * p1[n] + c2 * p2[n] + c3 * p3[n]);
+      if constexpr (First)
+        v[n] = s;
+      else
+        v[n] += s;
+    }
+  }
+
+  template <bool First>
+  void vgl_term(const BsplineWeights3D<T>& w, int i, int j, T* MQC_RESTRICT v, T* MQC_RESTRICT gx,
+                T* MQC_RESTRICT gy, T* MQC_RESTRICT gz, T* MQC_RESTRICT l) const
+  {
+    const int np = static_cast<int>(coefs_->padded_splines());
+    const std::size_t zs = coefs_->stride_z();
+    const T* MQC_RESTRICT p0 = coefs_->row(w.i0 + i, w.j0 + j, w.k0);
+    const T* MQC_RESTRICT p1 = p0 + zs;
+    const T* MQC_RESTRICT p2 = p0 + 2 * zs;
+    const T* MQC_RESTRICT p3 = p0 + 3 * zs;
+    const T pre00 = w.a[i] * w.b[j];
+    const T pre01 = w.a[i] * w.db[j];
+    const T pre10 = w.da[i] * w.b[j];
+    const T pre2t = w.d2a[i] * w.b[j] + w.a[i] * w.d2b[j]; // (d2x + d2y) factor
+    const T c0 = w.c[0], c1 = w.c[1], c2 = w.c[2], c3 = w.c[3];
+    const T dc0 = w.dc[0], dc1 = w.dc[1], dc2 = w.dc[2], dc3 = w.dc[3];
+    const T e0 = w.d2c[0], e1 = w.d2c[1], e2 = w.d2c[2], e3 = w.d2c[3];
+    MQC_SIMD_ALIGNED(v, gx, gy, gz, l, p0, p1, p2, p3)
+    for (int n = 0; n < np; ++n) {
+      const T P0 = p0[n], P1 = p1[n], P2 = p2[n], P3 = p3[n];
+      const T s = c0 * P0 + c1 * P1 + c2 * P2 + c3 * P3;
+      const T ds = dc0 * P0 + dc1 * P1 + dc2 * P2 + dc3 * P3;
+      const T d2s = e0 * P0 + e1 * P1 + e2 * P2 + e3 * P3;
+      if constexpr (First) {
+        v[n] = pre00 * s;
+        gx[n] = pre10 * s;
+        gy[n] = pre01 * s;
+        gz[n] = pre00 * ds;
+        l[n] = pre2t * s + pre00 * d2s;
+      } else {
+        v[n] += pre00 * s;
+        gx[n] += pre10 * s;
+        gy[n] += pre01 * s;
+        gz[n] += pre00 * ds;
+        l[n] += pre2t * s + pre00 * d2s;
+      }
+    }
+  }
+
+  template <bool First>
+  void vgh_term(const BsplineWeights3D<T>& w, int i, int j, T* MQC_RESTRICT v, T* MQC_RESTRICT gx,
+                T* MQC_RESTRICT gy, T* MQC_RESTRICT gz, T* MQC_RESTRICT hxx, T* MQC_RESTRICT hxy,
+                T* MQC_RESTRICT hxz, T* MQC_RESTRICT hyy, T* MQC_RESTRICT hyz,
+                T* MQC_RESTRICT hzz) const
+  {
+    const int np = static_cast<int>(coefs_->padded_splines());
+    const std::size_t zs = coefs_->stride_z();
+    const T* MQC_RESTRICT p0 = coefs_->row(w.i0 + i, w.j0 + j, w.k0);
+    const T* MQC_RESTRICT p1 = p0 + zs;
+    const T* MQC_RESTRICT p2 = p0 + 2 * zs;
+    const T* MQC_RESTRICT p3 = p0 + 3 * zs;
+    const T pre00 = w.a[i] * w.b[j];
+    const T pre01 = w.a[i] * w.db[j];
+    const T pre02 = w.a[i] * w.d2b[j];
+    const T pre10 = w.da[i] * w.b[j];
+    const T pre11 = w.da[i] * w.db[j];
+    const T pre20 = w.d2a[i] * w.b[j];
+    const T c0 = w.c[0], c1 = w.c[1], c2 = w.c[2], c3 = w.c[3];
+    const T dc0 = w.dc[0], dc1 = w.dc[1], dc2 = w.dc[2], dc3 = w.dc[3];
+    const T e0 = w.d2c[0], e1 = w.d2c[1], e2 = w.d2c[2], e3 = w.d2c[3];
+    MQC_SIMD_ALIGNED(v, gx, gy, gz, hxx, hxy, hxz, hyy, hyz, hzz, p0, p1, p2, p3)
+    for (int n = 0; n < np; ++n) {
+      const T P0 = p0[n], P1 = p1[n], P2 = p2[n], P3 = p3[n];
+      const T s = c0 * P0 + c1 * P1 + c2 * P2 + c3 * P3;
+      const T ds = dc0 * P0 + dc1 * P1 + dc2 * P2 + dc3 * P3;
+      const T d2s = e0 * P0 + e1 * P1 + e2 * P2 + e3 * P3;
+      if constexpr (First) {
+        v[n] = pre00 * s;
+        gx[n] = pre10 * s;
+        gy[n] = pre01 * s;
+        gz[n] = pre00 * ds;
+        hxx[n] = pre20 * s;
+        hxy[n] = pre11 * s;
+        hxz[n] = pre10 * ds;
+        hyy[n] = pre02 * s;
+        hyz[n] = pre01 * ds;
+        hzz[n] = pre00 * d2s;
+      } else {
+        v[n] += pre00 * s;
+        gx[n] += pre10 * s;
+        gy[n] += pre01 * s;
+        gz[n] += pre00 * ds;
+        hxx[n] += pre20 * s;
+        hxy[n] += pre11 * s;
+        hxz[n] += pre10 * ds;
+        hyy[n] += pre02 * s;
+        hyz[n] += pre01 * ds;
+        hzz[n] += pre00 * d2s;
+      }
+    }
+  }
+
   std::shared_ptr<const CoefStorage<T>> coefs_;
 };
 

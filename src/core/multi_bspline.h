@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/vec3.h"
 #include "core/bspline_soa.h"
 #include "core/coef_storage.h"
 
@@ -52,6 +53,9 @@ public:
   [[nodiscard]] int num_splines() const noexcept { return num_splines_; }
   [[nodiscard]] int tile_size() const noexcept { return tile_size_; }
   [[nodiscard]] int num_tiles() const noexcept { return static_cast<int>(tiles_.size()); }
+  /// Shared evaluation grid (identical across tiles), so one weight set per
+  /// position serves every tile — the basis of the multi-position layer.
+  [[nodiscard]] const Grid3D<T>& grid() const noexcept { return tiles_.front().coefs().grid(); }
   /// Total slice length of one output component (also the natural stride).
   [[nodiscard]] std::size_t padded_splines() const noexcept { return padded_splines_; }
   [[nodiscard]] std::size_t out_stride() const noexcept { return padded_splines_; }
@@ -87,6 +91,72 @@ public:
   {
     const std::size_t off = offsets_[static_cast<std::size_t>(t)];
     tiles_[static_cast<std::size_t>(t)].evaluate_vgh(x, y, z, v + off, g + off, h + off, stride);
+  }
+
+  // -- multi-position tile kernels (unit of position-blocked work) --------
+  //
+  // Evaluate `count` positions (precomputed weight sets, shared grid)
+  // against tile t in one pass: the tile's 4*Ng*Nb-byte coefficient slice is
+  // streamed from memory once and stays cache-resident for all `count`
+  // positions.  Position p writes into the tile's slice of v[p] (g[p], ...).
+
+  void evaluate_v_tile_multi(int t, const BsplineWeights3D<T>* w, int count, T* const* v) const
+  {
+    const std::size_t off = offsets_[static_cast<std::size_t>(t)];
+    const BsplineSoA<T>& tile = tiles_[static_cast<std::size_t>(t)];
+    for (int p = 0; p < count; ++p)
+      tile.evaluate_v_w(w[p], v[p] + off);
+  }
+
+  void evaluate_vgl_tile_multi(int t, const BsplineWeights3D<T>* w, int count, T* const* v,
+                               T* const* g, T* const* l, std::size_t stride) const
+  {
+    const std::size_t off = offsets_[static_cast<std::size_t>(t)];
+    const BsplineSoA<T>& tile = tiles_[static_cast<std::size_t>(t)];
+    for (int p = 0; p < count; ++p)
+      tile.evaluate_vgl_w(w[p], v[p] + off, g[p] + off, l[p] + off, stride);
+  }
+
+  void evaluate_vgh_tile_multi(int t, const BsplineWeights3D<T>* w, int count, T* const* v,
+                               T* const* g, T* const* h, std::size_t stride) const
+  {
+    const std::size_t off = offsets_[static_cast<std::size_t>(t)];
+    const BsplineSoA<T>& tile = tiles_[static_cast<std::size_t>(t)];
+    for (int p = 0; p < count; ++p)
+      tile.evaluate_vgh_w(w[p], v[p] + off, g[p] + off, h[p] + off, stride);
+  }
+
+  // -- whole-set multi-position kernels (serial tile-outer loop) ----------
+  //
+  // All `count` weight sets are computed once up front and reused by every
+  // tile; each tile's coefficient slice is then swept exactly once for the
+  // whole block.  Compare the single-position whole-set kernels below,
+  // which stream the entire table once *per position*.
+
+  void evaluate_v_multi(const Vec3<T>* pos, int count, T* const* v) const
+  {
+    std::vector<BsplineWeights3D<T>> w(static_cast<std::size_t>(count));
+    compute_weights_v_batch(grid(), pos, count, w.data());
+    for (int t = 0; t < num_tiles(); ++t)
+      evaluate_v_tile_multi(t, w.data(), count, v);
+  }
+
+  void evaluate_vgl_multi(const Vec3<T>* pos, int count, T* const* v, T* const* g, T* const* l,
+                          std::size_t stride) const
+  {
+    std::vector<BsplineWeights3D<T>> w(static_cast<std::size_t>(count));
+    compute_weights_vgh_batch(grid(), pos, count, w.data());
+    for (int t = 0; t < num_tiles(); ++t)
+      evaluate_vgl_tile_multi(t, w.data(), count, v, g, l, stride);
+  }
+
+  void evaluate_vgh_multi(const Vec3<T>* pos, int count, T* const* v, T* const* g, T* const* h,
+                          std::size_t stride) const
+  {
+    std::vector<BsplineWeights3D<T>> w(static_cast<std::size_t>(count));
+    compute_weights_vgh_batch(grid(), pos, count, w.data());
+    for (int t = 0; t < num_tiles(); ++t)
+      evaluate_vgh_tile_multi(t, w.data(), count, v, g, h, stride);
   }
 
   // -- whole-set kernels (serial tile loop; Fig. 6 with one thread) -------

@@ -16,6 +16,14 @@ std::string Wisdom::make_key(const std::string& kernel, const std::string& preci
   return os.str();
 }
 
+std::string Wisdom::make_key_v2(const std::string& kernel, const std::string& precision,
+                                int num_splines, int nx, int ny, int nz, int num_walkers)
+{
+  std::ostringstream os;
+  os << "v2:" << make_key(kernel, precision, num_splines, nx, ny, nz) << ":nw=" << num_walkers;
+  return os.str();
+}
+
 std::optional<Wisdom::Entry> Wisdom::lookup(const std::string& key) const
 {
   const auto it = entries_.find(key);
@@ -29,9 +37,10 @@ bool Wisdom::save(const std::string& path) const
   std::ofstream out(path);
   if (!out)
     return false;
-  out << "# miniqmcpp wisdom v1: key tile_size throughput\n";
+  out << "# miniqmcpp wisdom v2: key tile_size pos_block throughput\n";
   for (const auto& [key, entry] : entries_)
-    out << key << ' ' << entry.tile_size << ' ' << entry.throughput << '\n';
+    out << key << ' ' << entry.tile_size << ' ' << entry.pos_block << ' ' << entry.throughput
+        << '\n';
   return static_cast<bool>(out);
 }
 
@@ -47,8 +56,19 @@ bool Wisdom::load(const std::string& path)
     std::istringstream ls(line);
     std::string key;
     Entry entry;
-    if (ls >> key >> entry.tile_size >> entry.throughput)
-      entries_[key] = entry;
+    double a = 0.0, b = 0.0;
+    if (!(ls >> key >> entry.tile_size >> a))
+      continue;
+    if (ls >> b) {
+      // v2 line: "key tile pos_block throughput".
+      entry.pos_block = static_cast<int>(a);
+      entry.throughput = b;
+    } else {
+      // v1 line: "key tile throughput" — single-position tuning, P := 1.
+      entry.pos_block = 1;
+      entry.throughput = a;
+    }
+    entries_[key] = entry;
   }
   return true;
 }
@@ -59,6 +79,16 @@ std::vector<int> default_tile_candidates(int num_splines, int min_tile)
   for (int nb = min_tile; nb < num_splines; nb *= 2)
     out.push_back(nb);
   out.push_back(num_splines); // untiled upper end of the sweep
+  return out;
+}
+
+std::vector<int> default_block_candidates(int num_walkers)
+{
+  std::vector<int> out;
+  for (int pb = 1; pb < num_walkers; pb *= 2)
+    out.push_back(pb);
+  if (num_walkers >= 1)
+    out.push_back(num_walkers); // whole-population block
   return out;
 }
 

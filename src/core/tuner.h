@@ -5,24 +5,33 @@
 // The optimal Nb depends only on the architecture's cache hierarchy, not on
 // the problem size N (paper §VI-B), so one tuning run per (kernel, precision,
 // grid) is recorded and reused.
+//
+// The batched multi-position path adds a second knob: the position block P —
+// how many walkers share one pass over a tile's coefficient slice
+// (core/batched.h).  Nb and P trade against each other (Nb sets the input
+// working set 4*Ng*Nb, P multiplies the output working set 40*P*Nb), so
+// tune_tile_block_vgh probes them jointly and Wisdom persists the pair under
+// a versioned "v2:" key.
 #ifndef MQC_CORE_TUNER_H
 #define MQC_CORE_TUNER_H
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/batched.h"
 #include "core/multi_bspline.h"
 #include "core/synthetic_orbitals.h"
 #include "qmc/walker.h"
 
 namespace mqc {
 
-/// Persistent map from tuning keys to the winning tile size.
+/// Persistent map from tuning keys to the winning configuration.
 class Wisdom
 {
 public:
@@ -30,16 +39,26 @@ public:
   {
     int tile_size = 0;
     double throughput = 0.0; ///< orbital evaluations per second at tuning time
+    int pos_block = 1;       ///< walkers per tile pass (1 == single-position path)
   };
 
+  /// Legacy (v1) key: single-position tile tuning.
   static std::string make_key(const std::string& kernel, const std::string& precision,
                               int num_splines, int nx, int ny, int nz);
+
+  /// Versioned (v2) key for the joint (Nb, P) tuning of the batched
+  /// multi-position path; @p num_walkers is the population size the block
+  /// size was tuned against.
+  static std::string make_key_v2(const std::string& kernel, const std::string& precision,
+                                 int num_splines, int nx, int ny, int nz, int num_walkers);
 
   void insert(const std::string& key, Entry entry) { entries_[key] = entry; }
   [[nodiscard]] std::optional<Entry> lookup(const std::string& key) const;
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
-  /// Plain-text persistence: one "key tile_size throughput" line per entry.
+  /// Plain-text persistence, one entry per line:
+  ///   v2 format (written): "key tile_size pos_block throughput"
+  ///   v1 format (still read): "key tile_size throughput" (pos_block := 1)
   bool save(const std::string& path) const;
   bool load(const std::string& path);
 
@@ -56,8 +75,24 @@ struct TuneResult
   std::vector<double> throughputs;    ///< T = N*ns/t for each candidate
 };
 
+/// Result of one joint (tile size Nb, position block P) sweep.  Entry i of
+/// the three parallel vectors is the probe at (tiles[i], blocks[i]).
+struct TuneResult2D
+{
+  int best_tile = 0;
+  int best_block = 0;
+  double best_throughput = 0.0;
+  std::vector<int> tiles;
+  std::vector<int> blocks;
+  std::vector<double> throughputs;
+};
+
 /// Default candidate list: powers of two from the SIMD lane count up to N.
 std::vector<int> default_tile_candidates(int num_splines, int min_tile);
+
+/// Default position-block candidates: powers of two from 1 up to the
+/// population size (inclusive).
+std::vector<int> default_block_candidates(int num_walkers);
 
 /// Probe VGH throughput for each candidate tile size over @p ns random
 /// positions and return the sweep (the Fig. 7(c) experiment as a library
@@ -92,6 +127,52 @@ TuneResult tune_tile_size_vgh(const CoefStorage<T>& full, const std::vector<int>
     if (throughput > result.best_throughput) {
       result.best_throughput = throughput;
       result.best_tile = nb;
+    }
+  }
+  return result;
+}
+
+/// Jointly probe (tile size Nb, position block P) for the fused batched VGH
+/// path over a population of @p num_walkers random positions (the knob pair
+/// the position-blocked driver in core/batched.h exposes).  Block candidates
+/// larger than the population are skipped.
+template <typename T>
+TuneResult2D tune_tile_block_vgh(const CoefStorage<T>& full,
+                                 const std::vector<int>& tile_candidates,
+                                 const std::vector<int>& block_candidates, int num_walkers = 32,
+                                 double min_seconds = 0.05, std::uint64_t seed = 11)
+{
+  TuneResult2D result;
+  Xoshiro256 rng(seed);
+  const auto& g = full.grid();
+  std::vector<Vec3<T>> positions(static_cast<std::size_t>(num_walkers));
+  for (auto& r : positions)
+    r = Vec3<T>{static_cast<T>(rng.uniform(g.x.start, g.x.end)),
+                static_cast<T>(rng.uniform(g.y.start, g.y.end)),
+                static_cast<T>(rng.uniform(g.z.start, g.z.end))};
+  for (int nb : tile_candidates) {
+    MultiBspline<T> engine(full, nb);
+    std::vector<std::unique_ptr<WalkerSoA<T>>> outs;
+    std::vector<WalkerSoA<T>*> out_ptrs;
+    for (int w = 0; w < num_walkers; ++w) {
+      outs.push_back(std::make_unique<WalkerSoA<T>>(engine.out_stride()));
+      out_ptrs.push_back(outs.back().get());
+    }
+    for (int pb : block_candidates) {
+      if (pb > num_walkers)
+        continue;
+      const double sec = time_per_iteration(
+          [&] { evaluate_vgh_batched_multi(engine, positions, out_ptrs, pb); }, min_seconds, 2);
+      const double throughput =
+          static_cast<double>(full.num_splines()) * num_walkers / sec;
+      result.tiles.push_back(nb);
+      result.blocks.push_back(pb);
+      result.throughputs.push_back(throughput);
+      if (throughput > result.best_throughput) {
+        result.best_throughput = throughput;
+        result.best_tile = nb;
+        result.best_block = pb;
+      }
     }
   }
   return result;

@@ -6,6 +6,7 @@
 #ifndef MQC_CORE_WEIGHTS_H
 #define MQC_CORE_WEIGHTS_H
 
+#include "common/vec3.h"
 #include "core/bspline_basis.h"
 #include "core/grid.h"
 
@@ -49,6 +50,32 @@ inline void compute_weights_vgh(const Grid3D<T>& g, T x, T y, T z, BsplineWeight
     w.dc[i] *= dzi;
     w.d2c[i] *= dzi * dzi;
   }
+}
+
+// -- position-block batch helpers (multi-position evaluation layer) --------
+//
+// A block of P positions shares one pass over each tile's coefficient table,
+// so the weight sets for the whole block are computed up front and reused by
+// every tile (all tiles of an AoSoA engine share the same grid).  This
+// replaces the per-(tile, position) weight recomputation of the per-pair
+// batched path.
+
+/// Value-only weights for @p count positions.
+template <typename T>
+inline void compute_weights_v_batch(const Grid3D<T>& g, const Vec3<T>* pos, int count,
+                                    BsplineWeights3D<T>* w) noexcept
+{
+  for (int p = 0; p < count; ++p)
+    compute_weights_v(g, pos[p].x, pos[p].y, pos[p].z, w[p]);
+}
+
+/// Full derivative weights for @p count positions (kernels VGL and VGH).
+template <typename T>
+inline void compute_weights_vgh_batch(const Grid3D<T>& g, const Vec3<T>* pos, int count,
+                                      BsplineWeights3D<T>* w) noexcept
+{
+  for (int p = 0; p < count; ++p)
+    compute_weights_vgh(g, pos[p].x, pos[p].y, pos[p].z, w[p]);
 }
 
 } // namespace mqc

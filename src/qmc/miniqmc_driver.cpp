@@ -1,5 +1,6 @@
 #include "qmc/miniqmc_driver.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "core/bspline_soa.h"
 #include "core/multi_bspline.h"
 #include "core/synthetic_orbitals.h"
+#include "core/weights.h"
 #include "determinant/dirac_determinant.h"
 #include "distance/distance_table.h"
 #include "jastrow/one_body.h"
@@ -41,6 +43,12 @@ struct WalkerState
   std::unique_ptr<DistanceTableAB_SoA<real>> ei_soa;
   std::unique_ptr<WalkerAoS<real>> out_aos;
   std::unique_ptr<WalkerSoA<real>> out_soa;
+  // Pseudopotential quadrature batch: one V output slice per quadrature
+  // point, evaluated with a single multi-position pass over the table.  The
+  // weight scratch is per-walker so the timed hot loop allocates nothing.
+  aligned_vector<real> quad_v;
+  std::vector<real*> quad_v_ptrs;
+  std::vector<BsplineWeights3D<real>> quad_w;
   DiracDeterminant det_up, det_dn;
   Xoshiro256 rng;
   ProfileRegistry profile;
@@ -150,6 +158,12 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
     }
     w.out_aos = std::make_unique<WalkerAoS<real>>(out_pad);
     w.out_soa = std::make_unique<WalkerSoA<real>>(out_pad);
+    const int nq = std::max(1, cfg.quadrature_points);
+    w.quad_v.resize(static_cast<std::size_t>(nq) * out_pad);
+    w.quad_v_ptrs.resize(static_cast<std::size_t>(nq));
+    for (int q = 0; q < nq; ++q)
+      w.quad_v_ptrs[static_cast<std::size_t>(q)] = w.quad_v.data() + static_cast<std::size_t>(q) * out_pad;
+    w.quad_w.resize(static_cast<std::size_t>(nq));
 
     auto eval_v = [&](const Vec3<real>& r) -> const real* {
       w.orbital_evals += static_cast<std::size_t>(norb);
@@ -180,6 +194,29 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
         spo_aosoa->evaluate_vgh(r.x, r.y, r.z, w.out_soa->v.data(), w.out_soa->g.data(),
                                 w.out_soa->h.data(), w.out_soa->stride);
         return w.out_soa->v.data();
+      }
+    };
+    // Multi-position V batch over the quadrature points of one electron: the
+    // SoA/AoSoA engines precompute all weight sets (into the walker's
+    // preallocated scratch) and sweep each tile's coefficient slice once for
+    // the whole batch; the AoS baseline has no batched path and falls back
+    // to per-point calls.
+    auto eval_v_batch = [&](const Vec3<real>* r, int count) {
+      w.orbital_evals += static_cast<std::size_t>(count) * static_cast<std::size_t>(norb);
+      switch (cfg.spo) {
+      case SpoLayout::AoS:
+        for (int q = 0; q < count; ++q)
+          spo_aos->evaluate_v(r[q].x, r[q].y, r[q].z, w.quad_v_ptrs[static_cast<std::size_t>(q)]);
+        break;
+      case SpoLayout::SoA:
+        compute_weights_v_batch(coefs->grid(), r, count, w.quad_w.data());
+        spo_soa->evaluate_v_multi(w.quad_w.data(), count, w.quad_v_ptrs.data());
+        break;
+      default:
+        compute_weights_v_batch(coefs->grid(), r, count, w.quad_w.data());
+        for (int t = 0; t < spo_aosoa->num_tiles(); ++t)
+          spo_aosoa->evaluate_v_tile_multi(t, w.quad_w.data(), count, w.quad_v_ptrs.data());
+        break;
       }
     };
     auto eval_vgl = [&](const Vec3<real>& r) {
@@ -292,22 +329,28 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
 
       // Measurement phase: kinetic energy (VGL) and a pseudopotential-like
       // quadrature (V at displaced points + one-body Jastrow ratio each).
+      // The quadrature V evaluations of one electron form a position batch:
+      // propose all points first (same rng stream as per-point evaluation,
+      // since neither distance tables nor kernels consume randomness), run
+      // the per-point distance/Jastrow ratios, then one multi-position V.
       std::vector<Vec3<real>> grad(static_cast<std::size_t>(nel));
       std::vector<real> lap(static_cast<std::size_t>(nel));
+      std::vector<Vec3<real>> rq(static_cast<std::size_t>(std::max(1, cfg.quadrature_points)));
       for (int e = 0; e < nel; ++e) {
         const Vec3<real> re = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
         {
           ScopedTimer t(w.profile, kSectionBspline);
           eval_vgl(re);
         }
+        for (int q = 0; q < cfg.quadrature_points; ++q)
+          rq[static_cast<std::size_t>(q)] = propose(w.rng, re, 0.5);
         for (int q = 0; q < cfg.quadrature_points; ++q) {
-          const Vec3<real> rq = propose(w.rng, re, 0.5);
           {
             ScopedTimer t(w.profile, kSectionDistance);
             if (cfg.optimized_dt_jastrow)
-              w.ei_soa->compute_temp(rq);
+              w.ei_soa->compute_temp(rq[static_cast<std::size_t>(q)]);
             else
-              w.ei_aos->compute_temp(rq);
+              w.ei_aos->compute_temp(rq[static_cast<std::size_t>(q)]);
           }
           {
             ScopedTimer t(w.profile, kSectionJastrow);
@@ -316,10 +359,10 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
             else
               (void)j1_aos.ratio_log(*w.ei_aos, e);
           }
-          {
-            ScopedTimer t(w.profile, kSectionBspline);
-            (void)eval_v(rq);
-          }
+        }
+        if (cfg.quadrature_points > 0) {
+          ScopedTimer t(w.profile, kSectionBspline);
+          eval_v_batch(rq.data(), cfg.quadrature_points);
         }
       }
       {

@@ -8,9 +8,12 @@
 //                  Sherman-Morrison update and table row commits;
 //   per step:      a measurement phase (B-spline VGL for kinetic energy,
 //                  V at quadrature points for the pseudopotential analogue).
-// Walkers run one per OpenMP thread and share the read-only coefficient
-// table; every section is timed into a ProfileRegistry from which the
-// Table II/III percentage rows are printed.
+// The pseudopotential quadrature points of one electron are evaluated as a
+// single multi-position V batch (evaluate_v_multi): the SoA/AoSoA engines
+// sweep the coefficient table once for the whole quadrature set instead of
+// once per point.  Walkers run one per OpenMP thread and share the read-only
+// coefficient table; every section is timed into a ProfileRegistry from
+// which the Table II/III percentage rows are printed.
 #ifndef MQC_QMC_MINIQMC_DRIVER_H
 #define MQC_QMC_MINIQMC_DRIVER_H
 

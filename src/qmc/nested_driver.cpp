@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/threading.h"
 #include "common/timer.h"
+#include "core/weights.h"
 #include "qmc/walker.h"
 
 namespace mqc {
@@ -22,69 +23,117 @@ NestedResult run_nested(const MultiBspline<float>& engine, const NestedConfig& c
   const int nw = cfg.num_walkers > 0 ? cfg.num_walkers : std::max(1, total / nth);
   const int nthreads = nw * nth;
   const int ntiles = engine.num_tiles();
+  const int pb = std::clamp(cfg.pos_block, 1, cfg.ns);
 
   // Per-walker buffers and positions, prepared outside the timed region.
-  std::vector<std::unique_ptr<WalkerSoA<float>>> outputs;
-  outputs.reserve(static_cast<std::size_t>(nw));
-  std::vector<std::vector<float>> xs(static_cast<std::size_t>(nw)), ys(xs), zs(xs);
-  const auto& grid = engine.tile(0).coefs().grid();
+  // With pos_block == P, a walker owns P output buffers so a whole block's
+  // results are live at once (multi-position path).
+  std::vector<std::vector<std::unique_ptr<WalkerSoA<float>>>> outputs(
+      static_cast<std::size_t>(nw));
+  std::vector<std::vector<float*>> vp(static_cast<std::size_t>(nw)), gp(vp), lp(vp), hp(vp);
+  std::vector<std::vector<Vec3<float>>> pos(static_cast<std::size_t>(nw));
+  const auto& grid = engine.grid();
   for (int wdx = 0; wdx < nw; ++wdx) {
-    outputs.push_back(std::make_unique<WalkerSoA<float>>(engine.out_stride()));
-    Xoshiro256 rng = Xoshiro256::for_stream(cfg.seed, static_cast<std::uint64_t>(wdx));
-    auto& x = xs[static_cast<std::size_t>(wdx)];
-    auto& y = ys[static_cast<std::size_t>(wdx)];
-    auto& z = zs[static_cast<std::size_t>(wdx)];
-    x.resize(static_cast<std::size_t>(cfg.ns));
-    y.resize(static_cast<std::size_t>(cfg.ns));
-    z.resize(static_cast<std::size_t>(cfg.ns));
-    for (int s = 0; s < cfg.ns; ++s) {
-      x[static_cast<std::size_t>(s)] = static_cast<float>(rng.uniform(grid.x.start, grid.x.end));
-      y[static_cast<std::size_t>(s)] = static_cast<float>(rng.uniform(grid.y.start, grid.y.end));
-      z[static_cast<std::size_t>(s)] = static_cast<float>(rng.uniform(grid.z.start, grid.z.end));
+    const auto u = static_cast<std::size_t>(wdx);
+    for (int p = 0; p < pb; ++p) {
+      outputs[u].push_back(std::make_unique<WalkerSoA<float>>(engine.out_stride()));
+      vp[u].push_back(outputs[u].back()->v.data());
+      gp[u].push_back(outputs[u].back()->g.data());
+      lp[u].push_back(outputs[u].back()->l.data());
+      hp[u].push_back(outputs[u].back()->h.data());
     }
+    Xoshiro256 rng = Xoshiro256::for_stream(cfg.seed, static_cast<std::uint64_t>(wdx));
+    pos[u].resize(static_cast<std::size_t>(cfg.ns));
+    for (int s = 0; s < cfg.ns; ++s)
+      pos[u][static_cast<std::size_t>(s)] =
+          Vec3<float>{static_cast<float>(rng.uniform(grid.x.start, grid.x.end)),
+                      static_cast<float>(rng.uniform(grid.y.start, grid.y.end)),
+                      static_cast<float>(rng.uniform(grid.z.start, grid.z.end))};
   }
 
   Stopwatch watch;
 #pragma omp parallel num_threads(nthreads)
   {
     const TeamCoordinates tc = team_coordinates(thread_id(), nth);
-    WalkerSoA<float>& out = *outputs[static_cast<std::size_t>(tc.walker)];
-    const auto& x = xs[static_cast<std::size_t>(tc.walker)];
-    const auto& y = ys[static_cast<std::size_t>(tc.walker)];
-    const auto& z = zs[static_cast<std::size_t>(tc.walker)];
+    const auto wu = static_cast<std::size_t>(tc.walker);
+    WalkerSoA<float>& out = *outputs[wu].front();
+    const auto& x = pos[wu];
     const StridedRange my_tiles(static_cast<std::size_t>(ntiles), static_cast<std::size_t>(nth),
                                 static_cast<std::size_t>(tc.member));
-    for (int it = 0; it < cfg.niters; ++it)
-      for (int s = 0; s < cfg.ns; ++s) {
-        const float px = x[static_cast<std::size_t>(s)];
-        const float py = y[static_cast<std::size_t>(s)];
-        const float pz = z[static_cast<std::size_t>(s)];
-        switch (cfg.kernel) {
-        case NestedKernel::V:
-          my_tiles.for_each([&](std::size_t t) {
-            engine.evaluate_v_tile(static_cast<int>(t), px, py, pz, out.v.data());
-          });
-          break;
-        case NestedKernel::VGL:
-          my_tiles.for_each([&](std::size_t t) {
-            engine.evaluate_vgl_tile(static_cast<int>(t), px, py, pz, out.v.data(), out.g.data(),
-                                     out.l.data(), out.stride);
-          });
-          break;
-        case NestedKernel::VGH:
-          my_tiles.for_each([&](std::size_t t) {
-            engine.evaluate_vgh_tile(static_cast<int>(t), px, py, pz, out.v.data(), out.g.data(),
-                                     out.h.data(), out.stride);
-          });
-          break;
+    if (pb <= 1) {
+      // Single-position path (ablation reference): one tile sweep per
+      // position, weights recomputed inside every tile kernel call.
+      for (int it = 0; it < cfg.niters; ++it)
+        for (int s = 0; s < cfg.ns; ++s) {
+          const float px = x[static_cast<std::size_t>(s)].x;
+          const float py = x[static_cast<std::size_t>(s)].y;
+          const float pz = x[static_cast<std::size_t>(s)].z;
+          switch (cfg.kernel) {
+          case NestedKernel::V:
+            my_tiles.for_each([&](std::size_t t) {
+              engine.evaluate_v_tile(static_cast<int>(t), px, py, pz, out.v.data());
+            });
+            break;
+          case NestedKernel::VGL:
+            my_tiles.for_each([&](std::size_t t) {
+              engine.evaluate_vgl_tile(static_cast<int>(t), px, py, pz, out.v.data(),
+                                       out.g.data(), out.l.data(), out.stride);
+            });
+            break;
+          case NestedKernel::VGH:
+            my_tiles.for_each([&](std::size_t t) {
+              engine.evaluate_vgh_tile(static_cast<int>(t), px, py, pz, out.v.data(),
+                                       out.g.data(), out.h.data(), out.stride);
+            });
+            break;
+          }
         }
-      }
+    } else {
+      // Multi-position path: per block of P positions, compute the P weight
+      // sets once, then sweep each of this member's tiles once for the whole
+      // block.  Members of a team share positions but compute their own
+      // weights (cheap, amortized over their tile subset).
+      std::vector<BsplineWeights3D<float>> wts(static_cast<std::size_t>(pb));
+      const std::size_t stride = out.stride;
+      float* const* v = vp[wu].data();
+      float* const* g = gp[wu].data();
+      float* const* l = lp[wu].data();
+      float* const* h = hp[wu].data();
+      for (int it = 0; it < cfg.niters; ++it)
+        for (int s0 = 0; s0 < cfg.ns; s0 += pb) {
+          const int count = std::min(pb, cfg.ns - s0);
+          const Vec3<float>* block = x.data() + s0;
+          switch (cfg.kernel) {
+          case NestedKernel::V:
+            compute_weights_v_batch(grid, block, count, wts.data());
+            my_tiles.for_each([&](std::size_t t) {
+              engine.evaluate_v_tile_multi(static_cast<int>(t), wts.data(), count, v);
+            });
+            break;
+          case NestedKernel::VGL:
+            compute_weights_vgh_batch(grid, block, count, wts.data());
+            my_tiles.for_each([&](std::size_t t) {
+              engine.evaluate_vgl_tile_multi(static_cast<int>(t), wts.data(), count, v, g, l,
+                                             stride);
+            });
+            break;
+          case NestedKernel::VGH:
+            compute_weights_vgh_batch(grid, block, count, wts.data());
+            my_tiles.for_each([&](std::size_t t) {
+              engine.evaluate_vgh_tile_multi(static_cast<int>(t), wts.data(), count, v, g, h,
+                                             stride);
+            });
+            break;
+          }
+        }
+    }
   }
 
   NestedResult result;
   result.seconds = watch.elapsed();
   result.num_walkers = nw;
   result.nth = nth;
+  result.pos_block = pb;
   const double evals = static_cast<double>(nw) * cfg.niters * cfg.ns * engine.num_splines();
   result.throughput = evals / result.seconds;
   return result;

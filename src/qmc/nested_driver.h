@@ -6,6 +6,14 @@
 // data-partition scheme the paper uses to avoid nested-runtime overhead.
 // Strong scaling: the walker count is reduced by the same nth factor, so
 // total work (and the output working set 40*Nw*Nb*nth bytes) stays fixed.
+//
+// pos_block > 1 switches a member's tile sweep to the multi-position path:
+// the member precomputes the weight sets for a block of P positions and
+// evaluates each of its tiles once for the whole block, so the tile's
+// coefficient slice is streamed from memory once per P positions instead of
+// once per position.  Each walker then owns P output buffers (the block's
+// outputs stay live), scaling the output working set by P — the trade the
+// joint (Nb, P) tuner in core/tuner.h probes.
 #ifndef MQC_QMC_NESTED_DRIVER_H
 #define MQC_QMC_NESTED_DRIVER_H
 
@@ -29,6 +37,7 @@ struct NestedConfig
   int total_threads = 0; ///< 0 => omp_get_max_threads()
   int ns = 64;           ///< random positions per walker per iteration
   int niters = 1;
+  int pos_block = 1;     ///< positions per tile pass (> 1 => multi-position path)
   NestedKernel kernel = NestedKernel::VGH;
   std::uint64_t seed = 4242;
 };
@@ -39,6 +48,7 @@ struct NestedResult
   double throughput = 0.0; ///< orbital evaluations per second, whole node
   int num_walkers = 0;
   int nth = 1;
+  int pos_block = 1;       ///< effective block size used (clamped to ns)
 };
 
 /// Run the strong-scaling kernel loop on an existing AoSoA engine.

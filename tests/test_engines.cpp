@@ -341,6 +341,170 @@ TEST(MultiBspline, PerTileEvaluationEqualsWholeSet)
 }
 
 // ---------------------------------------------------------------------------
+// Multi-position evaluation layer: a block of P positions through
+// evaluate_*_multi must match P single-position calls bit for bit (ULP
+// tight) — both run the identical per-(i,j) kernels, only the weight
+// precomputation and sweep order differ.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+void check_multi_matches_single(int ng, int n, int tile, int np_pos, std::uint64_t seed)
+{
+  const auto grid = Grid3D<T>::cube(ng, T(1.4));
+  auto coefs = make_random_storage<T>(grid, n, seed);
+  BsplineSoA<T> soa(coefs);
+  MultiBspline<T> mb(*coefs, tile);
+
+  Xoshiro256 rng(seed + 5);
+  std::vector<Vec3<T>> pos(static_cast<std::size_t>(np_pos));
+  for (auto& r : pos)
+    r = Vec3<T>{static_cast<T>(rng.uniform(0.0, 1.4)), static_cast<T>(rng.uniform(0.0, 1.4)),
+                static_cast<T>(rng.uniform(0.0, 1.4))};
+
+  for (const bool tiled : {false, true}) {
+    const std::size_t stride = tiled ? mb.out_stride() : soa.out_stride();
+    std::vector<WalkerSoA<T>> single, multi;
+    std::vector<T*> v, g, l, h;
+    for (int p = 0; p < np_pos; ++p) {
+      single.emplace_back(stride);
+      multi.emplace_back(stride);
+    }
+    // Buffer pointers must be gathered after all emplace_backs (no realloc).
+    for (int p = 0; p < np_pos; ++p) {
+      auto& m = multi[static_cast<std::size_t>(p)];
+      v.push_back(m.v.data());
+      g.push_back(m.g.data());
+      l.push_back(m.l.data());
+      h.push_back(m.h.data());
+    }
+
+    // VGH.
+    for (int p = 0; p < np_pos; ++p) {
+      auto& s = single[static_cast<std::size_t>(p)];
+      const auto& r = pos[static_cast<std::size_t>(p)];
+      if (tiled)
+        mb.evaluate_vgh(r.x, r.y, r.z, s.v.data(), s.g.data(), s.h.data(), stride);
+      else
+        soa.evaluate_vgh(r.x, r.y, r.z, s.v.data(), s.g.data(), s.h.data(), stride);
+    }
+    if (tiled)
+      mb.evaluate_vgh_multi(pos.data(), np_pos, v.data(), g.data(), h.data(), stride);
+    else
+      soa.evaluate_vgh_multi(pos.data(), np_pos, v.data(), g.data(), h.data(), stride);
+    for (int p = 0; p < np_pos; ++p) {
+      const auto& s = single[static_cast<std::size_t>(p)];
+      const auto& m = multi[static_cast<std::size_t>(p)];
+      for (std::size_t i = 0; i < s.v.size(); ++i)
+        ASSERT_EQ(s.v[i], m.v[i]) << (tiled ? "AoSoA" : "SoA") << " pos " << p;
+      for (std::size_t i = 0; i < s.g.size(); ++i)
+        ASSERT_EQ(s.g[i], m.g[i]);
+      for (std::size_t i = 0; i < s.h.size(); ++i)
+        ASSERT_EQ(s.h[i], m.h[i]);
+    }
+
+    // VGL.
+    for (int p = 0; p < np_pos; ++p) {
+      auto& s = single[static_cast<std::size_t>(p)];
+      const auto& r = pos[static_cast<std::size_t>(p)];
+      if (tiled)
+        mb.evaluate_vgl(r.x, r.y, r.z, s.v.data(), s.g.data(), s.l.data(), stride);
+      else
+        soa.evaluate_vgl(r.x, r.y, r.z, s.v.data(), s.g.data(), s.l.data(), stride);
+    }
+    if (tiled)
+      mb.evaluate_vgl_multi(pos.data(), np_pos, v.data(), g.data(), l.data(), stride);
+    else
+      soa.evaluate_vgl_multi(pos.data(), np_pos, v.data(), g.data(), l.data(), stride);
+    for (int p = 0; p < np_pos; ++p) {
+      const auto& s = single[static_cast<std::size_t>(p)];
+      const auto& m = multi[static_cast<std::size_t>(p)];
+      for (std::size_t i = 0; i < s.v.size(); ++i)
+        ASSERT_EQ(s.v[i], m.v[i]);
+      for (std::size_t i = 0; i < s.g.size(); ++i)
+        ASSERT_EQ(s.g[i], m.g[i]);
+      for (std::size_t i = 0; i < s.l.size(); ++i)
+        ASSERT_EQ(s.l[i], m.l[i]);
+    }
+
+    // V.
+    for (int p = 0; p < np_pos; ++p) {
+      auto& s = single[static_cast<std::size_t>(p)];
+      const auto& r = pos[static_cast<std::size_t>(p)];
+      if (tiled)
+        mb.evaluate_v(r.x, r.y, r.z, s.v.data());
+      else
+        soa.evaluate_v(r.x, r.y, r.z, s.v.data());
+    }
+    if (tiled)
+      mb.evaluate_v_multi(pos.data(), np_pos, v.data());
+    else
+      soa.evaluate_v_multi(pos.data(), np_pos, v.data());
+    for (int p = 0; p < np_pos; ++p)
+      for (std::size_t i = 0; i < stride; ++i)
+        ASSERT_EQ(single[static_cast<std::size_t>(p)].v[i],
+                  multi[static_cast<std::size_t>(p)].v[i]);
+  }
+}
+
+} // namespace
+
+class MultiEvalSweepF : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(MultiEvalSweepF, MultiMatchesSingle_Float)
+{
+  const auto [ng, n, tile, np_pos] = GetParam();
+  check_multi_matches_single<float>(ng, n, tile, np_pos, 808 + static_cast<std::uint64_t>(n));
+}
+
+// (grid, N, tile, P): exact tiling, remainder tiles (40 = 16+16+8,
+// 100 = 32*3+4), single tile, and block sizes from 1 to 9.
+INSTANTIATE_TEST_SUITE_P(GridsSizesBlocks, MultiEvalSweepF,
+                         ::testing::Values(std::make_tuple(8, 64, 16, 4),
+                                           std::make_tuple(12, 40, 16, 7),
+                                           std::make_tuple(8, 100, 32, 9),
+                                           std::make_tuple(10, 48, 48, 1),
+                                           std::make_tuple(9, 80, 16, 3)));
+
+class MultiEvalSweepD : public ::testing::TestWithParam<std::tuple<int, int, int, int>>
+{
+};
+
+TEST_P(MultiEvalSweepD, MultiMatchesSingle_Double)
+{
+  const auto [ng, n, tile, np_pos] = GetParam();
+  check_multi_matches_single<double>(ng, n, tile, np_pos, 909 + static_cast<std::uint64_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(GridsSizesBlocks, MultiEvalSweepD,
+                         ::testing::Values(std::make_tuple(8, 32, 8, 5),
+                                           std::make_tuple(12, 40, 16, 6),
+                                           std::make_tuple(10, 56, 24, 2)));
+
+TEST(MultiEval, WeightTakingKernelMatchesPositionKernel)
+{
+  // evaluate_*_w with externally computed weights is the exact single-
+  // position kernel (the multi layer's building block).
+  const auto grid = Grid3D<float>::cube(8, 1.0f);
+  auto coefs = make_random_storage<float>(grid, 32, 3);
+  BsplineSoA<float> soa(coefs);
+  WalkerSoA<float> a(soa.out_stride()), b(soa.out_stride());
+  const float x = 0.37f, y = 0.51f, z = 0.93f;
+  soa.evaluate_vgh(x, y, z, a.v.data(), a.g.data(), a.h.data(), a.stride);
+  BsplineWeights3D<float> w;
+  compute_weights_vgh(coefs->grid(), x, y, z, w);
+  soa.evaluate_vgh_w(w, b.v.data(), b.g.data(), b.h.data(), b.stride);
+  for (std::size_t i = 0; i < soa.padded_splines(); ++i) {
+    ASSERT_EQ(a.v[i], b.v[i]);
+    ASSERT_EQ(a.g[i], b.g[i]);
+    ASSERT_EQ(a.h[i], b.h[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Thread safety: the coefficient table is shared read-only state; concurrent
 // walkers must reproduce the serial result bit-for-bit.
 // ---------------------------------------------------------------------------

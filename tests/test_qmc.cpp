@@ -181,6 +181,85 @@ TEST(Nested, DriverRunsAllKernels)
   }
 }
 
+TEST(Nested, PartitionedMultiEvaluationMatchesSerial)
+{
+  // The multi-position path of the nested partition: a 2-member team sweeps
+  // its tile subsets over a block of positions with evaluate_vgh_tile_multi;
+  // outputs must equal the per-position serial whole-set evaluation exactly.
+  const auto grid = Grid3D<float>::cube(8, 1.0f);
+  auto coefs = make_random_storage<float>(grid, 96, 78);
+  MultiBspline<float> mb(*coefs, 16); // 6 tiles
+  const int pb = 3;
+  std::vector<Vec3<float>> pos = {{0.21f, 0.55f, 0.83f}, {0.72f, 0.11f, 0.34f},
+                                  {0.48f, 0.91f, 0.05f}};
+  std::vector<WalkerSoA<float>> serial, team;
+  std::vector<float*> v, g, h;
+  for (int p = 0; p < pb; ++p) {
+    serial.emplace_back(mb.out_stride());
+    team.emplace_back(mb.out_stride());
+  }
+  for (int p = 0; p < pb; ++p) {
+    v.push_back(team[static_cast<std::size_t>(p)].v.data());
+    g.push_back(team[static_cast<std::size_t>(p)].g.data());
+    h.push_back(team[static_cast<std::size_t>(p)].h.data());
+  }
+  for (int p = 0; p < pb; ++p)
+    mb.evaluate_vgh(pos[static_cast<std::size_t>(p)].x, pos[static_cast<std::size_t>(p)].y,
+                    pos[static_cast<std::size_t>(p)].z, serial[static_cast<std::size_t>(p)].v.data(),
+                    serial[static_cast<std::size_t>(p)].g.data(),
+                    serial[static_cast<std::size_t>(p)].h.data(), mb.out_stride());
+  std::vector<BsplineWeights3D<float>> w(static_cast<std::size_t>(pb));
+  compute_weights_vgh_batch(mb.grid(), pos.data(), pb, w.data());
+  const int nth = 2;
+  for (int member = 0; member < nth; ++member) {
+    StridedRange r(static_cast<std::size_t>(mb.num_tiles()), nth, static_cast<std::size_t>(member));
+    r.for_each([&](std::size_t t) {
+      mb.evaluate_vgh_tile_multi(static_cast<int>(t), w.data(), pb, v.data(), g.data(), h.data(),
+                                 mb.out_stride());
+    });
+  }
+  for (int p = 0; p < pb; ++p)
+    for (std::size_t i = 0; i < mb.padded_splines(); ++i) {
+      ASSERT_EQ(serial[static_cast<std::size_t>(p)].v[i], team[static_cast<std::size_t>(p)].v[i]);
+      ASSERT_EQ(serial[static_cast<std::size_t>(p)].g[i], team[static_cast<std::size_t>(p)].g[i]);
+      ASSERT_EQ(serial[static_cast<std::size_t>(p)].h[i], team[static_cast<std::size_t>(p)].h[i]);
+    }
+}
+
+TEST(Nested, DriverRunsAllKernelsWithPositionBlocks)
+{
+  const auto grid = Grid3D<float>::cube(10, 1.0f);
+  auto coefs = make_random_storage<float>(grid, 64, 3);
+  MultiBspline<float> mb(*coefs, 16);
+  for (NestedKernel k : {NestedKernel::V, NestedKernel::VGL, NestedKernel::VGH}) {
+    NestedConfig cfg;
+    cfg.nth = 2;
+    cfg.num_walkers = 1;
+    cfg.ns = 10; // not a multiple of pos_block: exercises the remainder block
+    cfg.niters = 2;
+    cfg.pos_block = 4;
+    cfg.kernel = k;
+    const auto res = run_nested(mb, cfg);
+    EXPECT_GT(res.seconds, 0.0);
+    EXPECT_GT(res.throughput, 0.0);
+    EXPECT_EQ(res.pos_block, 4);
+  }
+}
+
+TEST(Nested, PositionBlockClampedToPositionCount)
+{
+  const auto grid = Grid3D<float>::cube(8, 1.0f);
+  auto coefs = make_random_storage<float>(grid, 32, 5);
+  MultiBspline<float> mb(*coefs, 16);
+  NestedConfig cfg;
+  cfg.num_walkers = 1;
+  cfg.ns = 4;
+  cfg.pos_block = 64; // larger than ns
+  const auto res = run_nested(mb, cfg);
+  EXPECT_EQ(res.pos_block, 4);
+  EXPECT_GT(res.throughput, 0.0);
+}
+
 TEST(Nested, WalkerCountDerivedFromThreadBudget)
 {
   const auto grid = Grid3D<float>::cube(8, 1.0f);

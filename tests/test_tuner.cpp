@@ -1,6 +1,7 @@
 // Tests for the tile-size tuner and its FFTW-style wisdom persistence.
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -13,6 +14,12 @@ TEST(Wisdom, KeyFormat)
 {
   const auto key = Wisdom::make_key("vgh", "float", 2048, 48, 48, 48);
   EXPECT_EQ(key, "vgh:float:N=2048:grid=48x48x48");
+}
+
+TEST(Wisdom, KeyFormatV2)
+{
+  const auto key = Wisdom::make_key_v2("vgh", "float", 2048, 48, 48, 48, 16);
+  EXPECT_EQ(key, "v2:vgh:float:N=2048:grid=48x48x48:nw=16");
 }
 
 TEST(Wisdom, InsertLookup)
@@ -51,6 +58,48 @@ TEST(Wisdom, LoadMissingFileFails)
   EXPECT_FALSE(w.load("/nonexistent/path/wisdom.txt"));
 }
 
+TEST(Wisdom, JointKeyRoundTripWithPosBlock)
+{
+  // The v2 schema persists the jointly tuned (Nb, P) pair.
+  const std::string path = std::filesystem::temp_directory_path() / "mqc_wisdom_v2_test.txt";
+  Wisdom w;
+  w.insert(Wisdom::make_key_v2("vgh", "float", 1024, 48, 48, 48, 8), {128, 3.5e9, 8});
+  w.insert(Wisdom::make_key_v2("vgh", "double", 512, 32, 32, 32, 16), {64, 9.0e8, 4});
+  ASSERT_TRUE(w.save(path));
+
+  Wisdom r;
+  ASSERT_TRUE(r.load(path));
+  EXPECT_EQ(r.size(), 2u);
+  const auto e = r.lookup(Wisdom::make_key_v2("vgh", "float", 1024, 48, 48, 48, 8));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tile_size, 128);
+  EXPECT_EQ(e->pos_block, 8);
+  EXPECT_NEAR(e->throughput, 3.5e9, 1.0);
+  const auto d = r.lookup(Wisdom::make_key_v2("vgh", "double", 512, 32, 32, 32, 16));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->pos_block, 4);
+  std::remove(path.c_str());
+}
+
+TEST(Wisdom, LoadsLegacyV1Lines)
+{
+  // A pre-v2 wisdom file has three-field lines; pos_block defaults to 1.
+  const std::string path = std::filesystem::temp_directory_path() / "mqc_wisdom_v1_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# miniqmcpp wisdom v1: key tile_size throughput\n";
+    out << "vgh:float:N=512:grid=48x48x48 128 2.5e+09\n";
+  }
+  Wisdom r;
+  ASSERT_TRUE(r.load(path));
+  const auto e = r.lookup("vgh:float:N=512:grid=48x48x48");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tile_size, 128);
+  EXPECT_EQ(e->pos_block, 1);
+  EXPECT_NEAR(e->throughput, 2.5e9, 1.0);
+  std::remove(path.c_str());
+}
+
 TEST(Tuner, DefaultCandidatesArePowersOfTwoUpToN)
 {
   const auto c = default_tile_candidates(256, 16);
@@ -66,6 +115,46 @@ TEST(Tuner, DefaultCandidatesNonPowerN)
   // 16, 32, 64, 96
   ASSERT_EQ(c.size(), 4u);
   EXPECT_EQ(c.back(), 96);
+}
+
+TEST(Tuner, DefaultBlockCandidatesPowersOfTwoUpToPopulation)
+{
+  const auto c = default_block_candidates(8);
+  ASSERT_EQ(c.size(), 4u); // 1 2 4 8
+  EXPECT_EQ(c.front(), 1);
+  EXPECT_EQ(c.back(), 8);
+  const auto odd = default_block_candidates(6);
+  // 1 2 4 6
+  ASSERT_EQ(odd.size(), 4u);
+  EXPECT_EQ(odd.back(), 6);
+  const auto one = default_block_candidates(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one.front(), 1);
+}
+
+TEST(Tuner, JointSweepReturnsBestPair)
+{
+  const auto grid = Grid3D<float>::cube(8, 1.0f);
+  auto coefs = make_random_storage<float>(grid, 64, 9);
+  const auto result = tune_tile_block_vgh(*coefs, {16, 32}, {1, 2, 4, 8}, /*num_walkers=*/6,
+                                          /*min_seconds=*/0.004);
+  // Block candidate 8 > population 6 is skipped: 2 tiles x 3 blocks.
+  EXPECT_EQ(result.tiles.size(), 6u);
+  EXPECT_EQ(result.blocks.size(), 6u);
+  EXPECT_EQ(result.throughputs.size(), 6u);
+  EXPECT_GT(result.best_throughput, 0.0);
+  EXPECT_GT(result.best_tile, 0);
+  EXPECT_GT(result.best_block, 0);
+  bool best_found = false;
+  for (std::size_t i = 0; i < result.tiles.size(); ++i) {
+    EXPECT_GT(result.throughputs[i], 0.0);
+    EXPECT_LE(result.throughputs[i], result.best_throughput + 1e-9);
+    if (result.tiles[i] == result.best_tile && result.blocks[i] == result.best_block) {
+      best_found = true;
+      EXPECT_DOUBLE_EQ(result.throughputs[i], result.best_throughput);
+    }
+  }
+  EXPECT_TRUE(best_found);
 }
 
 TEST(Tuner, SweepReturnsBestCandidate)
