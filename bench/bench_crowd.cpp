@@ -1,0 +1,101 @@
+// Crowd driver sweep: crowd size x determinant delay rank, against the
+// per-walker driver on the identical trajectory (same seeds, same walker
+// population — the equivalence the test suite enforces bit-for-bit).
+//
+// The crowd is both the batching unit (one multi-position spline sweep per
+// tile per electron move) and the threading unit (one crowd per thread), so
+// on a fixed walker population crowd_size trades thread count against batch
+// depth: crowd_size = 1 reproduces the per-walker schedule, crowd_size = Nw
+// runs one thread with the deepest tile-resident batches.  delay_rank
+// additionally swaps the per-move Sherman-Morrison determinant update for
+// the delayed rank-k window (McDaniel et al.).
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+#include "common/threading.h"
+#include "qmc/miniqmc_driver.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv)
+{
+  using namespace mqc;
+  auto json = bench::JsonReporter::from_args(argc, argv, "crowd");
+  const char* env = std::getenv("MQC_BENCH_SCALE");
+  const bool full = env && std::string(env) == "full";
+
+  MiniQMCConfig cfg;
+  cfg.supercell = full ? std::array<int, 3>{4, 4, 1} : std::array<int, 3>{3, 3, 1};
+  cfg.grid_size = full ? 48 : 32;
+  cfg.steps = full ? 4 : 2;
+  cfg.tile_size = 64;
+  cfg.spo = SpoLayout::AoSoA;
+  cfg.optimized_dt_jastrow = true;
+  cfg.num_walkers = std::max(8, max_threads());
+
+  // Best of three runs per configuration: section times are milliseconds and
+  // shared-VM steal time can inflate any single run.
+  auto best_run = [](MiniQMCConfig c) {
+    MiniQMCResult best = run_miniqmc(c);
+    for (int attempt = 1; attempt < 3; ++attempt) {
+      auto r = run_miniqmc(c);
+      if (r.seconds < best.seconds)
+        best = std::move(r);
+    }
+    return best;
+  };
+
+  std::vector<int> crowd_sizes{1, 2, 4, cfg.num_walkers};
+  crowd_sizes.erase(std::remove_if(crowd_sizes.begin(), crowd_sizes.end(),
+                                   [&](int cs) { return cs > cfg.num_walkers; }),
+                    crowd_sizes.end());
+  crowd_sizes.erase(std::unique(crowd_sizes.begin(), crowd_sizes.end()), crowd_sizes.end());
+  const std::vector<int> delay_ranks{0, 4, 8};
+
+  print_banner(std::cout, "Crowd driver: crowd size x determinant delay rank");
+  std::cout << "system: graphite " << cfg.supercell[0] << 'x' << cfg.supercell[1] << 'x'
+            << cfg.supercell[2] << ", AoSoA tiles of " << cfg.tile_size << ", "
+            << cfg.num_walkers << " walkers, " << cfg.steps << " steps\n"
+            << "baseline per delay rank: the per-walker driver (one walker per thread)\n\n";
+
+  TablePrinter tp({"delay k", "crowd size", "total (s)", "B-splines (s)", "speedup vs per-walker"});
+  for (int k : delay_ranks) {
+    MiniQMCConfig base_cfg = cfg;
+    base_cfg.driver = DriverMode::PerWalker;
+    base_cfg.delay_rank = k;
+    const auto base = best_run(base_cfg);
+    tp.add_row({TablePrinter::cell(k), "per-walker", TablePrinter::cell(base.seconds, 4),
+                TablePrinter::cell(base.profile.seconds(kSectionBspline), 4),
+                TablePrinter::cell(1.0, 2)});
+    json.add("perwalker_delay" + std::to_string(k) + "_seconds", base.seconds, "s");
+    for (int cs : crowd_sizes) {
+      MiniQMCConfig ccfg = cfg;
+      ccfg.driver = DriverMode::Crowd;
+      ccfg.crowd_size = cs;
+      ccfg.delay_rank = k;
+      const auto crowd = best_run(ccfg);
+      const double speedup = crowd.seconds > 0 ? base.seconds / crowd.seconds : 0.0;
+      tp.add_row({TablePrinter::cell(k), TablePrinter::cell(cs),
+                  TablePrinter::cell(crowd.seconds, 4),
+                  TablePrinter::cell(crowd.profile.seconds(kSectionBspline), 4),
+                  TablePrinter::cell(speedup, 2)});
+      json.add("crowd" + std::to_string(cs) + "_delay" + std::to_string(k) + "_seconds",
+               crowd.seconds, "s");
+      json.add("crowd" + std::to_string(cs) + "_delay" + std::to_string(k) + "_speedup", speedup,
+               "x");
+    }
+  }
+  tp.print(std::cout);
+  std::cout << "\nReading guide: larger crowds deepen the per-tile position batch (coefficient\n"
+               "slices stay cache-resident across the crowd) at the cost of thread-level\n"
+               "parallelism; on many-core hosts mid-size crowds win, on few-core hosts the\n"
+               "deepest crowds do.  delay_rank amortizes inverse updates over k accepts —\n"
+               "the clarity-first flush here is O(k N^2), so its win appears at larger N.\n";
+  if (!json.write())
+    std::cout << "warning: could not write " << json.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,231 @@
+// The miniQMC crowd sweep: walkers advance in lock-step crowds so that every
+// spline evaluation becomes a multi-position batch (see crowd_driver.h for
+// the design contract and miniqmc_context.h for the shared per-walker
+// arithmetic).  Threading is one crowd per OpenMP thread — the crowd is the
+// unit of both batching and parallelism, so crowd_size trades per-thread
+// batch depth against thread count on a fixed walker population.
+#include <algorithm>
+#include <vector>
+
+#include "qmc/crowd_driver.h"
+#include "qmc/miniqmc_context.h"
+
+namespace mqc::detail {
+
+namespace {
+
+/// Per-crowd scratch: gathered trial positions, the shared weight block, and
+/// per-walker output-slot pointer arrays for the multi-position kernels.
+/// Allocated once per crowd so the timed sweep allocates nothing.
+struct CrowdScratch
+{
+  CrowdScratch(std::vector<WalkerState>& walkers, int first, int count, const MiniQMCSystem& sys)
+  {
+    rnew.resize(static_cast<std::size_t>(count));
+    wts.resize(static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.nq));
+    v.resize(static_cast<std::size_t>(count));
+    g.resize(static_cast<std::size_t>(count));
+    h.resize(static_cast<std::size_t>(count));
+    l.resize(static_cast<std::size_t>(count));
+    quad_v.resize(static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.nq));
+    for (int i = 0; i < count; ++i) {
+      WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+      const auto ui = static_cast<std::size_t>(i);
+      v[ui] = w.out_soa->v.data();
+      g[ui] = w.out_soa->g.data();
+      h[ui] = w.out_soa->h.data();
+      l[ui] = w.out_soa->l.data();
+      for (int q = 0; q < sys.nq; ++q)
+        quad_v[ui * static_cast<std::size_t>(sys.nq) + static_cast<std::size_t>(q)] =
+            w.quad_v_ptrs[static_cast<std::size_t>(q)];
+    }
+  }
+
+  std::vector<Vec3<qmc_real>> rnew;
+  std::vector<BsplineWeights3D<qmc_real>> wts;
+  std::vector<qmc_real*> v, g, h, l; ///< per-walker component slots
+  std::vector<qmc_real*> quad_v;     ///< count*nq quadrature value slots
+};
+
+/// One VGH batch for the crowd's trial positions (scr.rnew[0..count)),
+/// landing in each walker's own output buffers.  The AoS baseline has no
+/// multi-position path and falls back to per-walker single calls — still
+/// lock-step, just without the table-traffic amortization.
+void crowd_eval_vgh(const MiniQMCSystem& sys, SpoLayout spo, std::vector<WalkerState>& walkers,
+                    int first, int count, CrowdScratch& scr)
+{
+  switch (spo) {
+  case SpoLayout::AoS:
+    for (int i = 0; i < count; ++i)
+      (void)walkers[static_cast<std::size_t>(first + i)].eval_vgh(sys, spo, scr.rnew[static_cast<std::size_t>(i)]);
+    return;
+  case SpoLayout::SoA:
+    compute_weights_vgh_batch(sys.coefs->grid(), scr.rnew.data(), count, scr.wts.data());
+    sys.spo_soa->evaluate_vgh_multi(scr.wts.data(), count, scr.v.data(), scr.g.data(),
+                                    scr.h.data(), sys.out_pad);
+    break;
+  default:
+    compute_weights_vgh_batch(sys.coefs->grid(), scr.rnew.data(), count, scr.wts.data());
+    for (int t = 0; t < sys.spo_aosoa->num_tiles(); ++t)
+      sys.spo_aosoa->evaluate_vgh_tile_multi(t, scr.wts.data(), count, scr.v.data(), scr.g.data(),
+                                             scr.h.data(), sys.out_pad);
+    break;
+  }
+  for (int i = 0; i < count; ++i)
+    walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
+        static_cast<std::size_t>(sys.norb);
+}
+
+/// One VGL batch at the crowd's current positions of electron e (kinetic
+/// energy measurement).
+void crowd_eval_vgl(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
+                    std::vector<WalkerState>& walkers, int first, int count, int e,
+                    CrowdScratch& scr)
+{
+  for (int i = 0; i < count; ++i) {
+    const WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+    scr.rnew[static_cast<std::size_t>(i)] = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
+  }
+  switch (cfg.spo) {
+  case SpoLayout::AoS:
+    for (int i = 0; i < count; ++i)
+      walkers[static_cast<std::size_t>(first + i)].eval_vgl(sys, cfg.spo,
+                                                            scr.rnew[static_cast<std::size_t>(i)]);
+    return;
+  case SpoLayout::SoA:
+    compute_weights_vgh_batch(sys.coefs->grid(), scr.rnew.data(), count, scr.wts.data());
+    sys.spo_soa->evaluate_vgl_multi(scr.wts.data(), count, scr.v.data(), scr.g.data(),
+                                    scr.l.data(), sys.out_pad);
+    break;
+  default:
+    compute_weights_vgh_batch(sys.coefs->grid(), scr.rnew.data(), count, scr.wts.data());
+    for (int t = 0; t < sys.spo_aosoa->num_tiles(); ++t)
+      sys.spo_aosoa->evaluate_vgl_tile_multi(t, scr.wts.data(), count, scr.v.data(), scr.g.data(),
+                                             scr.l.data(), sys.out_pad);
+    break;
+  }
+  for (int i = 0; i < count; ++i)
+    walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
+        static_cast<std::size_t>(sys.norb);
+}
+
+/// One V batch over the whole crowd's quadrature points (count*nq positions,
+/// each walker's nq points already proposed into its quad_r).
+void crowd_eval_quad_v(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
+                       std::vector<WalkerState>& walkers, int first, int count, CrowdScratch& scr)
+{
+  const int nq = cfg.quadrature_points;
+  if (cfg.spo == SpoLayout::AoS) {
+    for (int i = 0; i < count; ++i) {
+      WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+      w.eval_v_batch(sys, cfg.spo, w.quad_r.data(), nq);
+    }
+    return;
+  }
+  for (int i = 0; i < count; ++i) {
+    const WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+    compute_weights_v_batch(sys.coefs->grid(), w.quad_r.data(), nq,
+                            scr.wts.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(nq));
+  }
+  const int total = count * nq;
+  if (cfg.spo == SpoLayout::SoA) {
+    sys.spo_soa->evaluate_v_multi(scr.wts.data(), total, scr.quad_v.data());
+  } else {
+    for (int t = 0; t < sys.spo_aosoa->num_tiles(); ++t)
+      sys.spo_aosoa->evaluate_v_tile_multi(t, scr.wts.data(), total, scr.quad_v.data());
+  }
+  for (int i = 0; i < count; ++i)
+    walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
+        static_cast<std::size_t>(nq) * static_cast<std::size_t>(sys.norb);
+}
+
+} // namespace
+
+MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
+{
+  const MiniQMCSystem sys(cfg);
+  const int crowd_size = cfg.crowd_size > 0 ? std::min(cfg.crowd_size, sys.nw) : sys.nw;
+  const int num_crowds = (sys.nw + crowd_size - 1) / crowd_size;
+
+  std::vector<WalkerState> walkers(static_cast<std::size_t>(sys.nw));
+  std::vector<ProfileRegistry> crowd_profiles(static_cast<std::size_t>(num_crowds));
+
+  MiniQMCResult result;
+  result.num_walkers = sys.nw;
+  result.num_electrons = sys.nel;
+  result.num_orbitals = sys.norb;
+
+  Stopwatch total_watch;
+
+  // ---- setup (not profiled): each crowd initializes its own walkers ------
+#pragma omp parallel for num_threads(num_crowds) schedule(static, 1)
+  for (int cid = 0; cid < num_crowds; ++cid) {
+    const int first = cid * crowd_size;
+    const int last = std::min(sys.nw, first + crowd_size);
+    for (int wid = first; wid < last; ++wid)
+      init_walker(walkers[static_cast<std::size_t>(wid)], sys, cfg, wid);
+  }
+
+  // ---- the profiled lock-step sweep, one crowd per thread ----------------
+#pragma omp parallel for num_threads(num_crowds) schedule(static, 1)
+  for (int cid = 0; cid < num_crowds; ++cid) {
+    const int first = cid * crowd_size;
+    const int count = std::min(sys.nw, first + crowd_size) - first;
+    ProfileRegistry& cprof = crowd_profiles[static_cast<std::size_t>(cid)];
+    CrowdScratch scr(walkers, first, count, sys);
+
+    for (int step = 0; step < cfg.steps; ++step) {
+      // Drift-diffusion phase: the whole crowd moves electron e together.
+      for (int e = 0; e < sys.nel; ++e) {
+        for (int i = 0; i < count; ++i) {
+          WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+          ++w.attempted;
+          const Vec3<qmc_real> r_old = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
+          scr.rnew[static_cast<std::size_t>(i)] = propose(w.rng, r_old, cfg.move_sigma);
+        }
+        {
+          ScopedTimer t(cprof, kSectionBspline);
+          crowd_eval_vgh(sys, cfg.spo, walkers, first, count, scr);
+        }
+        for (int i = 0; i < count; ++i) {
+          WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+          const qmc_real* v =
+              cfg.spo == SpoLayout::AoS ? w.out_aos->v.data() : w.out_soa->v.data();
+          metropolis_move(w, sys, cfg, e, scr.rnew[static_cast<std::size_t>(i)], v);
+        }
+      }
+
+      // Measurement phase, electron by electron across the crowd: one VGL
+      // batch (kinetic energy), per-walker quadrature proposals and
+      // distance/Jastrow ratios, then one V batch over all count*nq
+      // quadrature points.  Each walker's rng stream sees exactly the
+      // per-walker driver's draw sequence.
+      for (int e = 0; e < sys.nel; ++e) {
+        {
+          ScopedTimer t(cprof, kSectionBspline);
+          crowd_eval_vgl(sys, cfg, walkers, first, count, e, scr);
+        }
+        for (int i = 0; i < count; ++i) {
+          WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+          const Vec3<qmc_real> re = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
+          for (int q = 0; q < cfg.quadrature_points; ++q)
+            w.quad_r[static_cast<std::size_t>(q)] = propose(w.rng, re, 0.5);
+          quadrature_dist_jastrow(w, sys, cfg, e);
+        }
+        if (cfg.quadrature_points > 0) {
+          ScopedTimer t(cprof, kSectionBspline);
+          crowd_eval_quad_v(sys, cfg, walkers, first, count, scr);
+        }
+      }
+      for (int i = 0; i < count; ++i)
+        full_jastrow(walkers[static_cast<std::size_t>(first + i)], sys, cfg);
+    }
+  }
+  result.seconds = total_watch.elapsed();
+  reduce_result(result, walkers);
+  for (const auto& p : crowd_profiles)
+    result.profile.merge(p);
+  return result;
+}
+
+} // namespace mqc::detail

@@ -1,0 +1,428 @@
+// Internal state shared by the miniQMC sweep drivers.
+//
+// Both drivers — the classic one-walker-per-thread sweep (miniqmc_driver.cpp)
+// and the lock-step crowd sweep (crowd_driver.cpp) — run the identical
+// Monte Carlo process: same system setup, same per-walker rng streams, same
+// distance-table/Jastrow/determinant arithmetic, same Metropolis decisions.
+// They differ ONLY in how the B-spline evaluations are scheduled (one
+// position at a time vs. one multi-position batch per crowd).  Everything
+// order-independent lives here so the equivalence is true by construction
+// and the tests can require bit-for-bit identical trajectories.
+//
+// This header is an implementation detail of the two driver translation
+// units; it is not part of the public API surface.
+#ifndef MQC_QMC_MINIQMC_CONTEXT_H
+#define MQC_QMC_MINIQMC_CONTEXT_H
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/threading.h"
+#include "common/timer.h"
+#include "common/vec3.h"
+#include "core/bspline_aos.h"
+#include "core/bspline_soa.h"
+#include "core/multi_bspline.h"
+#include "core/synthetic_orbitals.h"
+#include "core/weights.h"
+#include "determinant/det_update.h"
+#include "distance/distance_table.h"
+#include "jastrow/one_body.h"
+#include "jastrow/two_body.h"
+#include "particles/graphite.h"
+#include "qmc/miniqmc_driver.h"
+#include "qmc/walker.h"
+
+namespace mqc::detail {
+
+using qmc_real = float; ///< kernel precision (the paper's miniQMC is all SP)
+
+/// Everything shared read-only across walkers: the crystal, the coefficient
+/// table and engines, the Jastrow functors, and the ion sets.
+struct MiniQMCSystem
+{
+  explicit MiniQMCSystem(const MiniQMCConfig& cfg)
+      : crystal(make_graphite_supercell(cfg.supercell[0], cfg.supercell[1], cfg.supercell[2]))
+  {
+    norb = cfg.num_splines > 0 ? cfg.num_splines : crystal.num_orbitals();
+    nel = 2 * norb;
+    nw = cfg.num_walkers > 0 ? cfg.num_walkers : max_threads();
+    nq = std::max(1, cfg.quadrature_points);
+
+    // Spline domain: a cube enclosing the cell.  The driver's orbitals are
+    // synthetic (random coefficients), so only the access pattern matters;
+    // the engines wrap positions periodically in grid coordinates.
+    double lmax = 0.0;
+    for (const auto& row : crystal.lattice.rows())
+      lmax = std::max(lmax, std::abs(row.x) + std::abs(row.y) + std::abs(row.z));
+    const auto grid = Grid3D<qmc_real>::cube(cfg.grid_size, static_cast<qmc_real>(lmax));
+    coefs = make_random_storage<qmc_real>(grid, norb, cfg.seed);
+
+    // Engines: only the configured layout is exercised in the sweep.
+    out_pad = coefs->padded_splines();
+    switch (cfg.spo) {
+    case SpoLayout::AoS:
+      spo_aos = std::make_unique<BsplineAoS<qmc_real>>(coefs);
+      break;
+    case SpoLayout::SoA:
+      spo_soa = std::make_unique<BsplineSoA<qmc_real>>(coefs);
+      break;
+    case SpoLayout::AoSoA:
+      spo_aosoa = std::make_unique<MultiBspline<qmc_real>>(*coefs, cfg.tile_size);
+      out_pad = spo_aosoa->padded_splines();
+      break;
+    }
+
+    // Shared Jastrow functors: e-e with the antiparallel cusp, e-ion smooth.
+    const double rcut = std::min(crystal.lattice.wigner_seitz_radius(), 6.0);
+    j2_functor = BsplineJastrowFunctor<qmc_real>::make_exponential(qmc_real(-0.5), qmc_real(1.0),
+                                                                   static_cast<qmc_real>(rcut));
+    j1_functor = BsplineJastrowFunctor<qmc_real>::make_exponential(qmc_real(-1.0), qmc_real(0.75),
+                                                                   static_cast<qmc_real>(rcut));
+
+    ions_soa = ParticleSetSoA<qmc_real>(crystal.num_ions());
+    for (int i = 0; i < crystal.num_ions(); ++i) {
+      const auto r = crystal.ions[i];
+      ions_soa.set(i, Vec3<qmc_real>{static_cast<qmc_real>(r.x), static_cast<qmc_real>(r.y),
+                                     static_cast<qmc_real>(r.z)});
+    }
+    ions_aos = to_aos(ions_soa);
+  }
+
+  MiniQMCSystem(const MiniQMCSystem&) = delete;
+  MiniQMCSystem& operator=(const MiniQMCSystem&) = delete;
+
+  CrystalSystem crystal;
+  int norb = 0;
+  int nel = 0;
+  int nw = 0; ///< walker count
+  int nq = 1; ///< pseudopotential quadrature points per electron
+  std::shared_ptr<CoefStorage<qmc_real>> coefs;
+  std::unique_ptr<BsplineAoS<qmc_real>> spo_aos;
+  std::unique_ptr<BsplineSoA<qmc_real>> spo_soa;
+  std::unique_ptr<MultiBspline<qmc_real>> spo_aosoa;
+  std::size_t out_pad = 0;
+  BsplineJastrowFunctor<qmc_real> j2_functor, j1_functor;
+  // The Jastrow evaluators hold pointers to the functors above; the deleted
+  // copy/move keep those pointers valid for the system's lifetime.
+  TwoBodyJastrowAoS<qmc_real> j2_aos{j2_functor};
+  TwoBodyJastrowSoA<qmc_real> j2_soa{j2_functor};
+  OneBodyJastrowAoS<qmc_real> j1_aos{j1_functor};
+  OneBodyJastrowSoA<qmc_real> j1_soa{j1_functor};
+  ParticleSetSoA<qmc_real> ions_soa;
+  ParticleSetAoS<qmc_real> ions_aos;
+};
+
+/// Everything one walker owns.  The coefficient table and functors are
+/// shared; all buffers below are thread-private (paper Fig. 3).
+struct WalkerState
+{
+  ParticleSetAoS<qmc_real> elec_aos;
+  ParticleSetSoA<qmc_real> elec_soa;
+  // Distance tables in both layouts; only the configured one is used in the
+  // sweep, but both exist so tests can cross-check paths cheaply.
+  std::unique_ptr<DistanceTableAA_AoS<qmc_real>> ee_aos;
+  std::unique_ptr<DistanceTableAB_AoS<qmc_real>> ei_aos;
+  std::unique_ptr<DistanceTableAA_SoA<qmc_real>> ee_soa;
+  std::unique_ptr<DistanceTableAB_SoA<qmc_real>> ei_soa;
+  std::unique_ptr<WalkerAoS<qmc_real>> out_aos;
+  std::unique_ptr<WalkerSoA<qmc_real>> out_soa;
+  // Pseudopotential quadrature batch: one V output slice per quadrature
+  // point, evaluated with a single multi-position pass over the table.  The
+  // weight scratch is per-walker so the timed hot loop allocates nothing.
+  aligned_vector<qmc_real> quad_v;
+  std::vector<qmc_real*> quad_v_ptrs;
+  std::vector<BsplineWeights3D<qmc_real>> quad_w;
+  std::vector<Vec3<qmc_real>> quad_r;
+  DetUpdater det_up, det_dn;
+  Xoshiro256 rng;
+  ProfileRegistry profile;
+  std::vector<double> phi;           ///< determinant column scratch
+  std::vector<Vec3<qmc_real>> jgrad; ///< full-Jastrow gradient scratch
+  std::vector<qmc_real> jlap;        ///< full-Jastrow Laplacian scratch
+  std::size_t accepted = 0;
+  std::size_t attempted = 0;
+  std::size_t orbital_evals = 0;
+
+  // -- per-walker spline evaluations (single-position kernels) -------------
+
+  const qmc_real* eval_v(const MiniQMCSystem& sys, SpoLayout spo, const Vec3<qmc_real>& r)
+  {
+    orbital_evals += static_cast<std::size_t>(sys.norb);
+    switch (spo) {
+    case SpoLayout::AoS:
+      sys.spo_aos->evaluate_v(r.x, r.y, r.z, out_aos->v.data());
+      return out_aos->v.data();
+    case SpoLayout::SoA:
+      sys.spo_soa->evaluate_v(r.x, r.y, r.z, out_soa->v.data());
+      return out_soa->v.data();
+    default:
+      sys.spo_aosoa->evaluate_v(r.x, r.y, r.z, out_soa->v.data());
+      return out_soa->v.data();
+    }
+  }
+
+  const qmc_real* eval_vgh(const MiniQMCSystem& sys, SpoLayout spo, const Vec3<qmc_real>& r)
+  {
+    orbital_evals += static_cast<std::size_t>(sys.norb);
+    switch (spo) {
+    case SpoLayout::AoS:
+      sys.spo_aos->evaluate_vgh(r.x, r.y, r.z, out_aos->v.data(), out_aos->g.data(),
+                                out_aos->h.data());
+      return out_aos->v.data();
+    case SpoLayout::SoA:
+      sys.spo_soa->evaluate_vgh(r.x, r.y, r.z, out_soa->v.data(), out_soa->g.data(),
+                                out_soa->h.data(), out_soa->stride);
+      return out_soa->v.data();
+    default:
+      sys.spo_aosoa->evaluate_vgh(r.x, r.y, r.z, out_soa->v.data(), out_soa->g.data(),
+                                  out_soa->h.data(), out_soa->stride);
+      return out_soa->v.data();
+    }
+  }
+
+  void eval_vgl(const MiniQMCSystem& sys, SpoLayout spo, const Vec3<qmc_real>& r)
+  {
+    orbital_evals += static_cast<std::size_t>(sys.norb);
+    switch (spo) {
+    case SpoLayout::AoS:
+      sys.spo_aos->evaluate_vgl(r.x, r.y, r.z, out_aos->v.data(), out_aos->g.data(),
+                                out_aos->l.data());
+      break;
+    case SpoLayout::SoA:
+      sys.spo_soa->evaluate_vgl(r.x, r.y, r.z, out_soa->v.data(), out_soa->g.data(),
+                                out_soa->l.data(), out_soa->stride);
+      break;
+    default:
+      sys.spo_aosoa->evaluate_vgl(r.x, r.y, r.z, out_soa->v.data(), out_soa->g.data(),
+                                  out_soa->l.data(), out_soa->stride);
+      break;
+    }
+  }
+
+  /// Multi-position V batch over the quadrature points of one electron: the
+  /// SoA/AoSoA engines precompute all weight sets (into the walker's
+  /// preallocated scratch) and sweep each tile's coefficient slice once for
+  /// the whole batch; the AoS baseline has no batched path and falls back
+  /// to per-point calls.
+  void eval_v_batch(const MiniQMCSystem& sys, SpoLayout spo, const Vec3<qmc_real>* r, int count)
+  {
+    orbital_evals += static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.norb);
+    switch (spo) {
+    case SpoLayout::AoS:
+      for (int q = 0; q < count; ++q)
+        sys.spo_aos->evaluate_v(r[q].x, r[q].y, r[q].z, quad_v_ptrs[static_cast<std::size_t>(q)]);
+      break;
+    case SpoLayout::SoA:
+      compute_weights_v_batch(sys.coefs->grid(), r, count, quad_w.data());
+      sys.spo_soa->evaluate_v_multi(quad_w.data(), count, quad_v_ptrs.data());
+      break;
+    default:
+      compute_weights_v_batch(sys.coefs->grid(), r, count, quad_w.data());
+      for (int t = 0; t < sys.spo_aosoa->num_tiles(); ++t)
+        sys.spo_aosoa->evaluate_v_tile_multi(t, quad_w.data(), count, quad_v_ptrs.data());
+      break;
+    }
+  }
+};
+
+/// Gaussian trial move.
+inline Vec3<qmc_real> propose(Xoshiro256& rng, const Vec3<qmc_real>& r, double sigma)
+{
+  return Vec3<qmc_real>{r.x + static_cast<qmc_real>(sigma * rng.gaussian()),
+                        r.y + static_cast<qmc_real>(sigma * rng.gaussian()),
+                        r.z + static_cast<qmc_real>(sigma * rng.gaussian())};
+}
+
+/// Walker setup (not profiled): rng stream, positions, tables, output
+/// buffers, determinants.  Identical for both drivers — each walker's state
+/// is a function of (config, walker id) only, never of crowd membership.
+inline void init_walker(WalkerState& w, const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
+                        int wid)
+{
+  w.rng = Xoshiro256::for_stream(cfg.seed, static_cast<std::uint64_t>(wid));
+  w.elec_soa = random_particles<qmc_real>(sys.nel, sys.crystal.lattice,
+                                          cfg.seed + 1000 + static_cast<std::uint64_t>(wid));
+  w.elec_aos = to_aos(w.elec_soa);
+  // Fast minimum image for both layouts: identical approximation, so the
+  // AoS/SoA comparison isolates the layout (see DESIGN.md).
+  w.ee_aos = std::make_unique<DistanceTableAA_AoS<qmc_real>>(sys.crystal.lattice, sys.nel,
+                                                             MinImageMode::Fast);
+  w.ei_aos = std::make_unique<DistanceTableAB_AoS<qmc_real>>(sys.crystal.lattice, sys.ions_aos,
+                                                             sys.nel, MinImageMode::Fast);
+  w.ee_soa = std::make_unique<DistanceTableAA_SoA<qmc_real>>(sys.crystal.lattice, sys.nel,
+                                                             MinImageMode::Fast);
+  w.ei_soa = std::make_unique<DistanceTableAB_SoA<qmc_real>>(sys.crystal.lattice, sys.ions_soa,
+                                                             sys.nel, MinImageMode::Fast);
+  if (cfg.optimized_dt_jastrow) {
+    w.ee_soa->evaluate(w.elec_soa);
+    w.ei_soa->evaluate(w.elec_soa);
+  } else {
+    w.ee_aos->evaluate(w.elec_aos);
+    w.ei_aos->evaluate(w.elec_aos);
+  }
+  w.out_aos = std::make_unique<WalkerAoS<qmc_real>>(sys.out_pad);
+  w.out_soa = std::make_unique<WalkerSoA<qmc_real>>(sys.out_pad);
+  w.quad_v.resize(static_cast<std::size_t>(sys.nq) * sys.out_pad);
+  w.quad_v_ptrs.resize(static_cast<std::size_t>(sys.nq));
+  for (int q = 0; q < sys.nq; ++q)
+    w.quad_v_ptrs[static_cast<std::size_t>(q)] =
+        w.quad_v.data() + static_cast<std::size_t>(q) * sys.out_pad;
+  w.quad_w.resize(static_cast<std::size_t>(sys.nq));
+  w.quad_r.resize(static_cast<std::size_t>(sys.nq));
+  w.phi.resize(static_cast<std::size_t>(sys.norb));
+  w.jgrad.resize(static_cast<std::size_t>(sys.nel));
+  w.jlap.resize(static_cast<std::size_t>(sys.nel));
+
+  // Determinants from the initial configuration (double precision).
+  w.det_up = DetUpdater(cfg.delay_rank);
+  w.det_dn = DetUpdater(cfg.delay_rank);
+  {
+    Matrix<double> a_up(sys.norb), a_dn(sys.norb);
+    for (int e = 0; e < sys.norb; ++e) {
+      const qmc_real* v = w.eval_v(sys, cfg.spo, w.elec_soa[e]);
+      for (int n = 0; n < sys.norb; ++n)
+        a_up(n, e) = static_cast<double>(v[n]) + (n == e ? 1.0 : 0.0); // diagonal boost
+    }
+    for (int e = 0; e < sys.norb; ++e) {
+      const qmc_real* v = w.eval_v(sys, cfg.spo, w.elec_soa[sys.norb + e]);
+      for (int n = 0; n < sys.norb; ++n)
+        a_dn(n, e) = static_cast<double>(v[n]) + (n == e ? 1.0 : 0.0);
+    }
+    // The diagonal boost keeps the synthetic (random-coefficient) orbital
+    // matrices well conditioned; production orbitals are near-orthogonal
+    // at distinct electron positions, which this emulates.
+    w.det_up.build(a_up);
+    w.det_dn.build(a_dn);
+  }
+  w.orbital_evals = 0; // setup evaluations excluded from throughput
+}
+
+/// Price and decide one electron move once the trial position and its
+/// orbital values are known: distance-table temp rows, Jastrow ratio,
+/// determinant ratio, Metropolis accept/reject with commits.  @p v is the
+/// freshly evaluated orbital-value vector at @p r_new — the ONLY input that
+/// differs in provenance between the drivers (single-position call vs.
+/// crowd batch slice); everything inside is identical arithmetic on the
+/// walker's own state and rng stream.
+inline void metropolis_move(WalkerState& w, const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
+                            int e, const Vec3<qmc_real>& r_new, const qmc_real* v)
+{
+  double log_jr = 0.0;
+  {
+    ScopedTimer t(w.profile, kSectionDistance);
+    if (cfg.optimized_dt_jastrow) {
+      w.ee_soa->compute_temp(w.elec_soa, r_new, e);
+      w.ei_soa->compute_temp(r_new);
+    } else {
+      w.ee_aos->compute_temp(w.elec_aos, r_new, e);
+      w.ei_aos->compute_temp(r_new);
+    }
+  }
+  {
+    ScopedTimer t(w.profile, kSectionJastrow);
+    if (cfg.optimized_dt_jastrow)
+      log_jr = sys.j2_soa.ratio_log(*w.ee_soa, e) + sys.j1_soa.ratio_log(*w.ei_soa, e);
+    else
+      log_jr = sys.j2_aos.ratio_log(*w.ee_aos, e) + sys.j1_aos.ratio_log(*w.ei_aos, e);
+  }
+
+  double det_ratio;
+  DetUpdater& det = e < sys.norb ? w.det_up : w.det_dn;
+  const int col = e < sys.norb ? e : e - sys.norb;
+  {
+    ScopedTimer t(w.profile, kSectionDeterminant);
+    for (int n = 0; n < sys.norb; ++n)
+      w.phi[static_cast<std::size_t>(n)] = static_cast<double>(v[n]) + (n == col ? 1.0 : 0.0);
+    det_ratio = det.ratio(w.phi.data(), col);
+  }
+
+  const double p = std::exp(2.0 * log_jr) * det_ratio * det_ratio;
+  if (w.rng.uniform() < p) {
+    ++w.accepted;
+    {
+      ScopedTimer t(w.profile, kSectionDistance);
+      if (cfg.optimized_dt_jastrow) {
+        w.ee_soa->accept_move(e);
+        w.ei_soa->accept_move(e);
+      } else {
+        w.ee_aos->accept_move(e);
+        w.ei_aos->accept_move(e);
+      }
+    }
+    {
+      ScopedTimer t(w.profile, kSectionDeterminant);
+      det.accept_move(w.phi.data(), col);
+    }
+    w.elec_soa.set(e, r_new);
+    w.elec_aos[e] = r_new;
+  }
+}
+
+/// Measurement-phase quadrature for one electron, minus the V batch: the
+/// per-point distance rows and one-body Jastrow ratios.  The quadrature
+/// positions must already be in w.quad_r (proposed from the walker's rng).
+inline void quadrature_dist_jastrow(WalkerState& w, const MiniQMCSystem& sys,
+                                    const MiniQMCConfig& cfg, int e)
+{
+  for (int q = 0; q < cfg.quadrature_points; ++q) {
+    {
+      ScopedTimer t(w.profile, kSectionDistance);
+      if (cfg.optimized_dt_jastrow)
+        w.ei_soa->compute_temp(w.quad_r[static_cast<std::size_t>(q)]);
+      else
+        w.ei_aos->compute_temp(w.quad_r[static_cast<std::size_t>(q)]);
+    }
+    {
+      ScopedTimer t(w.profile, kSectionJastrow);
+      if (cfg.optimized_dt_jastrow)
+        (void)sys.j1_soa.ratio_log(*w.ei_soa, e);
+      else
+        (void)sys.j1_aos.ratio_log(*w.ei_aos, e);
+    }
+  }
+}
+
+/// Full Jastrow gradients/Laplacians once per step (local energy analogue).
+inline void full_jastrow(WalkerState& w, const MiniQMCSystem& sys, const MiniQMCConfig& cfg)
+{
+  ScopedTimer t(w.profile, kSectionJastrow);
+  if (cfg.optimized_dt_jastrow) {
+    (void)sys.j2_soa.evaluate_log(*w.ee_soa, w.jgrad.data(), w.jlap.data());
+    (void)sys.j1_soa.evaluate_log(*w.ei_soa, w.jgrad.data(), w.jlap.data());
+  } else {
+    (void)sys.j2_aos.evaluate_log(*w.ee_aos, w.jgrad.data(), w.jlap.data());
+    (void)sys.j1_aos.evaluate_log(*w.ei_aos, w.jgrad.data(), w.jlap.data());
+  }
+}
+
+/// Reduce per-walker state into the result (profiles, counters, per-walker
+/// trajectory fingerprints).
+inline void reduce_result(MiniQMCResult& result, std::vector<WalkerState>& walkers)
+{
+  std::size_t attempted = 0, accepted = 0;
+  result.walker_accepts.resize(walkers.size());
+  result.walker_log_det.resize(walkers.size());
+  for (std::size_t i = 0; i < walkers.size(); ++i) {
+    WalkerState& w = walkers[i];
+    result.profile.merge(w.profile);
+    attempted += w.attempted;
+    accepted += w.accepted;
+    result.spline_orbital_evals += w.orbital_evals;
+    result.walker_accepts[i] = w.accepted;
+    result.walker_log_det[i] = w.det_up.log_det() + w.det_dn.log_det();
+  }
+  result.moves_attempted = attempted;
+  result.acceptance_ratio =
+      attempted > 0 ? static_cast<double>(accepted) / static_cast<double>(attempted) : 0.0;
+}
+
+/// The crowd sweep (crowd_driver.cpp); dispatched to by run_miniqmc.
+MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg);
+
+} // namespace mqc::detail
+
+#endif // MQC_QMC_MINIQMC_CONTEXT_H

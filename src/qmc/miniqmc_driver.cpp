@@ -1,330 +1,55 @@
 #include "qmc/miniqmc_driver.h"
 
-#include <algorithm>
-#include <cmath>
-#include <memory>
 #include <vector>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
-
-#include "common/rng.h"
-#include "common/threading.h"
-#include "common/vec3.h"
-#include "core/bspline_aos.h"
-#include "core/bspline_soa.h"
-#include "core/multi_bspline.h"
-#include "core/synthetic_orbitals.h"
-#include "core/weights.h"
-#include "determinant/dirac_determinant.h"
-#include "distance/distance_table.h"
-#include "jastrow/one_body.h"
-#include "jastrow/two_body.h"
-#include "particles/graphite.h"
-#include "qmc/walker.h"
+#include "qmc/miniqmc_context.h"
 
 namespace mqc {
-namespace {
 
-using real = float; ///< kernel precision (the paper's miniQMC is all SP)
-
-/// Everything one walker owns.  The coefficient table and functors are
-/// shared; all buffers below are thread-private (paper Fig. 3).
-struct WalkerState
-{
-  ParticleSetAoS<real> elec_aos;
-  ParticleSetSoA<real> elec_soa;
-  // Distance tables in both layouts; only the configured one is used in the
-  // sweep, but both exist so tests can cross-check paths cheaply.
-  std::unique_ptr<DistanceTableAA_AoS<real>> ee_aos;
-  std::unique_ptr<DistanceTableAB_AoS<real>> ei_aos;
-  std::unique_ptr<DistanceTableAA_SoA<real>> ee_soa;
-  std::unique_ptr<DistanceTableAB_SoA<real>> ei_soa;
-  std::unique_ptr<WalkerAoS<real>> out_aos;
-  std::unique_ptr<WalkerSoA<real>> out_soa;
-  // Pseudopotential quadrature batch: one V output slice per quadrature
-  // point, evaluated with a single multi-position pass over the table.  The
-  // weight scratch is per-walker so the timed hot loop allocates nothing.
-  aligned_vector<real> quad_v;
-  std::vector<real*> quad_v_ptrs;
-  std::vector<BsplineWeights3D<real>> quad_w;
-  DiracDeterminant det_up, det_dn;
-  Xoshiro256 rng;
-  ProfileRegistry profile;
-  std::size_t accepted = 0;
-  std::size_t attempted = 0;
-  std::size_t orbital_evals = 0;
-};
-
-/// Gaussian trial move.
-Vec3<real> propose(Xoshiro256& rng, const Vec3<real>& r, double sigma)
-{
-  return Vec3<real>{r.x + static_cast<real>(sigma * rng.gaussian()),
-                    r.y + static_cast<real>(sigma * rng.gaussian()),
-                    r.z + static_cast<real>(sigma * rng.gaussian())};
-}
-
-} // namespace
+using detail::MiniQMCSystem;
+using detail::WalkerState;
+using detail::qmc_real;
 
 MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
 {
-  const CrystalSystem crystal =
-      make_graphite_supercell(cfg.supercell[0], cfg.supercell[1], cfg.supercell[2]);
-  const int norb = cfg.num_splines > 0 ? cfg.num_splines : crystal.num_orbitals();
-  const int nel = 2 * norb;
+  if (cfg.driver == DriverMode::Crowd)
+    return detail::run_miniqmc_crowd(cfg);
 
-  // Spline domain: a cube enclosing the cell.  The driver's orbitals are
-  // synthetic (random coefficients), so only the access pattern matters; the
-  // engines wrap positions periodically in grid coordinates.
-  double lmax = 0.0;
-  for (const auto& row : crystal.lattice.rows())
-    lmax = std::max(lmax, std::abs(row.x) + std::abs(row.y) + std::abs(row.z));
-  const auto grid = Grid3D<real>::cube(cfg.grid_size, static_cast<real>(lmax));
-  auto coefs = make_random_storage<real>(grid, norb, cfg.seed);
-
-  // Engines: only the configured layout is exercised in the sweep.
-  std::unique_ptr<BsplineAoS<real>> spo_aos;
-  std::unique_ptr<BsplineSoA<real>> spo_soa;
-  std::unique_ptr<MultiBspline<real>> spo_aosoa;
-  std::size_t out_pad = coefs->padded_splines();
-  switch (cfg.spo) {
-  case SpoLayout::AoS:
-    spo_aos = std::make_unique<BsplineAoS<real>>(coefs);
-    break;
-  case SpoLayout::SoA:
-    spo_soa = std::make_unique<BsplineSoA<real>>(coefs);
-    break;
-  case SpoLayout::AoSoA:
-    spo_aosoa = std::make_unique<MultiBspline<real>>(*coefs, cfg.tile_size);
-    out_pad = spo_aosoa->padded_splines();
-    break;
-  }
-
-  // Shared Jastrow functors: e-e with the antiparallel cusp, e-ion smooth.
-  const double rcut = std::min(crystal.lattice.wigner_seitz_radius(), 6.0);
-  const auto j2_functor =
-      BsplineJastrowFunctor<real>::make_exponential(real(-0.5), real(1.0), static_cast<real>(rcut));
-  const auto j1_functor =
-      BsplineJastrowFunctor<real>::make_exponential(real(-1.0), real(0.75), static_cast<real>(rcut));
-  const TwoBodyJastrowAoS<real> j2_aos(j2_functor);
-  const TwoBodyJastrowSoA<real> j2_soa(j2_functor);
-  const OneBodyJastrowAoS<real> j1_aos(j1_functor);
-  const OneBodyJastrowSoA<real> j1_soa(j1_functor);
-
-  // Ion sets in both precisions/layouts.
-  ParticleSetSoA<real> ions_soa(crystal.num_ions());
-  for (int i = 0; i < crystal.num_ions(); ++i) {
-    const auto r = crystal.ions[i];
-    ions_soa.set(i, Vec3<real>{static_cast<real>(r.x), static_cast<real>(r.y),
-                               static_cast<real>(r.z)});
-  }
-  const ParticleSetAoS<real> ions_aos = to_aos(ions_soa);
-
-  const int nw = cfg.num_walkers > 0 ? cfg.num_walkers : max_threads();
-  std::vector<WalkerState> walkers(static_cast<std::size_t>(nw));
+  const MiniQMCSystem sys(cfg);
+  std::vector<WalkerState> walkers(static_cast<std::size_t>(sys.nw));
 
   MiniQMCResult result;
-  result.num_walkers = nw;
-  result.num_electrons = nel;
-  result.num_orbitals = norb;
+  result.num_walkers = sys.nw;
+  result.num_electrons = sys.nel;
+  result.num_orbitals = sys.norb;
 
   Stopwatch total_watch;
-#pragma omp parallel num_threads(nw)
-  {
-    const int wid = thread_id();
+
+  // ---- setup (not profiled): positions, tables, determinants ------------
+  // parallel-for over walker ids (not thread_id indexing) so every walker
+  // is initialized and swept even when the runtime grants fewer threads
+  // than requested (OMP_THREAD_LIMIT, dynamic teams).
+#pragma omp parallel for num_threads(sys.nw) schedule(static, 1)
+  for (int wid = 0; wid < sys.nw; ++wid)
+    detail::init_walker(walkers[static_cast<std::size_t>(wid)], sys, cfg, wid);
+
+  // ---- the profiled Monte Carlo sweep, one walker per iteration ---------
+#pragma omp parallel for num_threads(sys.nw) schedule(static, 1)
+  for (int wid = 0; wid < sys.nw; ++wid) {
     WalkerState& w = walkers[static_cast<std::size_t>(wid)];
-    w.rng = Xoshiro256::for_stream(cfg.seed, static_cast<std::uint64_t>(wid));
-
-    // ---- setup (not profiled): positions, tables, determinants ----------
-    w.elec_soa = random_particles<real>(nel, crystal.lattice, cfg.seed + 1000 + wid);
-    w.elec_aos = to_aos(w.elec_soa);
-    // Fast minimum image for both layouts: identical approximation, so the
-    // AoS/SoA comparison isolates the layout (see DESIGN.md).
-    w.ee_aos = std::make_unique<DistanceTableAA_AoS<real>>(crystal.lattice, nel,
-                                                           MinImageMode::Fast);
-    w.ei_aos = std::make_unique<DistanceTableAB_AoS<real>>(crystal.lattice, ions_aos, nel,
-                                                           MinImageMode::Fast);
-    w.ee_soa = std::make_unique<DistanceTableAA_SoA<real>>(crystal.lattice, nel,
-                                                           MinImageMode::Fast);
-    w.ei_soa = std::make_unique<DistanceTableAB_SoA<real>>(crystal.lattice, ions_soa, nel,
-                                                           MinImageMode::Fast);
-    if (cfg.optimized_dt_jastrow) {
-      w.ee_soa->evaluate(w.elec_soa);
-      w.ei_soa->evaluate(w.elec_soa);
-    } else {
-      w.ee_aos->evaluate(w.elec_aos);
-      w.ei_aos->evaluate(w.elec_aos);
-    }
-    w.out_aos = std::make_unique<WalkerAoS<real>>(out_pad);
-    w.out_soa = std::make_unique<WalkerSoA<real>>(out_pad);
-    const int nq = std::max(1, cfg.quadrature_points);
-    w.quad_v.resize(static_cast<std::size_t>(nq) * out_pad);
-    w.quad_v_ptrs.resize(static_cast<std::size_t>(nq));
-    for (int q = 0; q < nq; ++q)
-      w.quad_v_ptrs[static_cast<std::size_t>(q)] = w.quad_v.data() + static_cast<std::size_t>(q) * out_pad;
-    w.quad_w.resize(static_cast<std::size_t>(nq));
-
-    auto eval_v = [&](const Vec3<real>& r) -> const real* {
-      w.orbital_evals += static_cast<std::size_t>(norb);
-      switch (cfg.spo) {
-      case SpoLayout::AoS:
-        spo_aos->evaluate_v(r.x, r.y, r.z, w.out_aos->v.data());
-        return w.out_aos->v.data();
-      case SpoLayout::SoA:
-        spo_soa->evaluate_v(r.x, r.y, r.z, w.out_soa->v.data());
-        return w.out_soa->v.data();
-      default:
-        spo_aosoa->evaluate_v(r.x, r.y, r.z, w.out_soa->v.data());
-        return w.out_soa->v.data();
-      }
-    };
-    auto eval_vgh = [&](const Vec3<real>& r) -> const real* {
-      w.orbital_evals += static_cast<std::size_t>(norb);
-      switch (cfg.spo) {
-      case SpoLayout::AoS:
-        spo_aos->evaluate_vgh(r.x, r.y, r.z, w.out_aos->v.data(), w.out_aos->g.data(),
-                              w.out_aos->h.data());
-        return w.out_aos->v.data();
-      case SpoLayout::SoA:
-        spo_soa->evaluate_vgh(r.x, r.y, r.z, w.out_soa->v.data(), w.out_soa->g.data(),
-                              w.out_soa->h.data(), w.out_soa->stride);
-        return w.out_soa->v.data();
-      default:
-        spo_aosoa->evaluate_vgh(r.x, r.y, r.z, w.out_soa->v.data(), w.out_soa->g.data(),
-                                w.out_soa->h.data(), w.out_soa->stride);
-        return w.out_soa->v.data();
-      }
-    };
-    // Multi-position V batch over the quadrature points of one electron: the
-    // SoA/AoSoA engines precompute all weight sets (into the walker's
-    // preallocated scratch) and sweep each tile's coefficient slice once for
-    // the whole batch; the AoS baseline has no batched path and falls back
-    // to per-point calls.
-    auto eval_v_batch = [&](const Vec3<real>* r, int count) {
-      w.orbital_evals += static_cast<std::size_t>(count) * static_cast<std::size_t>(norb);
-      switch (cfg.spo) {
-      case SpoLayout::AoS:
-        for (int q = 0; q < count; ++q)
-          spo_aos->evaluate_v(r[q].x, r[q].y, r[q].z, w.quad_v_ptrs[static_cast<std::size_t>(q)]);
-        break;
-      case SpoLayout::SoA:
-        compute_weights_v_batch(coefs->grid(), r, count, w.quad_w.data());
-        spo_soa->evaluate_v_multi(w.quad_w.data(), count, w.quad_v_ptrs.data());
-        break;
-      default:
-        compute_weights_v_batch(coefs->grid(), r, count, w.quad_w.data());
-        for (int t = 0; t < spo_aosoa->num_tiles(); ++t)
-          spo_aosoa->evaluate_v_tile_multi(t, w.quad_w.data(), count, w.quad_v_ptrs.data());
-        break;
-      }
-    };
-    auto eval_vgl = [&](const Vec3<real>& r) {
-      w.orbital_evals += static_cast<std::size_t>(norb);
-      switch (cfg.spo) {
-      case SpoLayout::AoS:
-        spo_aos->evaluate_vgl(r.x, r.y, r.z, w.out_aos->v.data(), w.out_aos->g.data(),
-                              w.out_aos->l.data());
-        break;
-      case SpoLayout::SoA:
-        spo_soa->evaluate_vgl(r.x, r.y, r.z, w.out_soa->v.data(), w.out_soa->g.data(),
-                              w.out_soa->l.data(), w.out_soa->stride);
-        break;
-      default:
-        spo_aosoa->evaluate_vgl(r.x, r.y, r.z, w.out_soa->v.data(), w.out_soa->g.data(),
-                                w.out_soa->l.data(), w.out_soa->stride);
-        break;
-      }
-    };
-
-    // Determinants from the initial configuration (double precision).
-    {
-      Matrix<double> a_up(norb), a_dn(norb);
-      std::vector<double> u(static_cast<std::size_t>(norb));
-      for (int e = 0; e < norb; ++e) {
-        const real* v = eval_v(w.elec_soa[e]);
-        for (int n = 0; n < norb; ++n)
-          a_up(n, e) = static_cast<double>(v[n]) + (n == e ? 1.0 : 0.0); // diagonal boost
-      }
-      for (int e = 0; e < norb; ++e) {
-        const real* v = eval_v(w.elec_soa[norb + e]);
-        for (int n = 0; n < norb; ++n)
-          a_dn(n, e) = static_cast<double>(v[n]) + (n == e ? 1.0 : 0.0);
-      }
-      // The diagonal boost keeps the synthetic (random-coefficient) orbital
-      // matrices well conditioned; production orbitals are near-orthogonal
-      // at distinct electron positions, which this emulates.
-      w.det_up.build(a_up);
-      w.det_dn.build(a_dn);
-    }
-    w.orbital_evals = 0; // setup evaluations excluded from throughput
-
-    std::vector<double> phi(static_cast<std::size_t>(norb));
-
-#pragma omp barrier
-    // ---- the profiled Monte Carlo sweep ---------------------------------
     for (int step = 0; step < cfg.steps; ++step) {
       // Drift-diffusion phase: particle-by-particle moves.
-      for (int e = 0; e < nel; ++e) {
+      for (int e = 0; e < sys.nel; ++e) {
         ++w.attempted;
-        const Vec3<real> r_old = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
-        const Vec3<real> r_new = propose(w.rng, r_old, cfg.move_sigma);
+        const Vec3<qmc_real> r_old = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
+        const Vec3<qmc_real> r_new = detail::propose(w.rng, r_old, cfg.move_sigma);
 
-        double log_jr = 0.0;
-        {
-          ScopedTimer t(w.profile, kSectionDistance);
-          if (cfg.optimized_dt_jastrow) {
-            w.ee_soa->compute_temp(w.elec_soa, r_new, e);
-            w.ei_soa->compute_temp(r_new);
-          } else {
-            w.ee_aos->compute_temp(w.elec_aos, r_new, e);
-            w.ei_aos->compute_temp(r_new);
-          }
-        }
-        {
-          ScopedTimer t(w.profile, kSectionJastrow);
-          if (cfg.optimized_dt_jastrow)
-            log_jr = j2_soa.ratio_log(*w.ee_soa, e) + j1_soa.ratio_log(*w.ei_soa, e);
-          else
-            log_jr = j2_aos.ratio_log(*w.ee_aos, e) + j1_aos.ratio_log(*w.ei_aos, e);
-        }
-
-        const real* v;
+        const qmc_real* v;
         {
           ScopedTimer t(w.profile, kSectionBspline);
-          v = eval_vgh(r_new); // VGH drives the drift-diffusion phase (paper §IV)
+          v = w.eval_vgh(sys, cfg.spo, r_new); // VGH drives drift-diffusion (paper §IV)
         }
-
-        double det_ratio;
-        DiracDeterminant& det = e < norb ? w.det_up : w.det_dn;
-        const int col = e < norb ? e : e - norb;
-        {
-          ScopedTimer t(w.profile, kSectionDeterminant);
-          for (int n = 0; n < norb; ++n)
-            phi[static_cast<std::size_t>(n)] = static_cast<double>(v[n]) + (n == col ? 1.0 : 0.0);
-          det_ratio = det.ratio(phi.data(), col);
-        }
-
-        const double p = std::exp(2.0 * log_jr) * det_ratio * det_ratio;
-        if (w.rng.uniform() < p) {
-          ++w.accepted;
-          {
-            ScopedTimer t(w.profile, kSectionDistance);
-            if (cfg.optimized_dt_jastrow) {
-              w.ee_soa->accept_move(e);
-              w.ei_soa->accept_move(e);
-            } else {
-              w.ee_aos->accept_move(e);
-              w.ei_aos->accept_move(e);
-            }
-          }
-          {
-            ScopedTimer t(w.profile, kSectionDeterminant);
-            det.accept_move(phi.data(), col);
-          }
-          w.elec_soa.set(e, r_new);
-          w.elec_aos[e] = r_new;
-        }
+        detail::metropolis_move(w, sys, cfg, e, r_new, v);
       }
 
       // Measurement phase: kinetic energy (VGL) and a pseudopotential-like
@@ -333,63 +58,25 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
       // propose all points first (same rng stream as per-point evaluation,
       // since neither distance tables nor kernels consume randomness), run
       // the per-point distance/Jastrow ratios, then one multi-position V.
-      std::vector<Vec3<real>> grad(static_cast<std::size_t>(nel));
-      std::vector<real> lap(static_cast<std::size_t>(nel));
-      std::vector<Vec3<real>> rq(static_cast<std::size_t>(std::max(1, cfg.quadrature_points)));
-      for (int e = 0; e < nel; ++e) {
-        const Vec3<real> re = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
+      for (int e = 0; e < sys.nel; ++e) {
+        const Vec3<qmc_real> re = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
         {
           ScopedTimer t(w.profile, kSectionBspline);
-          eval_vgl(re);
+          w.eval_vgl(sys, cfg.spo, re);
         }
         for (int q = 0; q < cfg.quadrature_points; ++q)
-          rq[static_cast<std::size_t>(q)] = propose(w.rng, re, 0.5);
-        for (int q = 0; q < cfg.quadrature_points; ++q) {
-          {
-            ScopedTimer t(w.profile, kSectionDistance);
-            if (cfg.optimized_dt_jastrow)
-              w.ei_soa->compute_temp(rq[static_cast<std::size_t>(q)]);
-            else
-              w.ei_aos->compute_temp(rq[static_cast<std::size_t>(q)]);
-          }
-          {
-            ScopedTimer t(w.profile, kSectionJastrow);
-            if (cfg.optimized_dt_jastrow)
-              (void)j1_soa.ratio_log(*w.ei_soa, e);
-            else
-              (void)j1_aos.ratio_log(*w.ei_aos, e);
-          }
-        }
+          w.quad_r[static_cast<std::size_t>(q)] = detail::propose(w.rng, re, 0.5);
+        detail::quadrature_dist_jastrow(w, sys, cfg, e);
         if (cfg.quadrature_points > 0) {
           ScopedTimer t(w.profile, kSectionBspline);
-          eval_v_batch(rq.data(), cfg.quadrature_points);
+          w.eval_v_batch(sys, cfg.spo, w.quad_r.data(), cfg.quadrature_points);
         }
       }
-      {
-        // Full Jastrow gradients/Laplacians once per step (local energy).
-        ScopedTimer t(w.profile, kSectionJastrow);
-        if (cfg.optimized_dt_jastrow) {
-          (void)j2_soa.evaluate_log(*w.ee_soa, grad.data(), lap.data());
-          (void)j1_soa.evaluate_log(*w.ei_soa, grad.data(), lap.data());
-        } else {
-          (void)j2_aos.evaluate_log(*w.ee_aos, grad.data(), lap.data());
-          (void)j1_aos.evaluate_log(*w.ei_aos, grad.data(), lap.data());
-        }
-      }
+      detail::full_jastrow(w, sys, cfg);
     }
   }
   result.seconds = total_watch.elapsed();
-
-  std::size_t attempted = 0, accepted = 0;
-  for (auto& w : walkers) {
-    result.profile.merge(w.profile);
-    attempted += w.attempted;
-    accepted += w.accepted;
-    result.spline_orbital_evals += w.orbital_evals;
-  }
-  result.moves_attempted = attempted;
-  result.acceptance_ratio =
-      attempted > 0 ? static_cast<double>(accepted) / static_cast<double>(attempted) : 0.0;
+  detail::reduce_result(result, walkers);
   return result;
 }
 

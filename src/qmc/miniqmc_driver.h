@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/timer.h"
 
@@ -29,6 +30,13 @@ enum class SpoLayout
   AoS,   ///< baseline (Fig. 4(a))
   SoA,   ///< Opt A (Fig. 4(b))
   AoSoA  ///< Opt B (tiled, Fig. 6)
+};
+
+/// How the walker population is advanced through the Monte Carlo sweep.
+enum class DriverMode
+{
+  PerWalker, ///< one walker per thread, single-position kernels (paper Fig. 3)
+  Crowd      ///< lock-step crowds, multi-position kernels (qmc/crowd_driver.h)
 };
 
 /// Timed section keys used by the driver's profile.
@@ -50,6 +58,15 @@ struct MiniQMCConfig
   int quadrature_points = 4;             ///< V evaluations per electron per step
   double move_sigma = 0.4;               ///< Gaussian move width (bohr)
   std::uint64_t seed = 20170512;
+  DriverMode driver = DriverMode::PerWalker;
+  /// Crowd driver only: walkers advanced in lock-step per crowd (0 => the
+  /// whole population forms one crowd).  When the size does not divide
+  /// num_walkers, the remainder runs as an extra, smaller trailing crowd.
+  int crowd_size = 0;
+  /// Determinant updates: <= 1 => per-move Sherman-Morrison (DiracDeterminant,
+  /// default), k >= 2 => delayed rank-k window (DelayedDeterminant).  Applies
+  /// to both drivers so their trajectories stay comparable.
+  int delay_rank = 0;
 };
 
 struct MiniQMCResult
@@ -62,6 +79,11 @@ struct MiniQMCResult
   int num_orbitals = 0;
   std::size_t moves_attempted = 0;
   std::size_t spline_orbital_evals = 0; ///< total N * (kernel calls), all walkers
+  // Per-walker trajectory fingerprints (indexed by walker id), used by the
+  // crowd-vs-per-walker equivalence tests: identical rng streams must give
+  // identical accept counts and bit-identical final log dets in both modes.
+  std::vector<std::size_t> walker_accepts;
+  std::vector<double> walker_log_det; ///< log|det_up| + log|det_dn| at the end
 };
 
 MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg);

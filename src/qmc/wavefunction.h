@@ -4,10 +4,19 @@
 //
 // assembled from the library's components: the SoA B-spline engine supplies
 // phi / grad phi / lap phi, the SoA distance tables and Jastrow factors the
-// correlation part, and DiracDeterminant the Sherman-Morrison updated
-// inverses.  Implements the particle-by-particle protocol the paper's
-// walkers run (ratio -> accept/reject) plus the local kinetic-energy
-// estimator, with spin-restricted N_up == N_dn == N_orbitals.
+// correlation part, and a configurable determinant-update engine the
+// incrementally maintained inverses (per-move Sherman-Morrison or delayed
+// rank-k, selected by `delay_rank` — see determinant/det_update.h).
+// Implements the particle-by-particle protocol the paper's walkers run
+// (ratio -> accept/reject) plus the local kinetic-energy estimator, with
+// spin-restricted N_up == N_dn == N_orbitals.
+//
+// Crowd hook: ratio_log_v() prices a move from an externally evaluated
+// orbital-value vector, so a lock-step crowd driver can batch the B-spline
+// evaluations of W walkers (one evaluate_v_multi sweep of the coefficient
+// table) and feed each wave function its slice.  ratio_log() is exactly
+// ratio_log_v() fed from this wave function's own engine, so the two paths
+// are bit-for-bit identical given bit-identical value vectors.
 //
 // Numerics follow QMCPACK: kernels in T (float in production), determinant
 // algebra and accumulated logs in double.
@@ -21,7 +30,7 @@
 
 #include "common/vec3.h"
 #include "core/bspline_soa.h"
-#include "determinant/dirac_determinant.h"
+#include "determinant/det_update.h"
 #include "distance/distance_table.h"
 #include "jastrow/one_body.h"
 #include "jastrow/two_body.h"
@@ -35,17 +44,27 @@ template <typename T>
 class SlaterJastrow
 {
 public:
+  /// @p delay_rank selects the determinant-update algorithm for both spin
+  /// sectors: <= 1 keeps the per-move Sherman-Morrison path, k >= 2 delays
+  /// accepted columns into a rank-k window (determinant/det_update.h).
   SlaterJastrow(std::shared_ptr<const CoefStorage<T>> orbitals, const Lattice& lattice,
                 ParticleSetSoA<T> ions, BsplineJastrowFunctor<T> j1_functor,
-                BsplineJastrowFunctor<T> j2_functor, MinImageMode mode = MinImageMode::Fast)
+                BsplineJastrowFunctor<T> j2_functor, MinImageMode mode = MinImageMode::Fast,
+                int delay_rank = 0)
       : engine_(std::move(orbitals)), lattice_(&lattice), ions_(std::move(ions)),
         j1f_(std::move(j1_functor)), j2f_(std::move(j2_functor)), j1_(j1f_), j2_(j2f_),
-        mode_(mode), out_(engine_.out_stride()), norb_(engine_.num_splines())
+        mode_(mode), out_(engine_.out_stride()), norb_(engine_.num_splines()),
+        det_up_(delay_rank), det_dn_(delay_rank)
   {
   }
 
   [[nodiscard]] int num_orbitals() const noexcept { return norb_; }
   [[nodiscard]] int num_electrons() const noexcept { return 2 * norb_; }
+  [[nodiscard]] DetUpdateKind det_update_kind() const noexcept { return det_up_.kind(); }
+  [[nodiscard]] int delay_rank() const noexcept { return det_up_.delay(); }
+  /// The orbital engine (read-only): crowd drivers use its grid and
+  /// multi-position kernels to batch evaluations across walkers.
+  [[nodiscard]] const BsplineSoA<T>& engine() const noexcept { return engine_; }
 
   /// Build all state from an electron configuration (O(N^3)).
   /// Returns false if either determinant is singular.
@@ -92,14 +111,26 @@ public:
   /// Caches everything accept(iel) needs; reject() discards implicitly.
   double ratio_log(int iel, const Vec3<T>& rnew)
   {
+    engine_.evaluate_v(rnew.x, rnew.y, rnew.z, out_.v.data());
+    return ratio_log_v(iel, rnew, out_.v.data());
+  }
+
+  /// Crowd entry point: identical to ratio_log(), but the orbital values at
+  /// @p rnew (length num_orbitals, any layout-compatible buffer) were
+  /// evaluated externally — typically one multi-position engine sweep shared
+  /// by a whole crowd of walkers.
+  double ratio_log_v(int iel, const Vec3<T>& rnew, const T* values)
+  {
     ee_->compute_temp(elec_, rnew, iel);
     ei_->compute_temp(rnew);
     pending_jr_ = static_cast<double>(j2_.ratio_log(*ee_, iel)) +
                   static_cast<double>(j1_.ratio_log(*ei_, iel));
-    fill_phi(rnew);
+    phi_.resize(static_cast<std::size_t>(norb_));
+    for (int n = 0; n < norb_; ++n)
+      phi_[static_cast<std::size_t>(n)] = static_cast<double>(values[n]);
     const int col = iel < norb_ ? iel : iel - norb_;
     phi_[static_cast<std::size_t>(col)] += 1.0; // diagonal boost, see initialize()
-    DiracDeterminant& det = iel < norb_ ? det_up_ : det_dn_;
+    DetUpdater& det = iel < norb_ ? det_up_ : det_dn_;
     pending_det_ratio_ = det.ratio(phi_.data(), col);
     pending_iel_ = iel;
     pending_rnew_ = rnew;
@@ -113,7 +144,7 @@ public:
     ee_->accept_move(iel);
     ei_->accept_move(iel);
     const int col = iel < norb_ ? iel : iel - norb_;
-    DiracDeterminant& det = iel < norb_ ? det_up_ : det_dn_;
+    DetUpdater& det = iel < norb_ ? det_up_ : det_dn_;
     det.accept_move(phi_.data(), col);
     elec_.set(iel, pending_rnew_);
     log_jastrow_ += pending_jr_;
@@ -149,7 +180,9 @@ public:
     // lap log D = sum_n Ainv(e,n) lap phi_n - |grad log D|^2.
     for (int i = 0; i < nel; ++i) {
       const int col = i < norb_ ? i : i - norb_;
-      const DiracDeterminant& det = i < norb_ ? det_up_ : det_dn_;
+      // Non-const: the delayed engine folds its pending window into the
+      // stored inverse before exposing it.
+      DetUpdater& det = i < norb_ ? det_up_ : det_dn_;
       const Vec3<T> r = elec_[i];
       engine_.evaluate_vgl(r.x, r.y, r.z, out_.v.data(), out_.g.data(), out_.l.data(),
                            out_.stride);
@@ -208,7 +241,7 @@ private:
   ParticleSetSoA<T> elec_;
   std::unique_ptr<DistanceTableAA_SoA<T>> ee_;
   std::unique_ptr<DistanceTableAB_SoA<T>> ei_;
-  DiracDeterminant det_up_, det_dn_;
+  DetUpdater det_up_, det_dn_;
   double log_jastrow_ = 0.0;
 
   // Pending move cache (ratio_log -> accept protocol).

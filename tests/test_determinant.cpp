@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "determinant/delayed_update.h"
+#include "determinant/det_update.h"
 #include "determinant/dirac_determinant.h"
 #include "determinant/lu.h"
 #include "determinant/matrix.h"
@@ -249,6 +250,58 @@ TEST(Delayed, DelayOneEqualsImmediateUpdates)
   for (int i = 0; i < n; ++i)
     for (int j = 0; j < n; ++j)
       ASSERT_NEAR(d1.inverse()(i, j), sm.inverse()(i, j), 1e-8);
+}
+
+TEST(DetUpdater, DelayRankKnobSelectsTheAlgorithm)
+{
+  EXPECT_EQ(DetUpdater(0).kind(), DetUpdateKind::ShermanMorrison);
+  EXPECT_EQ(DetUpdater(1).kind(), DetUpdateKind::ShermanMorrison);
+  EXPECT_EQ(DetUpdater(2).kind(), DetUpdateKind::Delayed);
+  EXPECT_EQ(DetUpdater(8).kind(), DetUpdateKind::Delayed);
+  EXPECT_EQ(DetUpdater(0).delay(), 1);
+  EXPECT_EQ(DetUpdater(8).delay(), 8);
+}
+
+TEST(DetUpdater, DispatchMatchesUnderlyingEngines)
+{
+  // The wrapper must be a pure dispatcher: bit-identical to DiracDeterminant
+  // for delay_rank <= 1 and to DelayedDeterminant for delay_rank >= 2, over
+  // a mixed accept/reject sequence.
+  const int n = 12;
+  Matrix<double> a = random_matrix(n, 61, 2.0);
+  DiracDeterminant sm;
+  DelayedDeterminant delayed(3);
+  DetUpdater u_sm(0), u_delayed(3);
+  ASSERT_TRUE(sm.build(a));
+  ASSERT_TRUE(delayed.build(a));
+  ASSERT_TRUE(u_sm.build(a));
+  ASSERT_TRUE(u_delayed.build(a));
+
+  Xoshiro256 rng(62);
+  for (int move = 0; move < 20; ++move) {
+    const int e = static_cast<int>(rng() % n);
+    std::vector<double> u(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      u[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0) + (i == e ? 2.0 : 0.0);
+    EXPECT_EQ(u_sm.ratio(u.data(), e), sm.ratio(u.data(), e));
+    EXPECT_EQ(u_delayed.ratio(u.data(), e), delayed.ratio(u.data(), e));
+    EXPECT_EQ(u_delayed.pending(), delayed.pending());
+    if (std::abs(sm.ratio(u.data(), e)) < 0.05)
+      continue;
+    sm.accept_move(u.data(), e);
+    delayed.accept_move(u.data(), e);
+    u_sm.accept_move(u.data(), e);
+    u_delayed.accept_move(u.data(), e);
+    EXPECT_EQ(u_sm.log_det(), sm.log_det());
+    EXPECT_EQ(u_delayed.log_det(), delayed.log_det());
+  }
+  // inverse() flushes the delayed window before exposing the matrix.
+  EXPECT_EQ(u_sm.pending(), 0);
+  const auto& inv = u_delayed.inverse();
+  EXPECT_EQ(u_delayed.pending(), 0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      EXPECT_EQ(inv(i, j), delayed.inverse()(i, j));
 }
 
 TEST(Matrix, BasicsAndMatmul)

@@ -17,6 +17,22 @@
 
 using namespace mqc;
 
+// Timing-margin tests are meaningless under the 10-50x overhead of sanitizer
+// instrumentation (the CI sanitize job still runs this suite's correctness
+// tests): skip them there.
+#if defined(__SANITIZE_ADDRESS__)
+#define MQC_SKIP_UNDER_SANITIZER() \
+  GTEST_SKIP() << "sanitizer build: shadow-memory checks distort timing margins"
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MQC_SKIP_UNDER_SANITIZER() \
+  GTEST_SKIP() << "sanitizer build: shadow-memory checks distort timing margins"
+#endif
+#endif
+#ifndef MQC_SKIP_UNDER_SANITIZER
+#define MQC_SKIP_UNDER_SANITIZER() static_cast<void>(0)
+#endif
+
 namespace {
 
 MiniQMCConfig small_config()
@@ -109,6 +125,7 @@ TEST(MiniQMC, SoAJastrowEvaluationBeatsAoSAtPaperScale)
   // branch by design (that asymmetry IS the paper's vector-efficiency story).
   GTEST_SKIP() << "scalar MQC_NO_VECTOR build: SoA wins only via vectorization";
 #endif
+  MQC_SKIP_UNDER_SANITIZER();
   // Table III's point: the SoA treatment shrinks the distance-table and
   // Jastrow cost, shifting the profile toward B-splines.  Measure the full
   // two-body Jastrow evaluation directly at the CORAL system size (256
@@ -275,6 +292,7 @@ TEST(Nested, WalkerCountDerivedFromThreadBudget)
 
 TEST(Nested, ThroughputScalesWithWork)
 {
+  MQC_SKIP_UNDER_SANITIZER();
   // Quadrupling iterations must increase time and keep throughput in the
   // same ballpark.  Timing smoke test: best-of-3 per configuration and a
   // loose bound, because the CI host is a shared VM with heavy steal-time
