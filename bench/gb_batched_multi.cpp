@@ -18,6 +18,7 @@
 
 #include "common/timer.h"
 #include "core/batched.h"
+#include "core/orbital_set.h"
 #include "core/synthetic_orbitals.h"
 
 namespace {
@@ -142,6 +143,63 @@ void BM_BatchedVGH_FusedMulti(benchmark::State& state)
   state.SetItemsProcessed(state.iterations() * n * nw);
 }
 
+// -- facade overhead (the OrbitalSet acceptance criterion) -------------------
+//
+// Same paired-interleave recipe as FusedVsPerPair: one timing loop runs the
+// identical serial multi-position sweep twice, once through the raw engine
+// entry points and once through an OrbitalSet request.  The facade is a
+// variant dispatch plus a scratch lookup per request, amortized over N*nw
+// orbital evaluations — "facade_overhead" (t_facade / t_direct) must sit
+// within run-to-run noise of 1.0 at N=1024.
+void BM_BatchedVGH_FacadeVsDirect(benchmark::State& state)
+{
+  const int n = static_cast<int>(state.range(0));
+  const int nb = static_cast<int>(state.range(1));
+  const int nw = static_cast<int>(state.range(2));
+  Population pop(n, nb, nw);
+
+  std::vector<float*> v(pop.out_ptrs.size()), g(v.size()), h(v.size());
+  for (std::size_t i = 0; i < pop.out_ptrs.size(); ++i) {
+    v[i] = pop.out_ptrs[i]->v.data();
+    g[i] = pop.out_ptrs[i]->g.data();
+    h[i] = pop.out_ptrs[i]->h.data();
+  }
+  const std::size_t stride = pop.engine->out_stride();
+  std::vector<BsplineWeights3D<float>> wts(static_cast<std::size_t>(nw));
+
+  OrbitalSet<float> spo(*pop.engine);
+  OrbitalResource<float> res;
+  OrbitalEvalRequest<float> rq;
+  rq.deriv = DerivLevel::VGH;
+  rq.positions = pop.positions.data();
+  rq.count = nw;
+  rq.v = v.data();
+  rq.g = g.data();
+  rq.lh = h.data();
+  rq.stride = stride;
+
+  double t_direct = 0.0, t_facade = 0.0;
+  for (auto _ : state) {
+    Stopwatch a;
+    compute_weights_vgh_batch(pop.engine->grid(), pop.positions.data(), nw, wts.data());
+    for (int t = 0; t < pop.engine->num_tiles(); ++t)
+      pop.engine->evaluate_vgh_tile_multi(t, wts.data(), nw, v.data(), g.data(), h.data(),
+                                          stride);
+    t_direct += a.elapsed();
+    Stopwatch b;
+    spo.evaluate(rq, res);
+    const double facade = b.elapsed();
+    t_facade += facade;
+    state.SetIterationTime(facade);
+    benchmark::DoNotOptimize(pop.outs[0]->v.data());
+  }
+  const double evals = static_cast<double>(n) * nw * static_cast<double>(state.iterations());
+  state.counters["direct_evals_per_s"] = evals / t_direct;
+  state.counters["facade_evals_per_s"] = evals / t_facade;
+  state.counters["facade_overhead"] = t_facade / t_direct;
+  state.SetItemsProcessed(state.iterations() * n * nw);
+}
+
 } // namespace
 
 // Paper scale (N=1024..2048, 8..16 walkers) across tile sizes from the
@@ -161,5 +219,6 @@ BENCHMARK(BM_BatchedVGH_FusedVsPerPair)
 BENCHMARK(BM_BatchedV_FusedVsPerPair)->Args({1024, 128, 8, 0})->UseManualTime();
 BENCHMARK(BM_BatchedVGH_PerPair)->Args({1024, 128, 8});
 BENCHMARK(BM_BatchedVGH_FusedMulti)->Args({1024, 128, 8, 0})->Args({1024, 128, 8, 4});
+BENCHMARK(BM_BatchedVGH_FacadeVsDirect)->Args({1024, 128, 8})->UseManualTime();
 
 BENCHMARK_MAIN();

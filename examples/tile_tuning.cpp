@@ -1,11 +1,15 @@
 // Domain scenario 2: auto-tuning with persistent wisdom — the FFTW-style
 // workflow the paper proposes for production runs (§VI).
 //
-// Two tuning modes share one wisdom file:
+// Three tuning modes share one wisdom file:
 //   * single-position tile sweep (v1 key): the Fig. 7(c) Nb probe;
 //   * joint (Nb, P) sweep (v2 key): tile size and position block of the
 //     fused batched multi-evaluation path (core/batched.h), probed over a
-//     walker population.
+//     walker population;
+//   * miniQMC driver tuning (tune_miniqmc): the joint sweep on the driver's
+//     own problem PLUS a crowd-size sweep with the real crowd driver, all
+//     recorded as one entry that run_miniqmc consumes through
+//     MiniQMCConfig::wisdom (facade pos_block + crowd_size = -1 auto mode).
 // First run probes candidates for the requested problem and writes the
 // winners; later runs (same problem, same machine) read them back and skip
 // the probes.
@@ -17,6 +21,8 @@
 
 #include "core/synthetic_orbitals.h"
 #include "core/tuner.h"
+#include "qmc/miniqmc_driver.h"
+#include "qmc/miniqmc_tuner.h"
 
 int main(int argc, char** argv)
 {
@@ -26,17 +32,41 @@ int main(int argc, char** argv)
   const std::string path = argc > 3 ? argv[3] : "miniqmcpp_wisdom.txt";
   const int nw = std::max(1, argc > 4 ? std::atoi(argv[4]) : 8);
 
+  // miniQMC driver tuning problem: a small graphite sweep sized to finish
+  // in seconds; production would pass its real configuration.
+  MiniQMCConfig mcfg;
+  mcfg.supercell = {1, 1, 1};
+  mcfg.grid_size = 12;
+  mcfg.num_splines = 16;
+  mcfg.num_walkers = nw;
+  mcfg.spo = SpoLayout::AoSoA;
+  mcfg.tile_size = 16;
+  mcfg.optimized_dt_jastrow = true;
+
   const auto key = Wisdom::make_key("vgh", "float", n, ng, ng, ng);
   const auto key2 = Wisdom::make_key_v2("vgh", "float", n, ng, ng, ng, nw);
+  const auto key3 = miniqmc_wisdom_key(mcfg.num_splines, mcfg.grid_size, nw);
   Wisdom wisdom;
   wisdom.load(path);
   const auto hit1 = wisdom.lookup(key);
   const auto hit2 = wisdom.lookup(key2);
-  if (hit1 && hit2) {
+  const auto hit3 = wisdom.lookup(key3);
+  if (hit1 && hit2 && hit3) {
     std::printf("wisdom hit: %s -> Nb=%d (%.1f Meval/s when tuned)\n", key.c_str(),
                 hit1->tile_size, hit1->throughput / 1e6);
     std::printf("wisdom hit: %s -> Nb=%d P=%d (%.1f Meval/s when tuned)\n", key2.c_str(),
                 hit2->tile_size, hit2->pos_block, hit2->throughput / 1e6);
+    std::printf("wisdom hit: %s -> Nb=%d P=%d crowd=%d\n", key3.c_str(), hit3->tile_size,
+                hit3->pos_block, hit3->crowd_size);
+    // The driver consumes the entry directly: the OrbitalSet facade takes
+    // the tuned position block, crowd_size = -1 resolves to the tuned crowd.
+    mcfg.driver = DriverMode::Crowd;
+    mcfg.crowd_size = -1;
+    mcfg.wisdom = &wisdom;
+    const auto r = run_miniqmc(mcfg);
+    std::printf("tuned crowd run: crowd_size_used=%d, %s path, %.3f s\n", r.crowd_size_used,
+                r.spline_path == EvalPath::MultiPosition ? "multi-position" : "single-position",
+                r.seconds);
     std::printf("delete %s to re-tune.\n", path.c_str());
     return 0;
   }
@@ -67,6 +97,14 @@ int main(int argc, char** argv)
                       ? "   <-- best"
                       : "");
     wisdom.insert(key2, {joint.best_tile, joint.best_throughput, joint.best_block});
+  }
+
+  if (!hit3) {
+    std::printf("no wisdom for %s — tuning the miniQMC driver (joint sweep + crowd sizes)...\n",
+                key3.c_str());
+    const auto entry = tune_miniqmc(wisdom, mcfg, /*min_seconds=*/0.02);
+    std::printf("  recorded Nb=%d P=%d crowd_size=%d\n", entry.tile_size, entry.pos_block,
+                entry.crowd_size);
   }
 
   if (wisdom.save(path))

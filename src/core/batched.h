@@ -1,6 +1,7 @@
-// Batched multi-walker evaluation — the extension direction the paper closes
-// with ("we plan to extend this AoSoA design to parallelize other parts of
-// QMCPACK"), which production QMCPACK later realized as batched drivers.
+// Batched multi-walker evaluation — population-wide convenience wrappers
+// over the OrbitalSet facade (core/orbital_set.h), which owns the actual
+// dispatch: weights once per position, tile-outer / position-block-inner
+// sweeps, OpenMP over (tile, block) work items.
 //
 // Two schedules over the same (walker, tile) work:
 //
@@ -13,114 +14,83 @@
 //    incidental, not guaranteed.  Every call also recomputes the position's
 //    weight set and (pre zero-fill-elimination) re-zeroed its output slice.
 //
-//  * Position-blocked (evaluate_*_batched_multi): all weight sets are
-//    precomputed once for the population, then work is parallelized over
-//    (tile, position-block) with the tile outer and a block of P positions
-//    inner.  The guarantee: within one work item the tile's 4*Ng*Nb-byte
-//    coefficient slice is streamed from memory once and reused from cache by
-//    all P positions of the block, and with the serial tile loop (or static
-//    scheduling) consecutive blocks of the same tile extend that residency
-//    across the whole population.  P trades input reuse against the output
-//    working set (40*P*Nb bytes for VGH) and is tuned jointly with Nb
-//    (core/tuner.h).
+//  * Position-blocked (evaluate_*_batched_multi): a parallel multi-position
+//    facade request.  The guarantee: within one work item the tile's
+//    4*Ng*Nb-byte coefficient slice is streamed from memory once and reused
+//    from cache by all P positions of the block, and with static scheduling
+//    consecutive blocks of the same tile extend that residency across the
+//    whole population.  P trades input reuse against the output working set
+//    (40*P*Nb bytes for VGH) and is tuned jointly with Nb (core/tuner.h).
+//
+// Scratch (weight sets, output pointer tables) is the facade's
+// OrbitalResource; these population-wide wrappers use the shared per-thread
+// instance so steady-state driver iterations allocate nothing.
 #ifndef MQC_CORE_BATCHED_H
 #define MQC_CORE_BATCHED_H
 
-#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <vector>
 
 #include "common/vec3.h"
 #include "core/multi_bspline.h"
-#include "core/weights.h"
+#include "core/orbital_set.h"
 #include "qmc/walker.h"
 
 namespace mqc {
 
-/// Resolve a position-block request against the population size: pos_block
-/// <= 0 means "one block spanning the whole population" (maximum input
-/// reuse), anything else is clamped to [1, nw].
-inline int resolve_pos_block(int pos_block, int nw)
-{
-  if (pos_block <= 0)
-    return nw;
-  return std::min(pos_block, nw);
-}
-
 namespace detail {
 
-/// Per-thread scratch for the fused batched drivers: the population's weight
-/// sets and output-stream pointer tables.  Reused across calls (capacity is
-/// sticky) so steady-state driver iterations allocate nothing.
+/// Gather each walker's component slot pointers into the resource's tables:
+/// values always, gradients when @p want_g, and Hessians (@p want_h) or
+/// Laplacians as the third stream family.  Returns the shared stride.
 template <typename T>
-struct BatchedScratch
+std::size_t gather_walker_slots(const std::vector<WalkerSoA<T>*>& outs, OrbitalResource<T>& res,
+                                bool want_g, bool want_h)
 {
-  std::vector<BsplineWeights3D<T>> w;
-  std::vector<T*> v, g, lh;
-
-  void resize(int nw)
-  {
-    const auto n = static_cast<std::size_t>(nw);
-    w.resize(n);
-    v.resize(n);
-    g.resize(n);
-    lh.resize(n);
+  const int nw = static_cast<int>(outs.size());
+  res.resize_tables(nw);
+  const std::size_t stride = outs.empty() ? 0 : outs[0]->stride;
+  for (int i = 0; i < nw; ++i) {
+    WalkerSoA<T>& out = *outs[static_cast<std::size_t>(i)];
+    assert(out.stride == stride && "batched outputs must share one component stride");
+    const auto ui = static_cast<std::size_t>(i);
+    res.v[ui] = out.v.data();
+    if (want_g)
+      res.g[ui] = out.g.data();
+    res.lh[ui] = want_h ? out.h.data() : out.l.data();
   }
-
-  static BatchedScratch& get()
-  {
-    static thread_local BatchedScratch scratch;
-    return scratch;
-  }
-};
+  return stride;
+}
 
 } // namespace detail
 
 // ---------------------------------------------------------------------------
-// Position-blocked fused path
+// Position-blocked fused path (facade-dispatched)
 // ---------------------------------------------------------------------------
 
-/// Fused multi-position VGH over a population: weights once per position,
-/// tile-outer / position-block-inner sweep, first-iteration stores (no
-/// zero-fill pass).  All output buffers must share one component stride.
+/// Fused multi-position VGH over a population: one parallel facade request.
+/// All output buffers must share one component stride.
 template <typename T>
 void evaluate_vgh_batched_multi(const MultiBspline<T>& engine,
                                 const std::vector<Vec3<T>>& positions,
                                 std::vector<WalkerSoA<T>*>& outs, int pos_block = 0)
 {
   assert(positions.size() == outs.size());
-  const int nw = static_cast<int>(positions.size());
-  if (nw == 0)
+  if (positions.empty())
     return;
-  const int pb = resolve_pos_block(pos_block, nw);
-  const int nblocks = (nw + pb - 1) / pb;
-  const int nt = engine.num_tiles();
-
-  auto& scratch = detail::BatchedScratch<T>::get();
-  scratch.resize(nw);
-  compute_weights_vgh_batch(engine.grid(), positions.data(), nw, scratch.w.data());
-
-  const std::size_t stride = outs[0]->stride;
-  for (int i = 0; i < nw; ++i) {
-    assert(outs[static_cast<std::size_t>(i)]->stride == stride);
-    scratch.v[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->v.data();
-    scratch.g[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->g.data();
-    scratch.lh[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->h.data();
-  }
-  const BsplineWeights3D<T>* w = scratch.w.data();
-  T* const* v = scratch.v.data();
-  T* const* g = scratch.g.data();
-  T* const* h = scratch.lh.data();
-
-#pragma omp parallel for collapse(2) schedule(static)
-  for (int t = 0; t < nt; ++t)
-    for (int b = 0; b < nblocks; ++b) {
-      const int first = b * pb;
-      const int count = std::min(pb, nw - first);
-      engine.evaluate_vgh_tile_multi(t, w + first, count, v + first, g + first, h + first,
-                                     stride);
-    }
+  auto& res = OrbitalResource<T>::thread_instance();
+  OrbitalEvalRequest<T> rq;
+  rq.deriv = DerivLevel::VGH;
+  rq.positions = positions.data();
+  rq.count = static_cast<int>(positions.size());
+  rq.stride = detail::gather_walker_slots(outs, res, true, true);
+  rq.v = res.v.data();
+  rq.g = res.g.data();
+  rq.lh = res.lh.data();
+  rq.pos_block = pos_block;
+  rq.parallel = true;
+  OrbitalSet<T>(engine).evaluate(rq, res);
 }
 
 /// Fused multi-position values-only path (pseudopotential quadrature batches).
@@ -129,29 +99,18 @@ void evaluate_v_batched_multi(const MultiBspline<T>& engine, const std::vector<V
                               std::vector<WalkerSoA<T>*>& outs, int pos_block = 0)
 {
   assert(positions.size() == outs.size());
-  const int nw = static_cast<int>(positions.size());
-  if (nw == 0)
+  if (positions.empty())
     return;
-  const int pb = resolve_pos_block(pos_block, nw);
-  const int nblocks = (nw + pb - 1) / pb;
-  const int nt = engine.num_tiles();
-
-  auto& scratch = detail::BatchedScratch<T>::get();
-  scratch.resize(nw);
-  compute_weights_v_batch(engine.grid(), positions.data(), nw, scratch.w.data());
-
-  for (int i = 0; i < nw; ++i)
-    scratch.v[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->v.data();
-  const BsplineWeights3D<T>* w = scratch.w.data();
-  T* const* v = scratch.v.data();
-
-#pragma omp parallel for collapse(2) schedule(static)
-  for (int t = 0; t < nt; ++t)
-    for (int b = 0; b < nblocks; ++b) {
-      const int first = b * pb;
-      const int count = std::min(pb, nw - first);
-      engine.evaluate_v_tile_multi(t, w + first, count, v + first);
-    }
+  auto& res = OrbitalResource<T>::thread_instance();
+  OrbitalEvalRequest<T> rq;
+  rq.deriv = DerivLevel::V;
+  rq.positions = positions.data();
+  rq.count = static_cast<int>(positions.size());
+  rq.stride = detail::gather_walker_slots(outs, res, false, false);
+  rq.v = res.v.data();
+  rq.pos_block = pos_block;
+  rq.parallel = true;
+  OrbitalSet<T>(engine).evaluate(rq, res);
 }
 
 /// Fused multi-position VGL (local-energy measurement over a population).
@@ -161,37 +120,20 @@ void evaluate_vgl_batched_multi(const MultiBspline<T>& engine,
                                 std::vector<WalkerSoA<T>*>& outs, int pos_block = 0)
 {
   assert(positions.size() == outs.size());
-  const int nw = static_cast<int>(positions.size());
-  if (nw == 0)
+  if (positions.empty())
     return;
-  const int pb = resolve_pos_block(pos_block, nw);
-  const int nblocks = (nw + pb - 1) / pb;
-  const int nt = engine.num_tiles();
-
-  auto& scratch = detail::BatchedScratch<T>::get();
-  scratch.resize(nw);
-  compute_weights_vgh_batch(engine.grid(), positions.data(), nw, scratch.w.data());
-
-  const std::size_t stride = outs[0]->stride;
-  for (int i = 0; i < nw; ++i) {
-    assert(outs[static_cast<std::size_t>(i)]->stride == stride);
-    scratch.v[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->v.data();
-    scratch.g[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->g.data();
-    scratch.lh[static_cast<std::size_t>(i)] = outs[static_cast<std::size_t>(i)]->l.data();
-  }
-  const BsplineWeights3D<T>* w = scratch.w.data();
-  T* const* v = scratch.v.data();
-  T* const* g = scratch.g.data();
-  T* const* l = scratch.lh.data();
-
-#pragma omp parallel for collapse(2) schedule(static)
-  for (int t = 0; t < nt; ++t)
-    for (int b = 0; b < nblocks; ++b) {
-      const int first = b * pb;
-      const int count = std::min(pb, nw - first);
-      engine.evaluate_vgl_tile_multi(t, w + first, count, v + first, g + first, l + first,
-                                     stride);
-    }
+  auto& res = OrbitalResource<T>::thread_instance();
+  OrbitalEvalRequest<T> rq;
+  rq.deriv = DerivLevel::VGL;
+  rq.positions = positions.data();
+  rq.count = static_cast<int>(positions.size());
+  rq.stride = detail::gather_walker_slots(outs, res, true, false);
+  rq.v = res.v.data();
+  rq.g = res.g.data();
+  rq.lh = res.lh.data();
+  rq.pos_block = pos_block;
+  rq.parallel = true;
+  OrbitalSet<T>(engine).evaluate(rq, res);
 }
 
 // ---------------------------------------------------------------------------

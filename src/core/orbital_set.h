@@ -1,0 +1,420 @@
+// OrbitalSet — the single batched-first evaluation API over all spline
+// engines (the QMCPACK lesson institutionalized as the batched SPOSet API,
+// cf. Mathuriya et al., IPDPS 2017; Luo et al., arXiv:1805.07406).
+//
+// Every consumer of orbital evaluations — the per-walker driver, the crowd
+// driver, the population-wide batched layer, the wave function — talks to
+// one facade instead of picking among the engines' ~10 raw entry points
+// (`evaluate_{v,vgl,vgh}`, `_w`, `_multi`, `_tile_multi`; those remain
+// public for kernel benches and ablations but are internal API).  The facade
+// is type-erased without virtual dispatch: a std::variant over non-owning
+// engine pointers, so an OrbitalSet is two words, trivially copyable, and
+// every call inlines into the selected engine's kernels.
+//
+// The API is batched-first: `evaluate(Request, Resource)` takes 1..P
+// positions, a derivative level (V / VGL / VGH) and per-position output
+// slots; a single-position call is simply the P = 1 case of the same path
+// (or the allocation-free `evaluate_one` sugar).  `capabilities()` reports
+// what the wrapped engine can do — native multi-position sweeps? how many
+// tiles? which preferred position block? — so drivers make their
+// single-vs-multi scheduling decision explicitly instead of silently
+// falling back.  Scratch (the batch's weight sets, consumers' pointer
+// tables) lives in an OrbitalResource owned by the caller — one per thread
+// or per crowd — so the hot loop allocates nothing and no scratch hides in
+// scattered function-local thread_locals.
+//
+// Dispatch is tuner-aware: set_pos_block() attaches the Wisdom-tuned
+// position block P (core/tuner.h) and every multi-position request on a
+// tiled engine is blocked accordingly; blocking only reorders independent
+// per-(tile, position) kernel calls, so results are bit-for-bit identical
+// for every P.
+#ifndef MQC_CORE_ORBITAL_SET_H
+#define MQC_CORE_ORBITAL_SET_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <variant>
+#include <vector>
+
+#include "common/vec3.h"
+#include "core/bspline_aos.h"
+#include "core/bspline_soa.h"
+#include "core/multi_bspline.h"
+#include "core/weights.h"
+
+namespace mqc {
+
+/// Derivative level of an evaluation request.
+enum class DerivLevel
+{
+  V,   ///< values only
+  VGL, ///< values + gradients + Laplacians
+  VGH  ///< values + gradients + symmetric Hessians
+};
+
+/// Which evaluation schedule a driver actually ran — the explicit,
+/// capabilities-derived decision surfaced in results (no silent fallback).
+enum class EvalPath
+{
+  SinglePosition, ///< one engine call per position
+  MultiPosition   ///< multi-position sweeps (one coefficient pass per batch)
+};
+
+/// Memory layout family of the wrapped engine.
+enum class OrbitalLayout
+{
+  AoS,   ///< baseline: AoS gradients/Hessians, no multi-position path
+  SoA,   ///< SoA component streams
+  AoSoA  ///< tiled SoA (MultiBspline)
+};
+
+/// What the wrapped engine can do, queried once by a driver to pick its
+/// schedule (and by tests to assert the decision).
+struct OrbitalCapabilities
+{
+  OrbitalLayout layout = OrbitalLayout::AoS;
+  bool native_multi_eval = false; ///< has weight-precomputed multi-position sweeps
+  int num_tiles = 1;              ///< coefficient tiles (1 for untiled engines)
+  int preferred_pos_block = 0;    ///< tuned P for multi requests (0 = whole batch)
+  int num_splines = 0;
+  std::size_t padded_splines = 0;
+  std::size_t out_stride = 0;     ///< natural component stride of the outputs
+};
+
+/// Caller-owned scratch for batched evaluation: the batch's weight sets plus
+/// pointer-table storage for consumers that gather per-position output slots
+/// from walker buffers.  Keep one per thread (or per crowd) and reuse it —
+/// capacity is sticky, so steady-state driver iterations allocate nothing.
+template <typename T>
+struct OrbitalResource
+{
+  std::vector<BsplineWeights3D<T>> weights;
+  std::vector<T*> v, g, lh; ///< consumer pointer tables (gather helpers below)
+
+  /// Ensure weight capacity for a batch of @p count positions.
+  BsplineWeights3D<T>* weights_for(int count)
+  {
+    if (weights.size() < static_cast<std::size_t>(count))
+      weights.resize(static_cast<std::size_t>(count));
+    return weights.data();
+  }
+
+  void resize_tables(int count)
+  {
+    const auto n = static_cast<std::size_t>(count);
+    v.resize(n);
+    g.resize(n);
+    lh.resize(n);
+  }
+
+  /// Shared per-thread instance for call sites without a natural owner
+  /// (population-wide convenience wrappers in core/batched.h).  Drivers with
+  /// per-crowd or per-walker state should own their resource instead.
+  static OrbitalResource& thread_instance()
+  {
+    static thread_local OrbitalResource res;
+    return res;
+  }
+};
+
+/// One batched evaluation: @p count positions, one derivative level, one
+/// output slot per position.  `g`/`lh` may be null for DerivLevel::V; `lh`
+/// holds Laplacian slots for VGL and Hessian slots for VGH.  Component
+/// layout inside a slot is the engine's native one (SoA streams with
+/// `stride` for SoA/AoSoA engines; packed AoS groups for the AoS baseline,
+/// which ignores `stride`).
+template <typename T>
+struct OrbitalEvalRequest
+{
+  DerivLevel deriv = DerivLevel::V;
+  const Vec3<T>* positions = nullptr;
+  int count = 0;
+  T* const* v = nullptr;
+  T* const* g = nullptr;
+  T* const* lh = nullptr;
+  std::size_t stride = 0;
+  /// Position block for tiled engines: how many positions share one pass
+  /// over a tile's coefficient slice.  0 = facade default (the tuned block
+  /// if one was attached, else the whole batch).  Any value gives
+  /// bit-identical results; it only changes the sweep order.
+  int pos_block = 0;
+  /// Parallelize the sweep over (tile, position-block) work items with
+  /// OpenMP.  Leave false inside an existing parallel region (e.g. a
+  /// one-crowd-per-thread driver).
+  bool parallel = false;
+};
+
+/// Resolve a position-block request against the batch size: pb <= 0 means
+/// "one block spanning the whole batch" (maximum input reuse), anything
+/// else is clamped to [1, count].
+inline int resolve_pos_block(int pos_block, int count)
+{
+  if (pos_block <= 0)
+    return count;
+  return std::min(pos_block, count);
+}
+
+template <typename T>
+class OrbitalSet
+{
+public:
+  OrbitalSet() = default;
+  OrbitalSet(const BsplineAoS<T>& engine) : engine_(&engine) {}
+  OrbitalSet(const BsplineSoA<T>& engine) : engine_(&engine) {}
+  OrbitalSet(const MultiBspline<T>& engine) : engine_(&engine) {}
+
+  [[nodiscard]] bool valid() const noexcept
+  {
+    return !std::holds_alternative<std::monostate>(engine_);
+  }
+
+  /// Attach the tuned position block (Wisdom entry, core/tuner.h); consulted
+  /// whenever a multi-position request leaves pos_block at 0.
+  void set_pos_block(int pb) noexcept { pos_block_ = pb; }
+  [[nodiscard]] int pos_block() const noexcept { return pos_block_; }
+
+  [[nodiscard]] OrbitalCapabilities capabilities() const
+  {
+    OrbitalCapabilities caps;
+    caps.preferred_pos_block = pos_block_;
+    if (const auto* e = aos()) {
+      caps.layout = OrbitalLayout::AoS;
+      caps.native_multi_eval = false;
+      caps.num_splines = (*e)->num_splines();
+      caps.padded_splines = (*e)->padded_splines();
+      caps.out_stride = (*e)->padded_splines();
+    } else if (const auto* e = soa()) {
+      caps.layout = OrbitalLayout::SoA;
+      caps.native_multi_eval = true;
+      caps.num_splines = (*e)->num_splines();
+      caps.padded_splines = (*e)->padded_splines();
+      caps.out_stride = (*e)->out_stride();
+    } else if (const auto* e = aosoa()) {
+      caps.layout = OrbitalLayout::AoSoA;
+      caps.native_multi_eval = true;
+      caps.num_tiles = (*e)->num_tiles();
+      caps.num_splines = (*e)->num_splines();
+      caps.padded_splines = (*e)->padded_splines();
+      caps.out_stride = (*e)->out_stride();
+    }
+    return caps;
+  }
+
+  [[nodiscard]] const Grid3D<T>& grid() const
+  {
+    assert(valid());
+    if (const auto* e = aos())
+      return (*e)->coefs().grid();
+    if (const auto* e = soa())
+      return (*e)->coefs().grid();
+    return (*aosoa())->grid();
+  }
+
+  /// The batched entry point: evaluate all positions of @p rq at the
+  /// requested derivative level.  One weight set per position is computed
+  /// into @p res, then the engine's best sweep runs — per-position kernels
+  /// on the AoS baseline, multi-position block sweeps (pos_block positions
+  /// per coefficient pass) on the SoA/AoSoA engines.  Results are
+  /// bit-for-bit identical to the corresponding single-position calls.
+  void evaluate(const OrbitalEvalRequest<T>& rq, OrbitalResource<T>& res) const
+  {
+    assert(valid());
+    if (rq.count <= 0)
+      return;
+    assert(rq.positions != nullptr && rq.v != nullptr);
+    assert((rq.deriv == DerivLevel::V) || (rq.g != nullptr && rq.lh != nullptr));
+    if (const auto* e = aos())
+      evaluate_aos(**e, rq);
+    else if (const auto* e = soa())
+      evaluate_soa(**e, rq, res);
+    else
+      evaluate_aosoa(**aosoa(), rq, res);
+  }
+
+  /// Single-position sugar: the P = 1 case of evaluate(), with no resource
+  /// needed (the one weight set lives on the stack).  @p g / @p lh may be
+  /// null for DerivLevel::V.
+  void evaluate_one(DerivLevel deriv, const Vec3<T>& r, T* v, T* g, T* lh,
+                    std::size_t stride) const
+  {
+    assert(valid());
+    if (const auto* pe = aos()) {
+      const auto& e = **pe;
+      switch (deriv) {
+      case DerivLevel::V:
+        e.evaluate_v(r.x, r.y, r.z, v);
+        return;
+      case DerivLevel::VGL:
+        e.evaluate_vgl(r.x, r.y, r.z, v, g, lh);
+        return;
+      case DerivLevel::VGH:
+        e.evaluate_vgh(r.x, r.y, r.z, v, g, lh);
+        return;
+      }
+    } else if (const auto* pe = soa()) {
+      const auto& e = **pe;
+      switch (deriv) {
+      case DerivLevel::V:
+        e.evaluate_v(r.x, r.y, r.z, v);
+        return;
+      case DerivLevel::VGL:
+        e.evaluate_vgl(r.x, r.y, r.z, v, g, lh, stride);
+        return;
+      case DerivLevel::VGH:
+        e.evaluate_vgh(r.x, r.y, r.z, v, g, lh, stride);
+        return;
+      }
+    } else {
+      const auto& e = **aosoa();
+      switch (deriv) {
+      case DerivLevel::V:
+        e.evaluate_v(r.x, r.y, r.z, v);
+        return;
+      case DerivLevel::VGL:
+        e.evaluate_vgl(r.x, r.y, r.z, v, g, lh, stride);
+        return;
+      case DerivLevel::VGH:
+        e.evaluate_vgh(r.x, r.y, r.z, v, g, lh, stride);
+        return;
+      }
+    }
+  }
+
+private:
+  using EngineRef = std::variant<std::monostate, const BsplineAoS<T>*, const BsplineSoA<T>*,
+                                 const MultiBspline<T>*>;
+
+  [[nodiscard]] const BsplineAoS<T>* const* aos() const noexcept
+  {
+    return std::get_if<const BsplineAoS<T>*>(&engine_);
+  }
+  [[nodiscard]] const BsplineSoA<T>* const* soa() const noexcept
+  {
+    return std::get_if<const BsplineSoA<T>*>(&engine_);
+  }
+  [[nodiscard]] const MultiBspline<T>* const* aosoa() const noexcept
+  {
+    return std::get_if<const MultiBspline<T>*>(&engine_);
+  }
+
+  /// AoS baseline: no multi-position path — one single-position kernel call
+  /// per position (the decision capabilities() exposes as
+  /// native_multi_eval == false).  `stride` is ignored: outputs use the
+  /// engine's packed AoS component groups.
+  void evaluate_aos(const BsplineAoS<T>& e, const OrbitalEvalRequest<T>& rq) const
+  {
+    auto body = [&](int p) {
+      const Vec3<T>& r = rq.positions[p];
+      switch (rq.deriv) {
+      case DerivLevel::V:
+        e.evaluate_v(r.x, r.y, r.z, rq.v[p]);
+        break;
+      case DerivLevel::VGL:
+        e.evaluate_vgl(r.x, r.y, r.z, rq.v[p], rq.g[p], rq.lh[p]);
+        break;
+      case DerivLevel::VGH:
+        e.evaluate_vgh(r.x, r.y, r.z, rq.v[p], rq.g[p], rq.lh[p]);
+        break;
+      }
+    };
+    if (rq.parallel) {
+#pragma omp parallel for schedule(static)
+      for (int p = 0; p < rq.count; ++p)
+        body(p);
+    } else {
+      for (int p = 0; p < rq.count; ++p)
+        body(p);
+    }
+  }
+
+  void evaluate_soa(const BsplineSoA<T>& e, const OrbitalEvalRequest<T>& rq,
+                    OrbitalResource<T>& res) const
+  {
+    BsplineWeights3D<T>* w = res.weights_for(rq.count);
+    if (rq.deriv == DerivLevel::V)
+      compute_weights_v_batch(e.coefs().grid(), rq.positions, rq.count, w);
+    else
+      compute_weights_vgh_batch(e.coefs().grid(), rq.positions, rq.count, w);
+    if (!rq.parallel) {
+      switch (rq.deriv) {
+      case DerivLevel::V:
+        e.evaluate_v_multi(w, rq.count, rq.v);
+        break;
+      case DerivLevel::VGL:
+        e.evaluate_vgl_multi(w, rq.count, rq.v, rq.g, rq.lh, rq.stride);
+        break;
+      case DerivLevel::VGH:
+        e.evaluate_vgh_multi(w, rq.count, rq.v, rq.g, rq.lh, rq.stride);
+        break;
+      }
+      return;
+    }
+#pragma omp parallel for schedule(static)
+    for (int p = 0; p < rq.count; ++p) {
+      switch (rq.deriv) {
+      case DerivLevel::V:
+        e.evaluate_v_w(w[p], rq.v[p]);
+        break;
+      case DerivLevel::VGL:
+        e.evaluate_vgl_w(w[p], rq.v[p], rq.g[p], rq.lh[p], rq.stride);
+        break;
+      case DerivLevel::VGH:
+        e.evaluate_vgh_w(w[p], rq.v[p], rq.g[p], rq.lh[p], rq.stride);
+        break;
+      }
+    }
+  }
+
+  /// Tiled engine: weights once per position, then tile-outer /
+  /// position-block-inner sweeps — each tile's 4*Ng*Nb-byte coefficient
+  /// slice is streamed from memory once per block of P positions and reused
+  /// from cache (the core of the paper's AoSoA analysis, extended across
+  /// positions).  `parallel` distributes (tile, block) work items.
+  void evaluate_aosoa(const MultiBspline<T>& e, const OrbitalEvalRequest<T>& rq,
+                      OrbitalResource<T>& res) const
+  {
+    BsplineWeights3D<T>* w = res.weights_for(rq.count);
+    if (rq.deriv == DerivLevel::V)
+      compute_weights_v_batch(e.grid(), rq.positions, rq.count, w);
+    else
+      compute_weights_vgh_batch(e.grid(), rq.positions, rq.count, w);
+    const int pb = resolve_pos_block(rq.pos_block != 0 ? rq.pos_block : pos_block_, rq.count);
+    const int nblocks = (rq.count + pb - 1) / pb;
+    const int nt = e.num_tiles();
+    auto body = [&](int t, int b) {
+      const int first = b * pb;
+      const int count = std::min(pb, rq.count - first);
+      switch (rq.deriv) {
+      case DerivLevel::V:
+        e.evaluate_v_tile_multi(t, w + first, count, rq.v + first);
+        break;
+      case DerivLevel::VGL:
+        e.evaluate_vgl_tile_multi(t, w + first, count, rq.v + first, rq.g + first, rq.lh + first,
+                                  rq.stride);
+        break;
+      case DerivLevel::VGH:
+        e.evaluate_vgh_tile_multi(t, w + first, count, rq.v + first, rq.g + first, rq.lh + first,
+                                  rq.stride);
+        break;
+      }
+    };
+    if (rq.parallel) {
+#pragma omp parallel for collapse(2) schedule(static)
+      for (int t = 0; t < nt; ++t)
+        for (int b = 0; b < nblocks; ++b)
+          body(t, b);
+    } else {
+      for (int t = 0; t < nt; ++t)
+        for (int b = 0; b < nblocks; ++b)
+          body(t, b);
+    }
+  }
+
+  EngineRef engine_;
+  int pos_block_ = 0;
+};
+
+} // namespace mqc
+
+#endif // MQC_CORE_ORBITAL_SET_H

@@ -37,10 +37,10 @@ bool Wisdom::save(const std::string& path) const
   std::ofstream out(path);
   if (!out)
     return false;
-  out << "# miniqmcpp wisdom v2: key tile_size pos_block throughput\n";
+  out << "# miniqmcpp wisdom v3: key tile_size pos_block crowd_size throughput\n";
   for (const auto& [key, entry] : entries_)
-    out << key << ' ' << entry.tile_size << ' ' << entry.pos_block << ' ' << entry.throughput
-        << '\n';
+    out << key << ' ' << entry.tile_size << ' ' << entry.pos_block << ' ' << entry.crowd_size
+        << ' ' << entry.throughput << '\n';
   return static_cast<bool>(out);
 }
 
@@ -56,17 +56,25 @@ bool Wisdom::load(const std::string& path)
     std::istringstream ls(line);
     std::string key;
     Entry entry;
-    double a = 0.0, b = 0.0;
-    if (!(ls >> key >> entry.tile_size >> a))
+    if (!(ls >> key >> entry.tile_size))
       continue;
-    if (ls >> b) {
-      // v2 line: "key tile pos_block throughput".
+    // The remaining numeric fields disambiguate the format version:
+    //   1 number  -> v1: throughput                       (pos_block := 1)
+    //   2 numbers -> v2: pos_block throughput             (crowd_size := 0)
+    //   3 numbers -> v3: pos_block crowd_size throughput
+    double a = 0.0, b = 0.0, c = 0.0;
+    if (!(ls >> a))
+      continue;
+    if (!(ls >> b)) {
+      entry.pos_block = 1;
+      entry.throughput = a;
+    } else if (!(ls >> c)) {
       entry.pos_block = static_cast<int>(a);
       entry.throughput = b;
     } else {
-      // v1 line: "key tile throughput" — single-position tuning, P := 1.
-      entry.pos_block = 1;
-      entry.throughput = a;
+      entry.pos_block = static_cast<int>(a);
+      entry.crowd_size = static_cast<int>(b);
+      entry.throughput = c;
     }
     entries_[key] = entry;
   }

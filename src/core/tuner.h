@@ -40,6 +40,7 @@ public:
     int tile_size = 0;
     double throughput = 0.0; ///< orbital evaluations per second at tuning time
     int pos_block = 1;       ///< walkers per tile pass (1 == single-position path)
+    int crowd_size = 0;      ///< tuned crowd size for run_miniqmc (0 = not tuned)
   };
 
   /// Legacy (v1) key: single-position tile tuning.
@@ -57,8 +58,9 @@ public:
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
   /// Plain-text persistence, one entry per line:
-  ///   v2 format (written): "key tile_size pos_block throughput"
-  ///   v1 format (still read): "key tile_size throughput" (pos_block := 1)
+  ///   v3 format (written): "key tile_size pos_block crowd_size throughput"
+  ///   v2 format (still read): "key tile_size pos_block throughput" (crowd_size := 0)
+  ///   v1 format (still read): "key tile_size throughput" (pos_block := 1, crowd_size := 0)
   bool save(const std::string& path) const;
   bool load(const std::string& path);
 
@@ -93,6 +95,10 @@ std::vector<int> default_tile_candidates(int num_splines, int min_tile);
 /// Default position-block candidates: powers of two from 1 up to the
 /// population size (inclusive).
 std::vector<int> default_block_candidates(int num_walkers);
+
+// The miniQMC driver tuning built on these sweeps (tune_miniqmc,
+// tune_crowd_size, miniqmc_wisdom_key) lives in qmc/miniqmc_tuner.h: it
+// probes the real driver, so it belongs to the qmc layer, not core.
 
 /// Probe VGH throughput for each candidate tile size over @p ns random
 /// positions and return the sweep (the Fig. 7(c) experiment as a library

@@ -1,9 +1,17 @@
 // The miniQMC crowd sweep: walkers advance in lock-step crowds so that every
-// spline evaluation becomes a multi-position batch (see crowd_driver.h for
-// the design contract and miniqmc_context.h for the shared per-walker
-// arithmetic).  Threading is one crowd per OpenMP thread — the crowd is the
-// unit of both batching and parallelism, so crowd_size trades per-thread
-// batch depth against thread count on a fixed walker population.
+// spline evaluation becomes a multi-position OrbitalSet request (see
+// crowd_driver.h for the design contract and miniqmc_context.h for the
+// shared per-walker arithmetic).  Threading is one crowd per OpenMP thread —
+// the crowd is the unit of both batching and parallelism, so crowd_size
+// trades per-thread batch depth against thread count on a fixed walker
+// population.
+//
+// The single-vs-multi schedule is an explicit OrbitalSet capabilities
+// decision made once per run and surfaced in MiniQMCResult::spline_path:
+// on the AoS baseline (no native multi-position path) the facade degrades
+// each crowd batch to lock-step single-position calls — still the identical
+// trajectory, just without the table-traffic amortization — and the result
+// says so instead of silently benchmarking the fallback.
 #include <algorithm>
 #include <vector>
 
@@ -14,27 +22,38 @@ namespace mqc::detail {
 
 namespace {
 
-/// Per-crowd scratch: gathered trial positions, the shared weight block, and
-/// per-walker output-slot pointer arrays for the multi-position kernels.
-/// Allocated once per crowd so the timed sweep allocates nothing.
+/// Per-crowd scratch: gathered trial positions, per-walker output-slot
+/// pointer tables for the multi-position requests, and the OrbitalResource
+/// owning the batch's weight sets.  Allocated once per crowd so the timed
+/// sweep allocates nothing.
 struct CrowdScratch
 {
   CrowdScratch(std::vector<WalkerState>& walkers, int first, int count, const MiniQMCSystem& sys)
   {
     rnew.resize(static_cast<std::size_t>(count));
-    wts.resize(static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.nq));
     v.resize(static_cast<std::size_t>(count));
     g.resize(static_cast<std::size_t>(count));
     h.resize(static_cast<std::size_t>(count));
     l.resize(static_cast<std::size_t>(count));
     quad_v.resize(static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.nq));
+    quad_pos.resize(static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.nq));
+    (void)ores.weights_for(count * sys.nq);
     for (int i = 0; i < count; ++i) {
       WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
       const auto ui = static_cast<std::size_t>(i);
-      v[ui] = w.out_soa->v.data();
-      g[ui] = w.out_soa->g.data();
-      h[ui] = w.out_soa->h.data();
-      l[ui] = w.out_soa->l.data();
+      // The facade writes into the layout-appropriate walker buffer: AoS
+      // component groups for the baseline engine, SoA streams otherwise.
+      if (sys.aos_outputs) {
+        v[ui] = w.out_aos->v.data();
+        g[ui] = w.out_aos->g.data();
+        h[ui] = w.out_aos->h.data();
+        l[ui] = w.out_aos->l.data();
+      } else {
+        v[ui] = w.out_soa->v.data();
+        g[ui] = w.out_soa->g.data();
+        h[ui] = w.out_soa->h.data();
+        l[ui] = w.out_soa->l.data();
+      }
       for (int q = 0; q < sys.nq; ++q)
         quad_v[ui * static_cast<std::size_t>(sys.nq) + static_cast<std::size_t>(q)] =
             w.quad_v_ptrs[static_cast<std::size_t>(q)];
@@ -42,41 +61,32 @@ struct CrowdScratch
   }
 
   std::vector<Vec3<qmc_real>> rnew;
-  std::vector<BsplineWeights3D<qmc_real>> wts;
-  std::vector<qmc_real*> v, g, h, l; ///< per-walker component slots
-  std::vector<qmc_real*> quad_v;     ///< count*nq quadrature value slots
+  std::vector<qmc_real*> v, g, h, l;   ///< per-walker component slots
+  std::vector<qmc_real*> quad_v;       ///< count*nq quadrature value slots
+  std::vector<Vec3<qmc_real>> quad_pos; ///< gathered count*nq quadrature positions
+  OrbitalResource<qmc_real> ores;      ///< weight sets for the crowd's batches
 };
 
-/// One VGH batch for the crowd's trial positions (scr.rnew[0..count)),
-/// landing in each walker's own output buffers.  The AoS baseline has no
-/// multi-position path and falls back to per-walker single calls — still
-/// lock-step, just without the table-traffic amortization.
-void crowd_eval_vgh(const MiniQMCSystem& sys, SpoLayout spo, std::vector<WalkerState>& walkers,
-                    int first, int count, CrowdScratch& scr)
+/// One VGH request for the crowd's trial positions (scr.rnew[0..count)),
+/// landing in each walker's own output buffers.
+void crowd_eval_vgh(const MiniQMCSystem& sys, std::vector<WalkerState>& walkers, int first,
+                    int count, CrowdScratch& scr)
 {
-  switch (spo) {
-  case SpoLayout::AoS:
-    for (int i = 0; i < count; ++i)
-      (void)walkers[static_cast<std::size_t>(first + i)].eval_vgh(sys, spo, scr.rnew[static_cast<std::size_t>(i)]);
-    return;
-  case SpoLayout::SoA:
-    compute_weights_vgh_batch(sys.coefs->grid(), scr.rnew.data(), count, scr.wts.data());
-    sys.spo_soa->evaluate_vgh_multi(scr.wts.data(), count, scr.v.data(), scr.g.data(),
-                                    scr.h.data(), sys.out_pad);
-    break;
-  default:
-    compute_weights_vgh_batch(sys.coefs->grid(), scr.rnew.data(), count, scr.wts.data());
-    for (int t = 0; t < sys.spo_aosoa->num_tiles(); ++t)
-      sys.spo_aosoa->evaluate_vgh_tile_multi(t, scr.wts.data(), count, scr.v.data(), scr.g.data(),
-                                             scr.h.data(), sys.out_pad);
-    break;
-  }
+  OrbitalEvalRequest<qmc_real> rq;
+  rq.deriv = DerivLevel::VGH;
+  rq.positions = scr.rnew.data();
+  rq.count = count;
+  rq.v = scr.v.data();
+  rq.g = scr.g.data();
+  rq.lh = scr.h.data();
+  rq.stride = sys.out_pad;
+  sys.spo.evaluate(rq, scr.ores);
   for (int i = 0; i < count; ++i)
     walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
         static_cast<std::size_t>(sys.norb);
 }
 
-/// One VGL batch at the crowd's current positions of electron e (kinetic
+/// One VGL request at the crowd's current positions of electron e (kinetic
 /// energy measurement).
 void crowd_eval_vgl(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
                     std::vector<WalkerState>& walkers, int first, int count, int e,
@@ -86,54 +96,38 @@ void crowd_eval_vgl(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
     const WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
     scr.rnew[static_cast<std::size_t>(i)] = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
   }
-  switch (cfg.spo) {
-  case SpoLayout::AoS:
-    for (int i = 0; i < count; ++i)
-      walkers[static_cast<std::size_t>(first + i)].eval_vgl(sys, cfg.spo,
-                                                            scr.rnew[static_cast<std::size_t>(i)]);
-    return;
-  case SpoLayout::SoA:
-    compute_weights_vgh_batch(sys.coefs->grid(), scr.rnew.data(), count, scr.wts.data());
-    sys.spo_soa->evaluate_vgl_multi(scr.wts.data(), count, scr.v.data(), scr.g.data(),
-                                    scr.l.data(), sys.out_pad);
-    break;
-  default:
-    compute_weights_vgh_batch(sys.coefs->grid(), scr.rnew.data(), count, scr.wts.data());
-    for (int t = 0; t < sys.spo_aosoa->num_tiles(); ++t)
-      sys.spo_aosoa->evaluate_vgl_tile_multi(t, scr.wts.data(), count, scr.v.data(), scr.g.data(),
-                                             scr.l.data(), sys.out_pad);
-    break;
-  }
+  OrbitalEvalRequest<qmc_real> rq;
+  rq.deriv = DerivLevel::VGL;
+  rq.positions = scr.rnew.data();
+  rq.count = count;
+  rq.v = scr.v.data();
+  rq.g = scr.g.data();
+  rq.lh = scr.l.data();
+  rq.stride = sys.out_pad;
+  sys.spo.evaluate(rq, scr.ores);
   for (int i = 0; i < count; ++i)
     walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
         static_cast<std::size_t>(sys.norb);
 }
 
-/// One V batch over the whole crowd's quadrature points (count*nq positions,
-/// each walker's nq points already proposed into its quad_r).
+/// One V request over the whole crowd's quadrature points (count*nq
+/// positions, each walker's nq points already proposed into its quad_r).
 void crowd_eval_quad_v(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
                        std::vector<WalkerState>& walkers, int first, int count, CrowdScratch& scr)
 {
   const int nq = cfg.quadrature_points;
-  if (cfg.spo == SpoLayout::AoS) {
-    for (int i = 0; i < count; ++i) {
-      WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
-      w.eval_v_batch(sys, cfg.spo, w.quad_r.data(), nq);
-    }
-    return;
-  }
+  // Gather the crowd's quadrature positions into one contiguous batch.
   for (int i = 0; i < count; ++i) {
     const WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
-    compute_weights_v_batch(sys.coefs->grid(), w.quad_r.data(), nq,
-                            scr.wts.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(nq));
+    std::copy(w.quad_r.begin(), w.quad_r.begin() + nq,
+              scr.quad_pos.begin() + static_cast<std::size_t>(i) * static_cast<std::size_t>(nq));
   }
-  const int total = count * nq;
-  if (cfg.spo == SpoLayout::SoA) {
-    sys.spo_soa->evaluate_v_multi(scr.wts.data(), total, scr.quad_v.data());
-  } else {
-    for (int t = 0; t < sys.spo_aosoa->num_tiles(); ++t)
-      sys.spo_aosoa->evaluate_v_tile_multi(t, scr.wts.data(), total, scr.quad_v.data());
-  }
+  OrbitalEvalRequest<qmc_real> rq;
+  rq.deriv = DerivLevel::V;
+  rq.positions = scr.quad_pos.data();
+  rq.count = count * nq;
+  rq.v = scr.quad_v.data();
+  sys.spo.evaluate(rq, scr.ores);
   for (int i = 0; i < count; ++i)
     walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
         static_cast<std::size_t>(nq) * static_cast<std::size_t>(sys.norb);
@@ -144,7 +138,12 @@ void crowd_eval_quad_v(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
 MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
 {
   const MiniQMCSystem sys(cfg);
-  const int crowd_size = cfg.crowd_size > 0 ? std::min(cfg.crowd_size, sys.nw) : sys.nw;
+  // Crowd-size resolution: explicit size > 0, 0 = whole population, -1 =
+  // tuned size from cfg.wisdom (whole population when no entry was tuned).
+  int requested = cfg.crowd_size;
+  if (requested < 0)
+    requested = sys.tuned_crowd_size;
+  const int crowd_size = requested > 0 ? std::min(requested, sys.nw) : sys.nw;
   const int num_crowds = (sys.nw + crowd_size - 1) / crowd_size;
 
   std::vector<WalkerState> walkers(static_cast<std::size_t>(sys.nw));
@@ -154,6 +153,11 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
   result.num_walkers = sys.nw;
   result.num_electrons = sys.nel;
   result.num_orbitals = sys.norb;
+  result.crowd_size_used = crowd_size;
+  // The explicit schedule decision: multi-position sweeps when the engine
+  // has them, lock-step single-position calls otherwise.
+  result.spline_path = sys.spo.capabilities().native_multi_eval ? EvalPath::MultiPosition
+                                                                : EvalPath::SinglePosition;
 
   Stopwatch total_watch;
 
@@ -185,19 +189,18 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
         }
         {
           ScopedTimer t(cprof, kSectionBspline);
-          crowd_eval_vgh(sys, cfg.spo, walkers, first, count, scr);
+          crowd_eval_vgh(sys, walkers, first, count, scr);
         }
         for (int i = 0; i < count; ++i) {
           WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
-          const qmc_real* v =
-              cfg.spo == SpoLayout::AoS ? w.out_aos->v.data() : w.out_soa->v.data();
+          const qmc_real* v = sys.aos_outputs ? w.out_aos->v.data() : w.out_soa->v.data();
           metropolis_move(w, sys, cfg, e, scr.rnew[static_cast<std::size_t>(i)], v);
         }
       }
 
       // Measurement phase, electron by electron across the crowd: one VGL
-      // batch (kinetic energy), per-walker quadrature proposals and
-      // distance/Jastrow ratios, then one V batch over all count*nq
+      // request (kinetic energy), per-walker quadrature proposals and
+      // distance/Jastrow ratios, then one V request over all count*nq
       // quadrature points.  Each walker's rng stream sees exactly the
       // per-walker driver's draw sequence.
       for (int e = 0; e < sys.nel; ++e) {

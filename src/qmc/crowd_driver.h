@@ -31,7 +31,7 @@
 
 #include "common/aligned_allocator.h"
 #include "common/vec3.h"
-#include "core/weights.h"
+#include "core/orbital_set.h"
 #include "qmc/wavefunction.h"
 
 namespace mqc {
@@ -41,9 +41,9 @@ namespace mqc {
 /// All walkers must be built on the SAME orbital set (the usual QMC setup:
 /// one read-only coefficient table shared by the whole population); the
 /// crowd then evaluates the W trial positions of one electron move with a
-/// single evaluate_v_multi sweep and feeds each wave function its value
-/// slice through SlaterJastrow::ratio_log_v.  Accept/reject remain
-/// per-walker calls on the underlying wave functions.
+/// single multi-position OrbitalSet request and feeds each wave function
+/// its value slice through SlaterJastrow::ratio_log_v.  Accept/reject
+/// remain per-walker calls on the underlying wave functions.
 template <typename T>
 class WavefunctionCrowd
 {
@@ -65,12 +65,13 @@ public:
       if (&w->engine().coefs() != &walkers_.front()->engine().coefs())
         throw std::invalid_argument("WavefunctionCrowd: walkers must share one orbital set");
     }
+    spo_ = OrbitalSet<T>(walkers_.front()->engine());
     stride_ = walkers_.front()->engine().out_stride();
     vbuf_.resize(walkers_.size() * stride_);
     vptrs_.resize(walkers_.size());
     for (std::size_t i = 0; i < walkers_.size(); ++i)
       vptrs_[i] = vbuf_.data() + i * stride_;
-    wts_.resize(walkers_.size());
+    (void)ores_.weights_for(static_cast<int>(walkers_.size()));
   }
 
   [[nodiscard]] int size() const noexcept { return static_cast<int>(walkers_.size()); }
@@ -80,15 +81,18 @@ public:
   }
 
   /// Price moving electron @p iel of every walker to its own trial position
-  /// rnew[i], writing log(|psi'|/|psi|) into log_ratios[i].  One engine
-  /// sweep serves the whole crowd; the per-walker correlation/determinant
-  /// arithmetic is exactly SlaterJastrow::ratio_log's.
+  /// rnew[i], writing log(|psi'|/|psi|) into log_ratios[i].  One
+  /// multi-position facade request serves the whole crowd; the per-walker
+  /// correlation/determinant arithmetic is exactly SlaterJastrow::ratio_log's.
   void ratio_log(int iel, const Vec3<T>* rnew, double* log_ratios)
   {
     const int w = size();
-    const BsplineSoA<T>& engine = walkers_.front()->engine();
-    compute_weights_v_batch(engine.coefs().grid(), rnew, w, wts_.data());
-    engine.evaluate_v_multi(wts_.data(), w, vptrs_.data());
+    OrbitalEvalRequest<T> rq;
+    rq.deriv = DerivLevel::V;
+    rq.positions = rnew;
+    rq.count = w;
+    rq.v = vptrs_.data();
+    spo_.evaluate(rq, ores_);
     for (int i = 0; i < w; ++i)
       log_ratios[i] = walkers_[static_cast<std::size_t>(i)]->ratio_log_v(
           iel, rnew[i], vptrs_[static_cast<std::size_t>(i)]);
@@ -100,10 +104,11 @@ public:
 
 private:
   std::vector<SlaterJastrow<T>*> walkers_;
+  OrbitalSet<T> spo_;        ///< facade over walker 0's (shared) engine
+  OrbitalResource<T> ores_;  ///< weight scratch for the crowd's requests
   std::size_t stride_ = 0;
-  aligned_vector<T> vbuf_;                 ///< W value slices, one engine sweep
-  std::vector<T*> vptrs_;                  ///< per-walker slice pointers
-  std::vector<BsplineWeights3D<T>> wts_;   ///< per-walker weight sets
+  aligned_vector<T> vbuf_;   ///< W value slices, one facade request
+  std::vector<T*> vptrs_;    ///< per-walker slice pointers
 };
 
 } // namespace mqc

@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -26,6 +27,7 @@
 #include "core/bspline_aos.h"
 #include "core/bspline_soa.h"
 #include "core/multi_bspline.h"
+#include "core/orbital_set.h"
 #include "core/synthetic_orbitals.h"
 #include "core/weights.h"
 #include "determinant/det_update.h"
@@ -34,6 +36,7 @@
 #include "jastrow/two_body.h"
 #include "particles/graphite.h"
 #include "qmc/miniqmc_driver.h"
+#include "qmc/miniqmc_tuner.h"
 #include "qmc/walker.h"
 
 namespace mqc::detail {
@@ -61,20 +64,44 @@ struct MiniQMCSystem
     const auto grid = Grid3D<qmc_real>::cube(cfg.grid_size, static_cast<qmc_real>(lmax));
     coefs = make_random_storage<qmc_real>(grid, norb, cfg.seed);
 
-    // Engines: only the configured layout is exercised in the sweep.
+    // Tuned dispatch knobs from the wisdom entry tune_miniqmc recorded
+    // (never trajectory-affecting: tile size regroups the same per-orbital
+    // arithmetic, pos_block and crowd_size reorder independent sweeps):
+    // the AoSoA tile size, the facade's position block, and the crowd size
+    // the crowd driver resolves when cfg.crowd_size == -1.
+    int tile_size = cfg.tile_size;
+    std::optional<Wisdom::Entry> tuned;
+    if (cfg.wisdom)
+      tuned = cfg.wisdom->lookup(miniqmc_wisdom_key(norb, cfg.grid_size, nw));
+    if (tuned) {
+      if (cfg.spo == SpoLayout::AoSoA && tuned->tile_size > 0)
+        tile_size = tuned->tile_size;
+      tuned_crowd_size = tuned->crowd_size;
+    }
+
+    // Engines: only the configured layout is exercised in the sweep.  The
+    // OrbitalSet facade over the configured engine is THE evaluation entry
+    // point for both drivers; the raw engine members stay for tests that
+    // cross-check against direct kernel calls.
     out_pad = coefs->padded_splines();
     switch (cfg.spo) {
     case SpoLayout::AoS:
       spo_aos = std::make_unique<BsplineAoS<qmc_real>>(coefs);
+      spo = OrbitalSet<qmc_real>(*spo_aos);
       break;
     case SpoLayout::SoA:
       spo_soa = std::make_unique<BsplineSoA<qmc_real>>(coefs);
+      spo = OrbitalSet<qmc_real>(*spo_soa);
       break;
     case SpoLayout::AoSoA:
-      spo_aosoa = std::make_unique<MultiBspline<qmc_real>>(*coefs, cfg.tile_size);
+      spo_aosoa = std::make_unique<MultiBspline<qmc_real>>(*coefs, tile_size);
       out_pad = spo_aosoa->padded_splines();
+      spo = OrbitalSet<qmc_real>(*spo_aosoa);
       break;
     }
+    if (tuned)
+      spo.set_pos_block(tuned->pos_block);
+    aos_outputs = cfg.spo == SpoLayout::AoS;
 
     // Shared Jastrow functors: e-e with the antiparallel cusp, e-ion smooth.
     const double rcut = std::min(crystal.lattice.wigner_seitz_radius(), 6.0);
@@ -104,6 +131,9 @@ struct MiniQMCSystem
   std::unique_ptr<BsplineAoS<qmc_real>> spo_aos;
   std::unique_ptr<BsplineSoA<qmc_real>> spo_soa;
   std::unique_ptr<MultiBspline<qmc_real>> spo_aosoa;
+  OrbitalSet<qmc_real> spo;  ///< the one evaluation seam both drivers use
+  bool aos_outputs = false;  ///< walkers fill their AoS-shaped output buffers
+  int tuned_crowd_size = 0;  ///< from cfg.wisdom (0 = none; see crowd driver)
   std::size_t out_pad = 0;
   BsplineJastrowFunctor<qmc_real> j2_functor, j1_functor;
   // The Jastrow evaluators hold pointers to the functors above; the deleted
@@ -131,11 +161,12 @@ struct WalkerState
   std::unique_ptr<WalkerAoS<qmc_real>> out_aos;
   std::unique_ptr<WalkerSoA<qmc_real>> out_soa;
   // Pseudopotential quadrature batch: one V output slice per quadrature
-  // point, evaluated with a single multi-position pass over the table.  The
-  // weight scratch is per-walker so the timed hot loop allocates nothing.
+  // point, evaluated with a single multi-position facade request.  The
+  // walker's OrbitalResource owns the weight scratch so the timed hot loop
+  // allocates nothing.
   aligned_vector<qmc_real> quad_v;
   std::vector<qmc_real*> quad_v_ptrs;
-  std::vector<BsplineWeights3D<qmc_real>> quad_w;
+  OrbitalResource<qmc_real> ores;
   std::vector<Vec3<qmc_real>> quad_r;
   DetUpdater det_up, det_dn;
   Xoshiro256 rng;
@@ -147,85 +178,56 @@ struct WalkerState
   std::size_t attempted = 0;
   std::size_t orbital_evals = 0;
 
-  // -- per-walker spline evaluations (single-position kernels) -------------
+  // -- per-walker spline evaluations, all through the OrbitalSet facade ----
+  //
+  // The only layout-dependent step left is picking the walker's output
+  // buffer object (the AoS baseline fills AoS-shaped gradient/Hessian
+  // groups, every other engine fills SoA component streams) — derived once
+  // from the system's capabilities (sys.aos_outputs), never passed around;
+  // which engine entry point runs is the facade's dispatch, not the
+  // walker's.
 
-  const qmc_real* eval_v(const MiniQMCSystem& sys, SpoLayout spo, const Vec3<qmc_real>& r)
+  const qmc_real* eval_v(const MiniQMCSystem& sys, const Vec3<qmc_real>& r)
   {
     orbital_evals += static_cast<std::size_t>(sys.norb);
-    switch (spo) {
-    case SpoLayout::AoS:
-      sys.spo_aos->evaluate_v(r.x, r.y, r.z, out_aos->v.data());
-      return out_aos->v.data();
-    case SpoLayout::SoA:
-      sys.spo_soa->evaluate_v(r.x, r.y, r.z, out_soa->v.data());
-      return out_soa->v.data();
-    default:
-      sys.spo_aosoa->evaluate_v(r.x, r.y, r.z, out_soa->v.data());
-      return out_soa->v.data();
-    }
+    qmc_real* v = sys.aos_outputs ? out_aos->v.data() : out_soa->v.data();
+    sys.spo.evaluate_one(DerivLevel::V, r, v, nullptr, nullptr, out_soa->stride);
+    return v;
   }
 
-  const qmc_real* eval_vgh(const MiniQMCSystem& sys, SpoLayout spo, const Vec3<qmc_real>& r)
+  const qmc_real* eval_vgh(const MiniQMCSystem& sys, const Vec3<qmc_real>& r)
   {
     orbital_evals += static_cast<std::size_t>(sys.norb);
-    switch (spo) {
-    case SpoLayout::AoS:
-      sys.spo_aos->evaluate_vgh(r.x, r.y, r.z, out_aos->v.data(), out_aos->g.data(),
-                                out_aos->h.data());
-      return out_aos->v.data();
-    case SpoLayout::SoA:
-      sys.spo_soa->evaluate_vgh(r.x, r.y, r.z, out_soa->v.data(), out_soa->g.data(),
-                                out_soa->h.data(), out_soa->stride);
-      return out_soa->v.data();
-    default:
-      sys.spo_aosoa->evaluate_vgh(r.x, r.y, r.z, out_soa->v.data(), out_soa->g.data(),
-                                  out_soa->h.data(), out_soa->stride);
-      return out_soa->v.data();
-    }
+    qmc_real* v = sys.aos_outputs ? out_aos->v.data() : out_soa->v.data();
+    qmc_real* g = sys.aos_outputs ? out_aos->g.data() : out_soa->g.data();
+    qmc_real* h = sys.aos_outputs ? out_aos->h.data() : out_soa->h.data();
+    sys.spo.evaluate_one(DerivLevel::VGH, r, v, g, h, out_soa->stride);
+    return v;
   }
 
-  void eval_vgl(const MiniQMCSystem& sys, SpoLayout spo, const Vec3<qmc_real>& r)
+  void eval_vgl(const MiniQMCSystem& sys, const Vec3<qmc_real>& r)
   {
     orbital_evals += static_cast<std::size_t>(sys.norb);
-    switch (spo) {
-    case SpoLayout::AoS:
-      sys.spo_aos->evaluate_vgl(r.x, r.y, r.z, out_aos->v.data(), out_aos->g.data(),
-                                out_aos->l.data());
-      break;
-    case SpoLayout::SoA:
-      sys.spo_soa->evaluate_vgl(r.x, r.y, r.z, out_soa->v.data(), out_soa->g.data(),
-                                out_soa->l.data(), out_soa->stride);
-      break;
-    default:
-      sys.spo_aosoa->evaluate_vgl(r.x, r.y, r.z, out_soa->v.data(), out_soa->g.data(),
-                                  out_soa->l.data(), out_soa->stride);
-      break;
-    }
+    qmc_real* v = sys.aos_outputs ? out_aos->v.data() : out_soa->v.data();
+    qmc_real* g = sys.aos_outputs ? out_aos->g.data() : out_soa->g.data();
+    qmc_real* l = sys.aos_outputs ? out_aos->l.data() : out_soa->l.data();
+    sys.spo.evaluate_one(DerivLevel::VGL, r, v, g, l, out_soa->stride);
   }
 
-  /// Multi-position V batch over the quadrature points of one electron: the
-  /// SoA/AoSoA engines precompute all weight sets (into the walker's
-  /// preallocated scratch) and sweep each tile's coefficient slice once for
-  /// the whole batch; the AoS baseline has no batched path and falls back
-  /// to per-point calls.
-  void eval_v_batch(const MiniQMCSystem& sys, SpoLayout spo, const Vec3<qmc_real>* r, int count)
+  /// Multi-position V batch over the quadrature points of one electron: one
+  /// facade request for the whole batch.  SoA/AoSoA engines precompute all
+  /// weight sets (into the walker's resource) and sweep each coefficient
+  /// slice once; the AoS baseline has no batched path and runs per-point
+  /// calls — the same facade dispatch the drivers rely on.
+  void eval_v_batch(const MiniQMCSystem& sys, const Vec3<qmc_real>* r, int count)
   {
     orbital_evals += static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.norb);
-    switch (spo) {
-    case SpoLayout::AoS:
-      for (int q = 0; q < count; ++q)
-        sys.spo_aos->evaluate_v(r[q].x, r[q].y, r[q].z, quad_v_ptrs[static_cast<std::size_t>(q)]);
-      break;
-    case SpoLayout::SoA:
-      compute_weights_v_batch(sys.coefs->grid(), r, count, quad_w.data());
-      sys.spo_soa->evaluate_v_multi(quad_w.data(), count, quad_v_ptrs.data());
-      break;
-    default:
-      compute_weights_v_batch(sys.coefs->grid(), r, count, quad_w.data());
-      for (int t = 0; t < sys.spo_aosoa->num_tiles(); ++t)
-        sys.spo_aosoa->evaluate_v_tile_multi(t, quad_w.data(), count, quad_v_ptrs.data());
-      break;
-    }
+    OrbitalEvalRequest<qmc_real> rq;
+    rq.deriv = DerivLevel::V;
+    rq.positions = r;
+    rq.count = count;
+    rq.v = quad_v_ptrs.data();
+    sys.spo.evaluate(rq, ores);
   }
 };
 
@@ -271,8 +273,8 @@ inline void init_walker(WalkerState& w, const MiniQMCSystem& sys, const MiniQMCC
   for (int q = 0; q < sys.nq; ++q)
     w.quad_v_ptrs[static_cast<std::size_t>(q)] =
         w.quad_v.data() + static_cast<std::size_t>(q) * sys.out_pad;
-  w.quad_w.resize(static_cast<std::size_t>(sys.nq));
   w.quad_r.resize(static_cast<std::size_t>(sys.nq));
+  (void)w.ores.weights_for(sys.nq); // pre-size the facade scratch off the hot path
   w.phi.resize(static_cast<std::size_t>(sys.norb));
   w.jgrad.resize(static_cast<std::size_t>(sys.nel));
   w.jlap.resize(static_cast<std::size_t>(sys.nel));
@@ -283,12 +285,12 @@ inline void init_walker(WalkerState& w, const MiniQMCSystem& sys, const MiniQMCC
   {
     Matrix<double> a_up(sys.norb), a_dn(sys.norb);
     for (int e = 0; e < sys.norb; ++e) {
-      const qmc_real* v = w.eval_v(sys, cfg.spo, w.elec_soa[e]);
+      const qmc_real* v = w.eval_v(sys, w.elec_soa[e]);
       for (int n = 0; n < sys.norb; ++n)
         a_up(n, e) = static_cast<double>(v[n]) + (n == e ? 1.0 : 0.0); // diagonal boost
     }
     for (int e = 0; e < sys.norb; ++e) {
-      const qmc_real* v = w.eval_v(sys, cfg.spo, w.elec_soa[sys.norb + e]);
+      const qmc_real* v = w.eval_v(sys, w.elec_soa[sys.norb + e]);
       for (int n = 0; n < sys.norb; ++n)
         a_dn(n, e) = static_cast<double>(v[n]) + (n == e ? 1.0 : 0.0);
     }

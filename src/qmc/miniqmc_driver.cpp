@@ -47,7 +47,7 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
         const qmc_real* v;
         {
           ScopedTimer t(w.profile, kSectionBspline);
-          v = w.eval_vgh(sys, cfg.spo, r_new); // VGH drives drift-diffusion (paper §IV)
+          v = w.eval_vgh(sys, r_new); // VGH drives drift-diffusion (paper §IV)
         }
         detail::metropolis_move(w, sys, cfg, e, r_new, v);
       }
@@ -62,14 +62,14 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
         const Vec3<qmc_real> re = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
         {
           ScopedTimer t(w.profile, kSectionBspline);
-          w.eval_vgl(sys, cfg.spo, re);
+          w.eval_vgl(sys, re);
         }
         for (int q = 0; q < cfg.quadrature_points; ++q)
           w.quad_r[static_cast<std::size_t>(q)] = detail::propose(w.rng, re, 0.5);
         detail::quadrature_dist_jastrow(w, sys, cfg, e);
         if (cfg.quadrature_points > 0) {
           ScopedTimer t(w.profile, kSectionBspline);
-          w.eval_v_batch(sys, cfg.spo, w.quad_r.data(), cfg.quadrature_points);
+          w.eval_v_batch(sys, w.quad_r.data(), cfg.quadrature_points);
         }
       }
       detail::full_jastrow(w, sys, cfg);

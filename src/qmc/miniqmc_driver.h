@@ -22,8 +22,11 @@
 #include <vector>
 
 #include "common/timer.h"
+#include "core/orbital_set.h" // EvalPath: the driver's explicit schedule decision
 
 namespace mqc {
+
+class Wisdom; // core/tuner.h
 
 enum class SpoLayout
 {
@@ -60,13 +63,22 @@ struct MiniQMCConfig
   std::uint64_t seed = 20170512;
   DriverMode driver = DriverMode::PerWalker;
   /// Crowd driver only: walkers advanced in lock-step per crowd (0 => the
-  /// whole population forms one crowd).  When the size does not divide
-  /// num_walkers, the remainder runs as an extra, smaller trailing crowd.
+  /// whole population forms one crowd; -1 => auto: the tuned crowd size from
+  /// `wisdom` when an entry exists, else the whole population).  When the
+  /// size does not divide num_walkers, the remainder runs as an extra,
+  /// smaller trailing crowd.
   int crowd_size = 0;
   /// Determinant updates: <= 1 => per-move Sherman-Morrison (DiracDeterminant,
   /// default), k >= 2 => delayed rank-k window (DelayedDeterminant).  Applies
   /// to both drivers so their trajectories stay comparable.
   int delay_rank = 0;
+  /// Optional tuning wisdom (core/tuner.h, non-owning; see tune_miniqmc):
+  /// the entry under miniqmc_wisdom_key(norb, grid_size, num_walkers)
+  /// supplies the OrbitalSet facade's position block, and — with
+  /// crowd_size == -1 — the crowd driver's tuned crowd size.  Tuning knobs
+  /// only: they never change trajectories, which are a function of (seed,
+  /// walker id) alone.
+  const Wisdom* wisdom = nullptr;
 };
 
 struct MiniQMCResult
@@ -84,6 +96,16 @@ struct MiniQMCResult
   // identical accept counts and bit-identical final log dets in both modes.
   std::vector<std::size_t> walker_accepts;
   std::vector<double> walker_log_det; ///< log|det_up| + log|det_dn| at the end
+  /// The schedule the driver ran for the drift-diffusion VGH evaluations —
+  /// an explicit OrbitalSet-capabilities decision, surfaced so benchmark
+  /// comparisons can't silently measure a fallback (the AoS baseline has no
+  /// multi-position path, so a crowd sweep over it degrades to lock-step
+  /// single-position calls).
+  EvalPath spline_path = EvalPath::SinglePosition;
+  /// Resolved crowd size the sweep actually used (1 for the per-walker
+  /// driver; for the crowd driver: cfg.crowd_size after the 0 = whole
+  /// population / -1 = tuned-from-wisdom resolution and clamping).
+  int crowd_size_used = 1;
 };
 
 MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg);

@@ -1,0 +1,83 @@
+#include "qmc/miniqmc_tuner.h"
+
+#include <algorithm>
+
+#include "common/threading.h"
+#include "common/timer.h"
+#include "qmc/miniqmc_context.h"
+
+namespace mqc {
+
+std::string miniqmc_wisdom_key(int num_orbitals, int grid_size, int num_walkers)
+{
+  return Wisdom::make_key_v2("miniqmc", "float", num_orbitals, grid_size, grid_size, grid_size,
+                             num_walkers);
+}
+
+CrowdTuneResult tune_crowd_size(const MiniQMCConfig& cfg, std::vector<int> candidates,
+                                double min_seconds)
+{
+  // Resolve the walker population exactly as the driver does so candidate
+  // clamping matches what the sweep will actually run.
+  MiniQMCConfig probe = cfg;
+  probe.driver = DriverMode::Crowd;
+  probe.wisdom = nullptr; // tuning must measure the candidates, not reuse old wisdom
+  const int nw = probe.num_walkers > 0 ? probe.num_walkers : max_threads();
+  probe.num_walkers = nw;
+  if (candidates.empty())
+    candidates = default_block_candidates(nw);
+
+  CrowdTuneResult result;
+  for (int cs : candidates) {
+    if (cs > nw)
+      continue;
+    probe.crowd_size = cs;
+    // Best-of-repeats until min_seconds of measurement accumulate: a single
+    // probe is milliseconds at tuning scale, and one shared-host scheduling
+    // hiccup must not crown the wrong candidate in a persisted wisdom file.
+    double best = 0.0, spent = 0.0;
+    int reps = 0;
+    do {
+      const double sec = run_miniqmc(probe).seconds;
+      spent += sec;
+      if (reps == 0 || sec < best)
+        best = sec;
+      ++reps;
+    } while (spent < min_seconds && reps < 16);
+    result.crowd_sizes.push_back(cs);
+    result.seconds.push_back(best);
+    if (result.best_crowd_size == 0 || best < result.best_seconds) {
+      result.best_crowd_size = cs;
+      result.best_seconds = best;
+    }
+  }
+  return result;
+}
+
+Wisdom::Entry tune_miniqmc(Wisdom& wisdom, const MiniQMCConfig& cfg, double min_seconds)
+{
+  // The driver's own coefficient problem: same orbital count, grid, walker
+  // population, and precision the sweep will use (detail::MiniQMCSystem is
+  // the single source of truth for that mapping).
+  const detail::MiniQMCSystem sys(cfg);
+
+  Wisdom::Entry entry;
+  const auto tiles = default_tile_candidates(sys.norb, static_cast<int>(simd_lanes<float>));
+  const auto blocks = default_block_candidates(sys.nw);
+  const auto joint = tune_tile_block_vgh(*sys.coefs, tiles, blocks, sys.nw, min_seconds);
+  entry.tile_size = joint.best_tile;
+  entry.pos_block = joint.best_block;
+  entry.throughput = joint.best_throughput;
+
+  // Crowd sweep at the tuned tile size — the driver will consume all three
+  // knobs together, so they must be measured together.
+  MiniQMCConfig probe = cfg;
+  probe.tile_size = joint.best_tile;
+  const auto crowd = tune_crowd_size(probe, blocks, min_seconds);
+  entry.crowd_size = crowd.best_crowd_size;
+
+  wisdom.insert(miniqmc_wisdom_key(sys.norb, cfg.grid_size, sys.nw), entry);
+  return entry;
+}
+
+} // namespace mqc

@@ -30,6 +30,7 @@
 
 #include "common/vec3.h"
 #include "core/bspline_soa.h"
+#include "core/orbital_set.h"
 #include "determinant/det_update.h"
 #include "distance/distance_table.h"
 #include "jastrow/one_body.h"
@@ -111,7 +112,7 @@ public:
   /// Caches everything accept(iel) needs; reject() discards implicitly.
   double ratio_log(int iel, const Vec3<T>& rnew)
   {
-    engine_.evaluate_v(rnew.x, rnew.y, rnew.z, out_.v.data());
+    spo().evaluate_one(DerivLevel::V, rnew, out_.v.data(), nullptr, nullptr, out_.stride);
     return ratio_log_v(iel, rnew, out_.v.data());
   }
 
@@ -184,8 +185,8 @@ public:
       // stored inverse before exposing it.
       DetUpdater& det = i < norb_ ? det_up_ : det_dn_;
       const Vec3<T> r = elec_[i];
-      engine_.evaluate_vgl(r.x, r.y, r.z, out_.v.data(), out_.g.data(), out_.l.data(),
-                           out_.stride);
+      spo().evaluate_one(DerivLevel::VGL, r, out_.v.data(), out_.g.data(), out_.l.data(),
+                         out_.stride);
       const double* arow = det.inverse().row(col);
       Vec3<double> gd{};
       double ld = 0.0;
@@ -220,9 +221,14 @@ public:
   [[nodiscard]] const ParticleSetSoA<T>& electrons() const noexcept { return elec_; }
 
 private:
+  /// The facade over this wave function's own engine.  Built per call (an
+  /// OrbitalSet is two words and non-owning): a stored facade would dangle
+  /// whenever the object — and the by-value engine_ inside it — is moved.
+  [[nodiscard]] OrbitalSet<T> spo() const noexcept { return OrbitalSet<T>(engine_); }
+
   void fill_phi(const Vec3<T>& r)
   {
-    engine_.evaluate_v(r.x, r.y, r.z, out_.v.data());
+    spo().evaluate_one(DerivLevel::V, r, out_.v.data(), nullptr, nullptr, out_.stride);
     phi_.resize(static_cast<std::size_t>(norb_));
     for (int n = 0; n < norb_; ++n)
       phi_[static_cast<std::size_t>(n)] = static_cast<double>(out_.v[static_cast<std::size_t>(n)]);

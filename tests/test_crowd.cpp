@@ -88,6 +88,59 @@ TEST(CrowdDriver, BitForBitMatchesPerWalkerAcrossCrowdSizes)
   }
 }
 
+TEST(CrowdDriver, SplinePathIsAnExplicitCapabilitiesDecision)
+{
+  // The crowd driver's single-vs-multi schedule is a surfaced decision, not
+  // a silent fallback: multi-position sweeps whenever the engine has them
+  // (SoA, AoSoA), single-position lock-step calls on the AoS baseline.
+  // Bench comparisons read spline_path so they can't accidentally measure
+  // the fallback believing it was the batched path.
+  struct PathCase
+  {
+    SpoLayout spo;
+    EvalPath expected;
+  };
+  const PathCase cases[] = {{SpoLayout::AoS, EvalPath::SinglePosition},
+                            {SpoLayout::SoA, EvalPath::MultiPosition},
+                            {SpoLayout::AoSoA, EvalPath::MultiPosition}};
+  for (const auto& pc : cases) {
+    auto cfg = crowd_test_config();
+    cfg.steps = 1;
+    cfg.spo = pc.spo;
+    cfg.tile_size = 16;
+    cfg.driver = DriverMode::Crowd;
+    cfg.crowd_size = 2;
+    const auto r = run_miniqmc(cfg);
+    EXPECT_EQ(r.spline_path, pc.expected) << "layout " << static_cast<int>(pc.spo);
+    EXPECT_EQ(r.crowd_size_used, 2);
+  }
+  // The per-walker driver always runs single-position moves.
+  auto cfg = crowd_test_config();
+  cfg.steps = 1;
+  cfg.spo = SpoLayout::AoSoA;
+  const auto r = run_miniqmc(cfg);
+  EXPECT_EQ(r.spline_path, EvalPath::SinglePosition);
+  EXPECT_EQ(r.crowd_size_used, 1);
+}
+
+TEST(CrowdDriver, CrowdSizeResolutionClampsAndDefaults)
+{
+  auto cfg = crowd_test_config();
+  cfg.steps = 1;
+  cfg.spo = SpoLayout::AoSoA;
+  cfg.tile_size = 16;
+  cfg.driver = DriverMode::Crowd;
+
+  cfg.crowd_size = 0; // whole population
+  EXPECT_EQ(run_miniqmc(cfg).crowd_size_used, cfg.num_walkers);
+
+  cfg.crowd_size = 100; // clamped to the population
+  EXPECT_EQ(run_miniqmc(cfg).crowd_size_used, cfg.num_walkers);
+
+  cfg.crowd_size = -1; // auto without wisdom: whole population
+  EXPECT_EQ(run_miniqmc(cfg).crowd_size_used, cfg.num_walkers);
+}
+
 TEST(CrowdDriver, BitForBitMatchesPerWalkerWithDelayedUpdates)
 {
   auto cfg = crowd_test_config();

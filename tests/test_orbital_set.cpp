@@ -1,0 +1,340 @@
+// OrbitalSet facade tests: the facade must be a pure re-routing layer —
+// bit-for-bit identical to direct engine calls for every wrapped engine
+// (AoS / SoA / AoSoA), every derivative level (V / VGL / VGH), every
+// position-block choice (P = 1, a non-dividing P, the whole batch), both
+// precisions, and with remainder tiles in play.  Plus the capability
+// surface drivers base their explicit single-vs-multi decision on.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bspline_aos.h"
+#include "core/bspline_soa.h"
+#include "core/multi_bspline.h"
+#include "core/orbital_set.h"
+#include "core/synthetic_orbitals.h"
+#include "qmc/walker.h"
+#include "test_utils.h"
+
+using namespace mqc;
+
+namespace {
+
+// N = 44 with tile 16 -> tiles {16, 16, 12}: a remainder tile is always in
+// play for the AoSoA engine.  P = 3 does not divide the 8-position batch.
+constexpr int kSplines = 44;
+constexpr int kTile = 16;
+constexpr int kBatch = 8;
+
+template <typename T>
+struct FacadeFixture
+{
+  std::shared_ptr<CoefStorage<T>> coefs;
+  BsplineAoS<T> aos;
+  BsplineSoA<T> soa;
+  MultiBspline<T> aosoa;
+  std::vector<Vec3<T>> positions;
+
+  FacadeFixture()
+      : coefs(make_random_storage<T>(Grid3D<T>::cube(8, T(1)), kSplines, 404)), aos(coefs),
+        soa(coefs), aosoa(*coefs, kTile)
+  {
+    Xoshiro256 rng(405);
+    for (int p = 0; p < kBatch; ++p)
+      positions.push_back(Vec3<T>{static_cast<T>(rng.uniform()), static_cast<T>(rng.uniform()),
+                                  static_cast<T>(rng.uniform())});
+  }
+};
+
+/// Per-position output buffers sized for the given stride, with pointer
+/// tables the facade request plugs into directly.
+template <typename T>
+struct Outputs
+{
+  std::vector<std::unique_ptr<WalkerSoA<T>>> soa_bufs;
+  std::vector<std::unique_ptr<WalkerAoS<T>>> aos_bufs;
+  std::vector<T*> v, g, lh;
+
+  Outputs(int count, std::size_t stride, bool aos, bool hessian)
+  {
+    for (int p = 0; p < count; ++p) {
+      if (aos) {
+        aos_bufs.push_back(std::make_unique<WalkerAoS<T>>(stride));
+        v.push_back(aos_bufs.back()->v.data());
+        g.push_back(aos_bufs.back()->g.data());
+        lh.push_back(hessian ? aos_bufs.back()->h.data() : aos_bufs.back()->l.data());
+      } else {
+        soa_bufs.push_back(std::make_unique<WalkerSoA<T>>(stride));
+        v.push_back(soa_bufs.back()->v.data());
+        g.push_back(soa_bufs.back()->g.data());
+        lh.push_back(hessian ? soa_bufs.back()->h.data() : soa_bufs.back()->l.data());
+      }
+    }
+  }
+
+};
+
+enum class Fam
+{
+  AoS,
+  SoA,
+  AoSoA
+};
+
+template <typename T>
+OrbitalSet<T> facade_for(FacadeFixture<T>& fx, Fam fam)
+{
+  switch (fam) {
+  case Fam::AoS:
+    return OrbitalSet<T>(fx.aos);
+  case Fam::SoA:
+    return OrbitalSet<T>(fx.soa);
+  default:
+    return OrbitalSet<T>(fx.aosoa);
+  }
+}
+
+template <typename T>
+std::size_t stride_for(FacadeFixture<T>& fx, Fam fam)
+{
+  return fam == Fam::AoSoA ? fx.aosoa.out_stride() : fx.soa.out_stride();
+}
+
+/// Direct (raw entry point) reference evaluation, one call per position.
+template <typename T>
+void direct_eval(FacadeFixture<T>& fx, Fam fam, DerivLevel d, Outputs<T>& out)
+{
+  const std::size_t stride = stride_for(fx, fam);
+  for (std::size_t p = 0; p < fx.positions.size(); ++p) {
+    const Vec3<T>& r = fx.positions[p];
+    switch (fam) {
+    case Fam::AoS:
+      if (d == DerivLevel::V)
+        fx.aos.evaluate_v(r.x, r.y, r.z, out.v[p]);
+      else if (d == DerivLevel::VGL)
+        fx.aos.evaluate_vgl(r.x, r.y, r.z, out.v[p], out.g[p], out.lh[p]);
+      else
+        fx.aos.evaluate_vgh(r.x, r.y, r.z, out.v[p], out.g[p], out.lh[p]);
+      break;
+    case Fam::SoA:
+      if (d == DerivLevel::V)
+        fx.soa.evaluate_v(r.x, r.y, r.z, out.v[p]);
+      else if (d == DerivLevel::VGL)
+        fx.soa.evaluate_vgl(r.x, r.y, r.z, out.v[p], out.g[p], out.lh[p], stride);
+      else
+        fx.soa.evaluate_vgh(r.x, r.y, r.z, out.v[p], out.g[p], out.lh[p], stride);
+      break;
+    default:
+      if (d == DerivLevel::V)
+        fx.aosoa.evaluate_v(r.x, r.y, r.z, out.v[p]);
+      else if (d == DerivLevel::VGL)
+        fx.aosoa.evaluate_vgl(r.x, r.y, r.z, out.v[p], out.g[p], out.lh[p], stride);
+      else
+        fx.aosoa.evaluate_vgh(r.x, r.y, r.z, out.v[p], out.g[p], out.lh[p], stride);
+      break;
+    }
+  }
+}
+
+template <typename T>
+void run_equivalence(Fam fam, DerivLevel d, int pos_block, bool parallel)
+{
+  FacadeFixture<T> fx;
+  const bool aos = fam == Fam::AoS;
+  const bool hessian = d == DerivLevel::VGH;
+  const std::size_t stride = stride_for(fx, fam);
+
+  Outputs<T> ref(kBatch, stride, aos, hessian);
+  direct_eval(fx, fam, d, ref);
+
+  Outputs<T> got(kBatch, stride, aos, hessian);
+  OrbitalSet<T> spo = facade_for(fx, fam);
+  OrbitalResource<T> res;
+  OrbitalEvalRequest<T> rq;
+  rq.deriv = d;
+  rq.positions = fx.positions.data();
+  rq.count = kBatch;
+  rq.v = got.v.data();
+  if (d != DerivLevel::V) {
+    rq.g = got.g.data();
+    rq.lh = got.lh.data();
+  }
+  rq.stride = stride;
+  rq.pos_block = pos_block;
+  rq.parallel = parallel;
+  spo.evaluate(rq, res);
+
+  // Bit-for-bit across the full padded extent of every requested stream.
+  const std::size_t n = stride;
+  for (std::size_t p = 0; p < static_cast<std::size_t>(kBatch); ++p) {
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(ref.v[p][i], got.v[p][i]) << "v @ position " << p << " index " << i;
+    if (d == DerivLevel::V)
+      continue;
+    const std::size_t gn = 3 * n;
+    for (std::size_t i = 0; i < gn; ++i)
+      ASSERT_EQ(ref.g[p][i], got.g[p][i]) << "g @ position " << p << " index " << i;
+    const std::size_t hn = hessian ? (aos ? 9 * n : 6 * n) : n;
+    for (std::size_t i = 0; i < hn; ++i)
+      ASSERT_EQ(ref.lh[p][i], got.lh[p][i]) << "lh @ position " << p << " index " << i;
+  }
+}
+
+template <typename T>
+class OrbitalSetTypedTest : public ::testing::Test
+{
+};
+
+using RealTypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(OrbitalSetTypedTest, RealTypes);
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// The full equivalence matrix: layouts x derivative levels x position blocks
+// (P = 1, non-dividing P = 3, whole batch), float and double, remainder
+// tiles included by construction (N = 44, tile 16).
+// ---------------------------------------------------------------------------
+
+TYPED_TEST(OrbitalSetTypedTest, FacadeMatchesDirectCallsBitForBit)
+{
+  for (const auto fam : {Fam::AoS, Fam::SoA, Fam::AoSoA})
+    for (const auto d : {DerivLevel::V, DerivLevel::VGL, DerivLevel::VGH})
+      for (const int pb : {1, 3, 0}) { // 0 = whole batch
+        SCOPED_TRACE(::testing::Message()
+                     << "family=" << static_cast<int>(fam) << " deriv=" << static_cast<int>(d)
+                     << " pos_block=" << pb);
+        run_equivalence<TypeParam>(fam, d, pb, /*parallel=*/false);
+      }
+}
+
+TYPED_TEST(OrbitalSetTypedTest, ParallelRequestsMatchSerialBitForBit)
+{
+  for (const auto fam : {Fam::AoS, Fam::SoA, Fam::AoSoA})
+    for (const auto d : {DerivLevel::V, DerivLevel::VGH}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "family=" << static_cast<int>(fam) << " deriv=" << static_cast<int>(d));
+      run_equivalence<TypeParam>(fam, d, /*pos_block=*/2, /*parallel=*/true);
+    }
+}
+
+TEST(OrbitalSet, SinglePositionSugarIsTheBatchOfOne)
+{
+  FacadeFixture<float> fx;
+  const std::size_t stride = fx.aosoa.out_stride();
+  WalkerSoA<float> a(stride), b(stride);
+  OrbitalSet<float> spo(fx.aosoa);
+  OrbitalResource<float> res;
+
+  const Vec3<float> r = fx.positions.front();
+  spo.evaluate_one(DerivLevel::VGH, r, a.v.data(), a.g.data(), a.h.data(), stride);
+
+  float* v = b.v.data();
+  float* g = b.g.data();
+  float* h = b.h.data();
+  OrbitalEvalRequest<float> rq;
+  rq.deriv = DerivLevel::VGH;
+  rq.positions = &r;
+  rq.count = 1;
+  rq.v = &v;
+  rq.g = &g;
+  rq.lh = &h;
+  rq.stride = stride;
+  spo.evaluate(rq, res);
+
+  for (std::size_t i = 0; i < stride; ++i)
+    ASSERT_EQ(a.v[i], b.v[i]);
+  for (std::size_t i = 0; i < 3 * stride; ++i)
+    ASSERT_EQ(a.g[i], b.g[i]);
+  for (std::size_t i = 0; i < 6 * stride; ++i)
+    ASSERT_EQ(a.h[i], b.h[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Capability surface: what drivers base their explicit schedule decision on.
+// ---------------------------------------------------------------------------
+
+TEST(OrbitalSet, CapabilitiesReportEngineFacts)
+{
+  FacadeFixture<float> fx;
+
+  const auto aos = OrbitalSet<float>(fx.aos).capabilities();
+  EXPECT_EQ(aos.layout, OrbitalLayout::AoS);
+  EXPECT_FALSE(aos.native_multi_eval);
+  EXPECT_EQ(aos.num_tiles, 1);
+  EXPECT_EQ(aos.num_splines, kSplines);
+
+  const auto soa = OrbitalSet<float>(fx.soa).capabilities();
+  EXPECT_EQ(soa.layout, OrbitalLayout::SoA);
+  EXPECT_TRUE(soa.native_multi_eval);
+  EXPECT_EQ(soa.num_tiles, 1);
+  EXPECT_EQ(soa.out_stride, fx.soa.out_stride());
+
+  const auto aosoa = OrbitalSet<float>(fx.aosoa).capabilities();
+  EXPECT_EQ(aosoa.layout, OrbitalLayout::AoSoA);
+  EXPECT_TRUE(aosoa.native_multi_eval);
+  EXPECT_EQ(aosoa.num_tiles, 3); // 44 splines in tiles of 16: 16 + 16 + 12
+  EXPECT_EQ(aosoa.out_stride, fx.aosoa.out_stride());
+}
+
+TEST(OrbitalSet, TunedPosBlockIsAdvertisedAndHarmless)
+{
+  FacadeFixture<float> fx;
+  OrbitalSet<float> spo(fx.aosoa);
+  EXPECT_EQ(spo.capabilities().preferred_pos_block, 0);
+  spo.set_pos_block(3);
+  EXPECT_EQ(spo.capabilities().preferred_pos_block, 3);
+
+  // A tuned block only reorders the sweep; outputs stay bit-identical.
+  const std::size_t stride = fx.aosoa.out_stride();
+  Outputs<float> ref(kBatch, stride, false, true);
+  direct_eval(fx, Fam::AoSoA, DerivLevel::VGH, ref);
+  Outputs<float> got(kBatch, stride, false, true);
+  OrbitalResource<float> res;
+  OrbitalEvalRequest<float> rq;
+  rq.deriv = DerivLevel::VGH;
+  rq.positions = fx.positions.data();
+  rq.count = kBatch;
+  rq.v = got.v.data();
+  rq.g = got.g.data();
+  rq.lh = got.lh.data();
+  rq.stride = stride;
+  spo.evaluate(rq, res); // rq.pos_block == 0 -> the tuned 3 applies
+  for (std::size_t p = 0; p < static_cast<std::size_t>(kBatch); ++p)
+    for (std::size_t i = 0; i < stride; ++i)
+      ASSERT_EQ(ref.v[p][i], got.v[p][i]);
+}
+
+TEST(OrbitalSet, DefaultConstructedIsInvalid)
+{
+  OrbitalSet<float> spo;
+  EXPECT_FALSE(spo.valid());
+  FacadeFixture<float> fx;
+  spo = OrbitalSet<float>(fx.soa);
+  EXPECT_TRUE(spo.valid());
+}
+
+TEST(OrbitalSet, ResourceCapacityIsStickyAcrossShrinkingBatches)
+{
+  OrbitalResource<float> res;
+  auto* w8 = res.weights_for(8);
+  EXPECT_GE(res.weights.size(), 8u);
+  auto* w3 = res.weights_for(3); // no shrink, no reallocation
+  EXPECT_EQ(w8, w3);
+  EXPECT_GE(res.weights.size(), 8u);
+  res.resize_tables(5);
+  EXPECT_EQ(res.v.size(), 5u);
+  EXPECT_EQ(res.g.size(), 5u);
+  EXPECT_EQ(res.lh.size(), 5u);
+}
+
+TEST(OrbitalSet, ZeroCountRequestIsANoOp)
+{
+  FacadeFixture<float> fx;
+  OrbitalSet<float> spo(fx.aosoa);
+  OrbitalResource<float> res;
+  OrbitalEvalRequest<float> rq; // count == 0, null pointers
+  spo.evaluate(rq, res);        // must not touch anything
+  SUCCEED();
+}

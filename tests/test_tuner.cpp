@@ -7,6 +7,8 @@
 
 #include "core/synthetic_orbitals.h"
 #include "core/tuner.h"
+#include "qmc/miniqmc_driver.h"
+#include "qmc/miniqmc_tuner.h"
 
 using namespace mqc;
 
@@ -100,6 +102,50 @@ TEST(Wisdom, LoadsLegacyV1Lines)
   std::remove(path.c_str());
 }
 
+TEST(Wisdom, V3RoundTripWithCrowdSize)
+{
+  // The v3 schema adds the tuned crowd size to the (Nb, P) pair.
+  const std::string path = std::filesystem::temp_directory_path() / "mqc_wisdom_v3_test.txt";
+  Wisdom w;
+  w.insert(miniqmc_wisdom_key(512, 32, 16), {128, 3.5e9, 8, 4});
+  ASSERT_TRUE(w.save(path));
+
+  Wisdom r;
+  ASSERT_TRUE(r.load(path));
+  const auto e = r.lookup(miniqmc_wisdom_key(512, 32, 16));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tile_size, 128);
+  EXPECT_EQ(e->pos_block, 8);
+  EXPECT_EQ(e->crowd_size, 4);
+  EXPECT_NEAR(e->throughput, 3.5e9, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Wisdom, LoadsLegacyV2Lines)
+{
+  // A pre-v3 wisdom file has four-field lines; crowd_size defaults to 0.
+  const std::string path = std::filesystem::temp_directory_path() / "mqc_wisdom_v2line_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# miniqmcpp wisdom v2: key tile_size pos_block throughput\n";
+    out << "v2:vgh:float:N=512:grid=48x48x48:nw=8 128 4 2.5e+09\n";
+  }
+  Wisdom r;
+  ASSERT_TRUE(r.load(path));
+  const auto e = r.lookup("v2:vgh:float:N=512:grid=48x48x48:nw=8");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tile_size, 128);
+  EXPECT_EQ(e->pos_block, 4);
+  EXPECT_EQ(e->crowd_size, 0);
+  EXPECT_NEAR(e->throughput, 2.5e9, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Wisdom, MiniqmcKeyFormat)
+{
+  EXPECT_EQ(miniqmc_wisdom_key(512, 32, 16), "v2:miniqmc:float:N=512:grid=32x32x32:nw=16");
+}
+
 TEST(Tuner, DefaultCandidatesArePowersOfTwoUpToN)
 {
   const auto c = default_tile_candidates(256, 16);
@@ -175,4 +221,108 @@ TEST(Tuner, SweepReturnsBestCandidate)
     }
   }
   EXPECT_TRUE(best_found);
+}
+
+// ---------------------------------------------------------------------------
+// miniQMC driver tuning: the crowd-size sweep and the wisdom consumption by
+// run_miniqmc's dispatch (tuning knobs must never change trajectories).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+MiniQMCConfig tuner_driver_config()
+{
+  MiniQMCConfig cfg;
+  cfg.supercell = {1, 1, 1};
+  cfg.grid_size = 12;
+  cfg.num_splines = 16;
+  cfg.steps = 1;
+  cfg.num_walkers = 4;
+  cfg.quadrature_points = 2;
+  cfg.spo = SpoLayout::AoSoA;
+  cfg.tile_size = 16;
+  cfg.optimized_dt_jastrow = true;
+  return cfg;
+}
+
+} // namespace
+
+TEST(Tuner, CrowdSizeSweepProbesTheRealDriver)
+{
+  const auto cfg = tuner_driver_config();
+  const auto result = tune_crowd_size(cfg, {1, 2, 4, 8});
+  // Candidate 8 > population 4 is skipped.
+  ASSERT_EQ(result.crowd_sizes.size(), 3u);
+  ASSERT_EQ(result.seconds.size(), 3u);
+  EXPECT_GT(result.best_crowd_size, 0);
+  EXPECT_GT(result.best_seconds, 0.0);
+  bool best_found = false;
+  for (std::size_t i = 0; i < result.crowd_sizes.size(); ++i) {
+    EXPECT_GT(result.seconds[i], 0.0);
+    EXPECT_GE(result.seconds[i], result.best_seconds);
+    if (result.crowd_sizes[i] == result.best_crowd_size)
+      best_found = true;
+  }
+  EXPECT_TRUE(best_found);
+}
+
+TEST(Tuner, TuneMiniqmcRecordsOneConsumableEntry)
+{
+  const auto cfg = tuner_driver_config();
+  Wisdom wisdom;
+  const auto entry = tune_miniqmc(wisdom, cfg, /*min_seconds=*/0.002);
+  EXPECT_GT(entry.tile_size, 0);
+  EXPECT_GT(entry.pos_block, 0);
+  EXPECT_GT(entry.crowd_size, 0);
+  EXPECT_GT(entry.throughput, 0.0);
+  const auto hit = wisdom.lookup(miniqmc_wisdom_key(16, cfg.grid_size, cfg.num_walkers));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->crowd_size, entry.crowd_size);
+  EXPECT_EQ(hit->tile_size, entry.tile_size);
+}
+
+TEST(Tuner, WisdomDispatchPicksTunedKnobsWithoutChangingTrajectories)
+{
+  // 32 orbitals so the tuned tile size (16) differs from the configured one
+  // (32): the wisdom entry must re-tile the engine AND resolve the crowd
+  // size, with bit-for-bit identical trajectories — tile size regroups the
+  // same per-orbital arithmetic, crowd/pos_block only reorder sweeps.
+  auto cfg = tuner_driver_config();
+  cfg.num_splines = 32;
+  cfg.tile_size = 32;
+  cfg.driver = DriverMode::Crowd;
+
+  Wisdom wisdom;
+  Wisdom::Entry entry;
+  entry.tile_size = 16;
+  entry.pos_block = 2;
+  entry.crowd_size = 2;
+  entry.throughput = 1.0;
+  wisdom.insert(miniqmc_wisdom_key(32, cfg.grid_size, cfg.num_walkers), entry);
+
+  // Auto mode consumes the tuned crowd size (and tile size, pos_block)...
+  auto auto_cfg = cfg;
+  auto_cfg.crowd_size = -1;
+  auto_cfg.wisdom = &wisdom;
+  const auto tuned = run_miniqmc(auto_cfg);
+  EXPECT_EQ(tuned.crowd_size_used, 2);
+
+  // ...and the trajectory is bit-for-bit the untuned one (configured tile
+  // 32, explicit crowd 2, no wisdom): tuning knobs never change the Monte
+  // Carlo process.
+  auto plain_cfg = cfg;
+  plain_cfg.crowd_size = 2;
+  const auto plain = run_miniqmc(plain_cfg);
+  ASSERT_EQ(tuned.walker_accepts.size(), plain.walker_accepts.size());
+  for (std::size_t i = 0; i < plain.walker_accepts.size(); ++i) {
+    EXPECT_EQ(tuned.walker_accepts[i], plain.walker_accepts[i]) << "walker " << i;
+    EXPECT_EQ(tuned.walker_log_det[i], plain.walker_log_det[i]) << "walker " << i;
+  }
+
+  // A missing entry leaves auto mode on the whole-population default.
+  Wisdom empty;
+  auto miss_cfg = cfg;
+  miss_cfg.crowd_size = -1;
+  miss_cfg.wisdom = &empty;
+  EXPECT_EQ(run_miniqmc(miss_cfg).crowd_size_used, cfg.num_walkers);
 }
