@@ -100,11 +100,12 @@ int main(int argc, char** argv)
   }
 
   if (!hit3) {
-    std::printf("no wisdom for %s — tuning the miniQMC driver (joint sweep + crowd sizes)...\n",
+    std::printf("no wisdom for %s — tuning the miniQMC driver "
+                "(joint sweep + crowd sizes + inner teams)...\n",
                 key3.c_str());
     const auto entry = tune_miniqmc(wisdom, mcfg, /*min_seconds=*/0.02);
-    std::printf("  recorded Nb=%d P=%d crowd_size=%d\n", entry.tile_size, entry.pos_block,
-                entry.crowd_size);
+    std::printf("  recorded Nb=%d P=%d crowd_size=%d inner_threads=%d\n", entry.tile_size,
+                entry.pos_block, entry.crowd_size, entry.inner_threads);
   }
 
   if (wisdom.save(path))

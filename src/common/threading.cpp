@@ -1,0 +1,185 @@
+// Topology detection and partition resolution for the thread-team subsystem
+// (common/threading.h).  Detection follows the mctop approach in spirit —
+// derive the socket/core/SMT shape of the machine and keep teams inside one
+// socket — but reads the kernel's own description (sysfs) instead of
+// measuring cache latencies.
+#include "common/threading.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <utility>
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
+
+namespace mqc {
+namespace {
+
+/// Parse "AxBxC" / "A:B:C" / "A,B,C" into up to three positive ints.
+/// Returns the number parsed (0 on garbage).
+int parse_triple(const char* text, int out[3])
+{
+  if (text == nullptr)
+    return 0;
+  int count = 0;
+  const char* p = text;
+  while (count < 3) {
+    while (*p != '\0' && !std::isdigit(static_cast<unsigned char>(*p)))
+      ++p;
+    if (*p == '\0')
+      break;
+    long v = 0;
+    while (std::isdigit(static_cast<unsigned char>(*p))) {
+      v = v * 10 + (*p - '0');
+      ++p;
+    }
+    if (v <= 0)
+      return 0;
+    out[count++] = static_cast<int>(v);
+  }
+  return count;
+}
+
+bool read_int_file(const std::string& path, int& out)
+{
+  std::ifstream in(path);
+  int v = 0;
+  if (!(in >> v))
+    return false;
+  out = v;
+  return true;
+}
+
+/// Read the socket/core shape from Linux sysfs.  Counts distinct
+/// physical_package_id values and distinct (package, core) pairs over the
+/// online cpus; smt is logical / physical cores (rounded down, >= 1).
+/// Offline cpus have no topology/ directory, so the scan runs over the
+/// full configured cpu index range and skips holes instead of stopping at
+/// the first one (a break would truncate the shape on any machine with an
+/// offlined core and silently disable the nested layer).
+bool query_sysfs_topology(MachineTopology& topo)
+{
+  long configured = 0;
+#if defined(_SC_NPROCESSORS_CONF)
+  configured = ::sysconf(_SC_NPROCESSORS_CONF);
+#endif
+  const int scan = configured > 0 ? static_cast<int>(configured) : 4096;
+  std::set<int> packages;
+  std::set<std::pair<int, int>> cores;
+  int logical = 0;
+  for (int cpu = 0; cpu < scan; ++cpu) {
+    const std::string base = "/sys/devices/system/cpu/cpu" + std::to_string(cpu) + "/topology/";
+    int pkg = 0, core = 0;
+    if (!read_int_file(base + "physical_package_id", pkg) ||
+        !read_int_file(base + "core_id", core))
+      continue;
+    packages.insert(pkg);
+    cores.insert({pkg, core});
+    ++logical;
+  }
+  if (logical == 0 || packages.empty() || cores.empty())
+    return false;
+  topo.logical_cpus = logical;
+  topo.sockets = static_cast<int>(packages.size());
+  const int physical = static_cast<int>(cores.size());
+  topo.cores_per_socket = std::max(1, physical / topo.sockets);
+  topo.smt = std::max(1, logical / physical);
+  topo.detected = true;
+  return true;
+}
+
+} // namespace
+
+void request_nested_levels(int levels)
+{
+#ifdef _OPENMP
+  // The operator's explicit limit wins: if either nesting env var is set the
+  // runtime already reflects the requested policy and we leave it alone.
+  if (std::getenv("OMP_MAX_ACTIVE_LEVELS") != nullptr || std::getenv("OMP_NESTED") != nullptr)
+    return;
+  if (omp_get_max_active_levels() < levels)
+    omp_set_max_active_levels(levels);
+#else
+  (void)levels;
+#endif
+}
+
+MachineTopology query_machine_topology()
+{
+  MachineTopology topo;
+  // 1. forced shape: MQC_TOPOLOGY=SxCxT.
+  int triple[3] = {1, 1, 1};
+  const int n = parse_triple(std::getenv("MQC_TOPOLOGY"), triple);
+  if (n >= 2) {
+    topo.sockets = triple[0];
+    topo.cores_per_socket = triple[1];
+    topo.smt = n >= 3 ? triple[2] : 1;
+    topo.logical_cpus = topo.sockets * topo.cores_per_socket * topo.smt;
+    topo.detected = true;
+    return topo;
+  }
+  // 2. the kernel's description.
+  if (query_sysfs_topology(topo))
+    return topo;
+  // 3. flat fallback: everything the OpenMP runtime grants, one socket.
+  topo.logical_cpus = std::max(1, max_threads());
+  topo.sockets = 1;
+  topo.cores_per_socket = topo.logical_cpus;
+  topo.smt = 1;
+  topo.detected = false;
+  return topo;
+}
+
+const MachineTopology& machine_topology()
+{
+  static const MachineTopology topo = query_machine_topology();
+  return topo;
+}
+
+ThreadPartition ThreadPartition::resolve_for(int outer_work, int requested_inner,
+                                             int total_threads, const MachineTopology& topo)
+{
+  ThreadPartition part;
+  part.outer = std::max(1, outer_work);
+  if (requested_inner > 0) {
+    part.inner = requested_inner;
+    return part;
+  }
+  const int total = total_threads > 0 ? total_threads : std::max(1, topo.logical_cpus);
+  int inner = std::max(1, total / part.outer);
+  // Topology-aware shrink: the largest divisor of one socket's hardware
+  // threads that fits — an inner team then never straddles a socket (and,
+  // when it lands below cores_per_socket, shares at most one core's SMT
+  // siblings plus same-socket cache).
+  const int per_socket = std::max(1, topo.threads_per_socket());
+  if (inner > 1 && per_socket > 1) {
+    int best = 1;
+    for (int d = 1; d <= per_socket; ++d)
+      if (per_socket % d == 0 && d <= inner)
+        best = std::max(best, d);
+    inner = best;
+  }
+  part.inner = std::max(1, inner);
+  return part;
+}
+
+ThreadPartition ThreadPartition::resolve(int outer_work, int requested_inner, int total_threads)
+{
+  if (requested_inner <= 0) {
+    // Env overrides, only consulted in auto mode: an explicit knob from the
+    // caller (config, API) always wins over the environment.
+    int triple[3] = {0, 0, 0};
+    if (parse_triple(std::getenv("MQC_PARTITION"), triple) >= 2)
+      return ThreadPartition{triple[0], triple[1]};
+    if (parse_triple(std::getenv("MQC_INNER_THREADS"), triple) == 1)
+      return resolve_for(outer_work, triple[0], total_threads, machine_topology());
+  }
+  return resolve_for(outer_work, requested_inner, total_threads, machine_topology());
+}
+
+} // namespace mqc

@@ -25,6 +25,13 @@
 // Scratch (weight sets, output pointer tables) is the facade's
 // OrbitalResource; these population-wide wrappers use the shared per-thread
 // instance so steady-state driver iterations allocate nothing.
+//
+// Threading routes through the TeamHandle seam (common/threading.h): the
+// fused wrappers take the caller's team and hand it to the facade request,
+// defaulting to whole_machine() — the right size for their usual top-level,
+// ownerless call sites.  Callers already inside a partitioned region (a
+// crowd's outer member) pass their inner team instead, so these wrappers
+// never blindly re-derive the machine size inside someone else's region.
 #ifndef MQC_CORE_BATCHED_H
 #define MQC_CORE_BATCHED_H
 
@@ -74,7 +81,8 @@ std::size_t gather_walker_slots(const std::vector<WalkerSoA<T>*>& outs, OrbitalR
 template <typename T>
 void evaluate_vgh_batched_multi(const MultiBspline<T>& engine,
                                 const std::vector<Vec3<T>>& positions,
-                                std::vector<WalkerSoA<T>*>& outs, int pos_block = 0)
+                                std::vector<WalkerSoA<T>*>& outs, int pos_block = 0,
+                                TeamHandle team = TeamHandle::whole_machine())
 {
   assert(positions.size() == outs.size());
   if (positions.empty())
@@ -89,14 +97,16 @@ void evaluate_vgh_batched_multi(const MultiBspline<T>& engine,
   rq.g = res.g.data();
   rq.lh = res.lh.data();
   rq.pos_block = pos_block;
-  rq.parallel = true;
+  rq.parallel = team.parallel();
+  rq.team = team;
   OrbitalSet<T>(engine).evaluate(rq, res);
 }
 
 /// Fused multi-position values-only path (pseudopotential quadrature batches).
 template <typename T>
 void evaluate_v_batched_multi(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
-                              std::vector<WalkerSoA<T>*>& outs, int pos_block = 0)
+                              std::vector<WalkerSoA<T>*>& outs, int pos_block = 0,
+                              TeamHandle team = TeamHandle::whole_machine())
 {
   assert(positions.size() == outs.size());
   if (positions.empty())
@@ -109,7 +119,8 @@ void evaluate_v_batched_multi(const MultiBspline<T>& engine, const std::vector<V
   rq.stride = detail::gather_walker_slots(outs, res, false, false);
   rq.v = res.v.data();
   rq.pos_block = pos_block;
-  rq.parallel = true;
+  rq.parallel = team.parallel();
+  rq.team = team;
   OrbitalSet<T>(engine).evaluate(rq, res);
 }
 
@@ -117,7 +128,8 @@ void evaluate_v_batched_multi(const MultiBspline<T>& engine, const std::vector<V
 template <typename T>
 void evaluate_vgl_batched_multi(const MultiBspline<T>& engine,
                                 const std::vector<Vec3<T>>& positions,
-                                std::vector<WalkerSoA<T>*>& outs, int pos_block = 0)
+                                std::vector<WalkerSoA<T>*>& outs, int pos_block = 0,
+                                TeamHandle team = TeamHandle::whole_machine())
 {
   assert(positions.size() == outs.size());
   if (positions.empty())
@@ -132,7 +144,8 @@ void evaluate_vgl_batched_multi(const MultiBspline<T>& engine,
   rq.g = res.g.data();
   rq.lh = res.lh.data();
   rq.pos_block = pos_block;
-  rq.parallel = true;
+  rq.parallel = team.parallel();
+  rq.team = team;
   OrbitalSet<T>(engine).evaluate(rq, res);
 }
 
@@ -145,12 +158,14 @@ void evaluate_vgl_batched_multi(const MultiBspline<T>& engine,
 /// single-position tile kernel call per (tile, walker) pair.
 template <typename T>
 void evaluate_vgh_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
-                          std::vector<WalkerSoA<T>*>& outs)
+                          std::vector<WalkerSoA<T>*>& outs,
+                          TeamHandle team = TeamHandle::whole_machine())
 {
   assert(positions.size() == outs.size());
   const int nw = static_cast<int>(positions.size());
   const int nt = engine.num_tiles();
-#pragma omp parallel for collapse(2) schedule(static)
+  const int nth = team.resolve();
+#pragma omp parallel for collapse(2) schedule(static) num_threads(nth)
   for (int t = 0; t < nt; ++t)
     for (int w = 0; w < nw; ++w) {
       const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
@@ -163,12 +178,14 @@ void evaluate_vgh_batched(const MultiBspline<T>& engine, const std::vector<Vec3<
 /// Batched values-only evaluation, per-pair schedule.
 template <typename T>
 void evaluate_v_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
-                        std::vector<WalkerSoA<T>*>& outs)
+                        std::vector<WalkerSoA<T>*>& outs,
+                        TeamHandle team = TeamHandle::whole_machine())
 {
   assert(positions.size() == outs.size());
   const int nw = static_cast<int>(positions.size());
   const int nt = engine.num_tiles();
-#pragma omp parallel for collapse(2) schedule(static)
+  const int nth = team.resolve();
+#pragma omp parallel for collapse(2) schedule(static) num_threads(nth)
   for (int t = 0; t < nt; ++t)
     for (int w = 0; w < nw; ++w) {
       const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
@@ -179,12 +196,14 @@ void evaluate_v_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>
 /// Batched VGL, per-pair schedule.
 template <typename T>
 void evaluate_vgl_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>>& positions,
-                          std::vector<WalkerSoA<T>*>& outs)
+                          std::vector<WalkerSoA<T>*>& outs,
+                          TeamHandle team = TeamHandle::whole_machine())
 {
   assert(positions.size() == outs.size());
   const int nw = static_cast<int>(positions.size());
   const int nt = engine.num_tiles();
-#pragma omp parallel for collapse(2) schedule(static)
+  const int nth = team.resolve();
+#pragma omp parallel for collapse(2) schedule(static) num_threads(nth)
   for (int t = 0; t < nt; ++t)
     for (int w = 0; w < nw; ++w) {
       const Vec3<T>& r = positions[static_cast<std::size_t>(w)];

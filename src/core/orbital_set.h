@@ -34,9 +34,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <memory>
 #include <variant>
 #include <vector>
 
+#include "common/threading.h"
 #include "common/vec3.h"
 #include "core/bspline_aos.h"
 #include "core/bspline_soa.h"
@@ -111,10 +113,24 @@ struct OrbitalResource
   /// Shared per-thread instance for call sites without a natural owner
   /// (population-wide convenience wrappers in core/batched.h).  Drivers with
   /// per-crowd or per-walker state should own their resource instead.
+  ///
+  /// Instances are keyed by the OpenMP nesting level, not one per thread:
+  /// under nested parallelism the master of an inner team IS the outer
+  /// thread, so a single thread_local would hand a nested facade call the
+  /// same object an enclosing call is still using (its weight batch would be
+  /// clobbered mid-evaluation).  One instance per (thread, nesting level)
+  /// makes the outer and nested calls disjoint; the stack is small (nesting
+  /// depth, in practice <= 2) and sticky like the resources themselves.
   static OrbitalResource& thread_instance()
   {
-    static thread_local OrbitalResource res;
-    return res;
+    static thread_local std::vector<std::unique_ptr<OrbitalResource>> per_level;
+    const auto level = static_cast<std::size_t>(nest_level());
+    if (per_level.size() <= level)
+      per_level.resize(level + 1);
+    auto& slot = per_level[level];
+    if (!slot)
+      slot = std::make_unique<OrbitalResource>();
+    return *slot;
   }
 };
 
@@ -140,9 +156,20 @@ struct OrbitalEvalRequest
   /// bit-identical results; it only changes the sweep order.
   int pos_block = 0;
   /// Parallelize the sweep over (tile, position-block) work items with
-  /// OpenMP.  Leave false inside an existing parallel region (e.g. a
-  /// one-crowd-per-thread driver).
+  /// OpenMP.  Whether that means a fresh machine-wide region or a nested
+  /// inner team is the caller's decision, carried by `team` below.
   bool parallel = false;
+  /// The caller's thread team for a parallel sweep (common/threading.h):
+  /// how many threads this request may occupy.  Defaults to
+  /// whole_machine() — the right size for ownerless top-level call sites
+  /// (core/batched.h) — while drivers that hold a ThreadPartition pass
+  /// their inner team, so a crowd's facade calls fork exactly the threads
+  /// the partition assigned to that crowd and never re-derive the machine
+  /// size mid-region.  A team of 1 runs the serial sweep (no region is
+  /// opened at all).  Ignored when `parallel` is false.  Any team size
+  /// gives bit-identical results: teams only distribute independent
+  /// per-(tile, position) work items.
+  TeamHandle team = TeamHandle::whole_machine();
 };
 
 /// Resolve a position-block request against the batch size: pb <= 0 means
@@ -318,8 +345,9 @@ private:
         break;
       }
     };
-    if (rq.parallel) {
-#pragma omp parallel for schedule(static)
+    const int nth = rq.parallel ? rq.team.resolve() : 1;
+    if (nth > 1) {
+#pragma omp parallel for schedule(static) num_threads(nth)
       for (int p = 0; p < rq.count; ++p)
         body(p);
     } else {
@@ -336,7 +364,8 @@ private:
       compute_weights_v_batch(e.coefs().grid(), rq.positions, rq.count, w);
     else
       compute_weights_vgh_batch(e.coefs().grid(), rq.positions, rq.count, w);
-    if (!rq.parallel) {
+    const int nth = rq.parallel ? rq.team.resolve() : 1;
+    if (nth <= 1) {
       switch (rq.deriv) {
       case DerivLevel::V:
         e.evaluate_v_multi(w, rq.count, rq.v);
@@ -350,7 +379,7 @@ private:
       }
       return;
     }
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) num_threads(nth)
     for (int p = 0; p < rq.count; ++p) {
       switch (rq.deriv) {
       case DerivLevel::V:
@@ -399,8 +428,9 @@ private:
         break;
       }
     };
-    if (rq.parallel) {
-#pragma omp parallel for collapse(2) schedule(static)
+    const int nth = rq.parallel ? rq.team.resolve() : 1;
+    if (nth > 1) {
+#pragma omp parallel for collapse(2) schedule(static) num_threads(nth)
       for (int t = 0; t < nt; ++t)
         for (int b = 0; b < nblocks; ++b)
           body(t, b);

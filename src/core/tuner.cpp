@@ -37,10 +37,10 @@ bool Wisdom::save(const std::string& path) const
   std::ofstream out(path);
   if (!out)
     return false;
-  out << "# miniqmcpp wisdom v3: key tile_size pos_block crowd_size throughput\n";
+  out << "# miniqmcpp wisdom v4: key tile_size pos_block crowd_size inner_threads throughput\n";
   for (const auto& [key, entry] : entries_)
     out << key << ' ' << entry.tile_size << ' ' << entry.pos_block << ' ' << entry.crowd_size
-        << ' ' << entry.throughput << '\n';
+        << ' ' << entry.inner_threads << ' ' << entry.throughput << '\n';
   return static_cast<bool>(out);
 }
 
@@ -61,8 +61,9 @@ bool Wisdom::load(const std::string& path)
     // The remaining numeric fields disambiguate the format version:
     //   1 number  -> v1: throughput                       (pos_block := 1)
     //   2 numbers -> v2: pos_block throughput             (crowd_size := 0)
-    //   3 numbers -> v3: pos_block crowd_size throughput
-    double a = 0.0, b = 0.0, c = 0.0;
+    //   3 numbers -> v3: pos_block crowd_size throughput  (inner_threads := 0)
+    //   4 numbers -> v4: pos_block crowd_size inner_threads throughput
+    double a = 0.0, b = 0.0, c = 0.0, d = 0.0;
     if (!(ls >> a))
       continue;
     if (!(ls >> b)) {
@@ -71,10 +72,15 @@ bool Wisdom::load(const std::string& path)
     } else if (!(ls >> c)) {
       entry.pos_block = static_cast<int>(a);
       entry.throughput = b;
-    } else {
+    } else if (!(ls >> d)) {
       entry.pos_block = static_cast<int>(a);
       entry.crowd_size = static_cast<int>(b);
       entry.throughput = c;
+    } else {
+      entry.pos_block = static_cast<int>(a);
+      entry.crowd_size = static_cast<int>(b);
+      entry.inner_threads = static_cast<int>(c);
+      entry.throughput = d;
     }
     entries_[key] = entry;
   }

@@ -41,6 +41,7 @@ public:
     double throughput = 0.0; ///< orbital evaluations per second at tuning time
     int pos_block = 1;       ///< walkers per tile pass (1 == single-position path)
     int crowd_size = 0;      ///< tuned crowd size for run_miniqmc (0 = not tuned)
+    int inner_threads = 0;   ///< tuned inner team size per crowd (0 = not tuned)
   };
 
   /// Legacy (v1) key: single-position tile tuning.
@@ -58,7 +59,8 @@ public:
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
   /// Plain-text persistence, one entry per line:
-  ///   v3 format (written): "key tile_size pos_block crowd_size throughput"
+  ///   v4 format (written): "key tile_size pos_block crowd_size inner_threads throughput"
+  ///   v3 format (still read): "key tile_size pos_block crowd_size throughput" (inner_threads := 0)
   ///   v2 format (still read): "key tile_size pos_block throughput" (crowd_size := 0)
   ///   v1 format (still read): "key tile_size throughput" (pos_block := 1, crowd_size := 0)
   bool save(const std::string& path) const;

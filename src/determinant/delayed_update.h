@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/config.h"
+#include "common/threading.h"
 #include "determinant/lu.h"
 #include "determinant/matrix.h"
 
@@ -52,6 +53,13 @@ public:
 
   [[nodiscard]] int size() const noexcept { return binv_.rows(); }
   [[nodiscard]] int delay() const noexcept { return delay_; }
+
+  /// Thread team the flush may use (common/threading.h): the caller's inner
+  /// team, handed down by the driver that owns this walker.  Defaults to
+  /// serial.  Teams only split the flush's independent column blocks, so the
+  /// result is bit-identical for every team size.
+  void set_team(TeamHandle team) noexcept { team_ = team; }
+  [[nodiscard]] TeamHandle team() const noexcept { return team_; }
   [[nodiscard]] int pending() const noexcept { return static_cast<int>(pending_cols_.size()); }
   [[nodiscard]] double log_det() const noexcept { return log_det_; }
   [[nodiscard]] double sign() const noexcept { return sign_; }
@@ -121,6 +129,13 @@ public:
   /// (m, i, j) triple loop this replaces.  Per element the subtractions
   /// still happen in increasing-m order, so results are bit-identical to
   /// the unblocked loop (the equivalence tests compare exactly).
+  ///
+  /// When set_team() handed this walker an inner team, the column blocks
+  /// are distributed over the team's threads: blocks touch disjoint column
+  /// ranges of the inverse (and of nothing else), and within a block the
+  /// (i, m, j) order is unchanged, so the threaded flush stays bit-identical
+  /// to the serial one — only the k*n^2 sweep, the flush's only O(N^2)
+  /// phase, is parallelized.
   void flush()
   {
     const int k = pending();
@@ -162,7 +177,10 @@ public:
                 bu_cols_[static_cast<std::size_t>(m)].end(), bu.row(m));
 
     constexpr int kColBlock = 256; // 2 KB of each G row per block
-    for (int j0 = 0; j0 < n; j0 += kColBlock) {
+    const int nblocks = (n + kColBlock - 1) / kColBlock;
+    const int nth = std::min(team_.resolve(), nblocks);
+    auto sweep_block = [&](int jb) {
+      const int j0 = jb * kColBlock;
       const int j1 = std::min(n, j0 + kColBlock);
       for (int i = 0; i < n; ++i) {
         double* MQC_RESTRICT row = binv_.row(i);
@@ -175,6 +193,14 @@ public:
             row[j] -= f * grow[j];
         }
       }
+    };
+    if (nth > 1) {
+#pragma omp parallel for schedule(static) num_threads(nth)
+      for (int jb = 0; jb < nblocks; ++jb)
+        sweep_block(jb);
+    } else {
+      for (int jb = 0; jb < nblocks; ++jb)
+        sweep_block(jb);
     }
 
     // Fold the pending columns into the base orbital matrix.
@@ -241,6 +267,7 @@ private:
   }
 
   int delay_;
+  TeamHandle team_ = TeamHandle::serial(); ///< flush team (caller's inner team)
   Matrix<double> binv_;      ///< inverse of the base matrix A_0
   Matrix<double> a_current_; ///< base orbital matrix (pending cols not folded)
   double log_det_ = 0.0;

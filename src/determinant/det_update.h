@@ -16,6 +16,7 @@
 #ifndef MQC_DETERMINANT_DET_UPDATE_H
 #define MQC_DETERMINANT_DET_UPDATE_H
 
+#include "common/threading.h"
 #include "determinant/delayed_update.h"
 #include "determinant/dirac_determinant.h"
 #include "determinant/matrix.h"
@@ -48,6 +49,15 @@ public:
   [[nodiscard]] int delay() const noexcept
   {
     return kind_ == DetUpdateKind::Delayed ? delayed_.delay() : 1;
+  }
+
+  /// Hand the caller's inner team (common/threading.h) to the delayed
+  /// engine's flush; no-op for Sherman-Morrison (its rank-1 update has no
+  /// blocked sweep to distribute).  Bit-identical for every team size.
+  void set_team(TeamHandle team) noexcept
+  {
+    if (kind_ == DetUpdateKind::Delayed)
+      delayed_.set_team(team);
   }
 
   bool build(const Matrix<double>& a)

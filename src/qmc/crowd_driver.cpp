@@ -1,10 +1,14 @@
 // The miniQMC crowd sweep: walkers advance in lock-step crowds so that every
 // spline evaluation becomes a multi-position OrbitalSet request (see
 // crowd_driver.h for the design contract and miniqmc_context.h for the
-// shared per-walker arithmetic).  Threading is one crowd per OpenMP thread —
-// the crowd is the unit of both batching and parallelism, so crowd_size
-// trades per-thread batch depth against thread count on a fixed walker
-// population.
+// shared per-walker arithmetic).  Threading is hierarchical (Opt C): the
+// outer team runs one crowd per member, and each member owns an inner team
+// from the driver's ThreadPartition — the crowd's multi-position facade
+// requests and its walkers' delayed-update flushes fork that inner team
+// under the outer region (or run serial when the partition says inner = 1,
+// the classic flat schedule).  crowd_size still trades per-member batch
+// depth against outer width; inner_threads re-occupies the cores a wide
+// crowd would otherwise leave idle.
 //
 // The single-vs-multi schedule is an explicit OrbitalSet capabilities
 // decision made once per run and surfaced in MiniQMCResult::spline_path:
@@ -68,9 +72,11 @@ struct CrowdScratch
 };
 
 /// One VGH request for the crowd's trial positions (scr.rnew[0..count)),
-/// landing in each walker's own output buffers.
+/// landing in each walker's own output buffers.  @p team is the crowd's
+/// inner team: with more than one thread the facade forks the (tile,
+/// position-block) sweep under this crowd's outer thread (Opt C).
 void crowd_eval_vgh(const MiniQMCSystem& sys, std::vector<WalkerState>& walkers, int first,
-                    int count, CrowdScratch& scr)
+                    int count, CrowdScratch& scr, TeamHandle team)
 {
   OrbitalEvalRequest<qmc_real> rq;
   rq.deriv = DerivLevel::VGH;
@@ -80,6 +86,8 @@ void crowd_eval_vgh(const MiniQMCSystem& sys, std::vector<WalkerState>& walkers,
   rq.g = scr.g.data();
   rq.lh = scr.h.data();
   rq.stride = sys.out_pad;
+  rq.parallel = team.parallel();
+  rq.team = team;
   sys.spo.evaluate(rq, scr.ores);
   for (int i = 0; i < count; ++i)
     walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
@@ -90,7 +98,7 @@ void crowd_eval_vgh(const MiniQMCSystem& sys, std::vector<WalkerState>& walkers,
 /// energy measurement).
 void crowd_eval_vgl(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
                     std::vector<WalkerState>& walkers, int first, int count, int e,
-                    CrowdScratch& scr)
+                    CrowdScratch& scr, TeamHandle team)
 {
   for (int i = 0; i < count; ++i) {
     const WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
@@ -104,6 +112,8 @@ void crowd_eval_vgl(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
   rq.g = scr.g.data();
   rq.lh = scr.l.data();
   rq.stride = sys.out_pad;
+  rq.parallel = team.parallel();
+  rq.team = team;
   sys.spo.evaluate(rq, scr.ores);
   for (int i = 0; i < count; ++i)
     walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
@@ -113,7 +123,8 @@ void crowd_eval_vgl(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
 /// One V request over the whole crowd's quadrature points (count*nq
 /// positions, each walker's nq points already proposed into its quad_r).
 void crowd_eval_quad_v(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
-                       std::vector<WalkerState>& walkers, int first, int count, CrowdScratch& scr)
+                       std::vector<WalkerState>& walkers, int first, int count, CrowdScratch& scr,
+                       TeamHandle team)
 {
   const int nq = cfg.quadrature_points;
   // Gather the crowd's quadrature positions into one contiguous batch.
@@ -127,6 +138,8 @@ void crowd_eval_quad_v(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
   rq.positions = scr.quad_pos.data();
   rq.count = count * nq;
   rq.v = scr.quad_v.data();
+  rq.parallel = team.parallel();
+  rq.team = team;
   sys.spo.evaluate(rq, scr.ores);
   for (int i = 0; i < count; ++i)
     walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
@@ -146,6 +159,12 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
   const int crowd_size = requested > 0 ? std::min(requested, sys.nw) : sys.nw;
   const int num_crowds = (sys.nw + crowd_size - 1) / crowd_size;
 
+  // Nested-team partition: num_crowds outer members, each owning an inner
+  // team for its facade sweeps and delayed-update flushes (Opt C).  Resolved
+  // once here — no layer below re-derives the machine size.
+  const ThreadPartition part = detail::resolve_team_partition(cfg, sys, num_crowds);
+  const TeamHandle inner = TeamHandle::inner_of(part);
+
   std::vector<WalkerState> walkers(static_cast<std::size_t>(sys.nw));
   std::vector<ProfileRegistry> crowd_profiles(static_cast<std::size_t>(num_crowds));
 
@@ -154,10 +173,14 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
   result.num_electrons = sys.nel;
   result.num_orbitals = sys.norb;
   result.crowd_size_used = crowd_size;
-  // The explicit schedule decision: multi-position sweeps when the engine
-  // has them, lock-step single-position calls otherwise.
+  // The explicit schedule decisions, surfaced instead of silently run: the
+  // single-vs-multi spline path (engine capabilities) and the nested-team
+  // path (partition + the runtime's nesting capability).
   result.spline_path = sys.spo.capabilities().native_multi_eval ? EvalPath::MultiPosition
                                                                 : EvalPath::SinglePosition;
+  result.team_path = classify_team_path(part.outer, part.inner);
+  result.outer_threads_used = part.outer;
+  result.inner_threads_used = part.inner;
 
   Stopwatch total_watch;
 
@@ -166,8 +189,10 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
   for (int cid = 0; cid < num_crowds; ++cid) {
     const int first = cid * crowd_size;
     const int last = std::min(sys.nw, first + crowd_size);
-    for (int wid = first; wid < last; ++wid)
+    for (int wid = first; wid < last; ++wid) {
       init_walker(walkers[static_cast<std::size_t>(wid)], sys, cfg, wid);
+      walkers[static_cast<std::size_t>(wid)].set_team(inner);
+    }
   }
 
   // ---- the profiled lock-step sweep, one crowd per thread ----------------
@@ -189,7 +214,7 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
         }
         {
           ScopedTimer t(cprof, kSectionBspline);
-          crowd_eval_vgh(sys, walkers, first, count, scr);
+          crowd_eval_vgh(sys, walkers, first, count, scr, inner);
         }
         for (int i = 0; i < count; ++i) {
           WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
@@ -206,7 +231,7 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
       for (int e = 0; e < sys.nel; ++e) {
         {
           ScopedTimer t(cprof, kSectionBspline);
-          crowd_eval_vgl(sys, cfg, walkers, first, count, e, scr);
+          crowd_eval_vgl(sys, cfg, walkers, first, count, e, scr, inner);
         }
         for (int i = 0; i < count; ++i) {
           WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
@@ -217,7 +242,7 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
         }
         if (cfg.quadrature_points > 0) {
           ScopedTimer t(cprof, kSectionBspline);
-          crowd_eval_quad_v(sys, cfg, walkers, first, count, scr);
+          crowd_eval_quad_v(sys, cfg, walkers, first, count, scr, inner);
         }
       }
       for (int i = 0; i < count; ++i)

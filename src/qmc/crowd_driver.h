@@ -80,6 +80,17 @@ public:
     return *walkers_[static_cast<std::size_t>(i)];
   }
 
+  /// Hand this crowd its inner team (common/threading.h): the batched
+  /// facade requests below schedule onto it and every walker's delayed
+  /// determinant flush distributes over it.  Defaults to serial; any team
+  /// size is bit-identical.
+  void set_team(TeamHandle team)
+  {
+    team_ = team;
+    for (auto* w : walkers_)
+      w->set_det_team(team);
+  }
+
   /// Price moving electron @p iel of every walker to its own trial position
   /// rnew[i], writing log(|psi'|/|psi|) into log_ratios[i].  One
   /// multi-position facade request serves the whole crowd; the per-walker
@@ -92,6 +103,8 @@ public:
     rq.positions = rnew;
     rq.count = w;
     rq.v = vptrs_.data();
+    rq.parallel = team_.parallel();
+    rq.team = team_;
     spo_.evaluate(rq, ores_);
     for (int i = 0; i < w; ++i)
       log_ratios[i] = walkers_[static_cast<std::size_t>(i)]->ratio_log_v(
@@ -106,6 +119,7 @@ private:
   std::vector<SlaterJastrow<T>*> walkers_;
   OrbitalSet<T> spo_;        ///< facade over walker 0's (shared) engine
   OrbitalResource<T> ores_;  ///< weight scratch for the crowd's requests
+  TeamHandle team_ = TeamHandle::serial(); ///< inner team for batched requests
   std::size_t stride_ = 0;
   aligned_vector<T> vbuf_;   ///< W value slices, one facade request
   std::vector<T*> vptrs_;    ///< per-walker slice pointers

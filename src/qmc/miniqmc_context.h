@@ -77,6 +77,7 @@ struct MiniQMCSystem
       if (cfg.spo == SpoLayout::AoSoA && tuned->tile_size > 0)
         tile_size = tuned->tile_size;
       tuned_crowd_size = tuned->crowd_size;
+      tuned_inner_threads = tuned->inner_threads;
     }
 
     // Engines: only the configured layout is exercised in the sweep.  The
@@ -134,6 +135,7 @@ struct MiniQMCSystem
   OrbitalSet<qmc_real> spo;  ///< the one evaluation seam both drivers use
   bool aos_outputs = false;  ///< walkers fill their AoS-shaped output buffers
   int tuned_crowd_size = 0;  ///< from cfg.wisdom (0 = none; see crowd driver)
+  int tuned_inner_threads = 0; ///< from cfg.wisdom (0 = none; see drivers)
   std::size_t out_pad = 0;
   BsplineJastrowFunctor<qmc_real> j2_functor, j1_functor;
   // The Jastrow evaluators hold pointers to the functors above; the deleted
@@ -169,6 +171,12 @@ struct WalkerState
   OrbitalResource<qmc_real> ores;
   std::vector<Vec3<qmc_real>> quad_r;
   DetUpdater det_up, det_dn;
+  /// The walker's inner team (common/threading.h), assigned by the driver
+  /// from its ThreadPartition before the sweep: multi-position facade
+  /// requests and delayed-update flushes of this walker may fork this many
+  /// threads under the driver's outer region.  Scheduling only — every team
+  /// size produces the bit-identical trajectory.
+  TeamHandle team = TeamHandle::serial();
   Xoshiro256 rng;
   ProfileRegistry profile;
   std::vector<double> phi;           ///< determinant column scratch
@@ -227,9 +235,44 @@ struct WalkerState
     rq.positions = r;
     rq.count = count;
     rq.v = quad_v_ptrs.data();
+    rq.parallel = team.parallel();
+    rq.team = team;
     sys.spo.evaluate(rq, ores);
   }
+
+  /// Hand this walker its inner team: batched facade requests and the
+  /// delayed determinant flush schedule onto it from here on.
+  void set_team(TeamHandle t)
+  {
+    team = t;
+    det_up.set_team(t);
+    det_dn.set_team(t);
+  }
 };
+
+/// Resolve the nested-team partition for an outer region of @p outer_work
+/// members (walkers or crowds), shared by both drivers: the config knob
+/// (with -1 resolved through the wisdom entry) feeds the topology-aware
+/// ThreadPartition::resolve, inner teams > 1 ask the runtime for a second
+/// active nesting level, and the resulting schedule is classified for the
+/// result's team_path field.  Returns the partition; callers surface it via
+/// outer/inner_threads_used.
+inline ThreadPartition resolve_team_partition(const MiniQMCConfig& cfg, const MiniQMCSystem& sys,
+                                              int outer_work)
+{
+  int inner_req = cfg.inner_threads;
+  if (inner_req < 0)
+    inner_req = sys.tuned_inner_threads; // 0 when nothing was tuned => auto
+  ThreadPartition part = ThreadPartition::resolve(outer_work, inner_req);
+  // The drivers' outer width is fixed by the work (one member per crowd /
+  // walker) — a forced MQC_PARTITION outer can size the inner teams but
+  // must not misreport the region that actually runs, or team_path /
+  // outer_threads_used would describe a schedule that never executed.
+  part.outer = std::max(1, outer_work);
+  if (part.inner > 1)
+    request_nested_levels(2);
+  return part;
+}
 
 /// Gaussian trial move.
 inline Vec3<qmc_real> propose(Xoshiro256& rng, const Vec3<qmc_real>& r, double sigma)

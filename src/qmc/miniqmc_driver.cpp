@@ -18,10 +18,21 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
   const MiniQMCSystem sys(cfg);
   std::vector<WalkerState> walkers(static_cast<std::size_t>(sys.nw));
 
+  // Nested-team partition: one outer member per walker; each walker's
+  // multi-position quadrature batches and delayed-update flushes may fork
+  // its inner team under the outer region.  With the default one-walker-
+  // per-hardware-thread population the partition resolves to inner = 1 (the
+  // classic flat schedule); smaller populations get the leftover threads.
+  const ThreadPartition part = detail::resolve_team_partition(cfg, sys, sys.nw);
+  const TeamHandle inner = TeamHandle::inner_of(part);
+
   MiniQMCResult result;
   result.num_walkers = sys.nw;
   result.num_electrons = sys.nel;
   result.num_orbitals = sys.norb;
+  result.team_path = classify_team_path(part.outer, part.inner);
+  result.outer_threads_used = part.outer;
+  result.inner_threads_used = part.inner;
 
   Stopwatch total_watch;
 
@@ -30,8 +41,10 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
   // is initialized and swept even when the runtime grants fewer threads
   // than requested (OMP_THREAD_LIMIT, dynamic teams).
 #pragma omp parallel for num_threads(sys.nw) schedule(static, 1)
-  for (int wid = 0; wid < sys.nw; ++wid)
+  for (int wid = 0; wid < sys.nw; ++wid) {
     detail::init_walker(walkers[static_cast<std::size_t>(wid)], sys, cfg, wid);
+    walkers[static_cast<std::size_t>(wid)].set_team(inner);
+  }
 
   // ---- the profiled Monte Carlo sweep, one walker per iteration ---------
 #pragma omp parallel for num_threads(sys.nw) schedule(static, 1)

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/threading.h" // ThreadPartition / TeamPath: the nested-team decision
 #include "common/timer.h"
 #include "core/orbital_set.h" // EvalPath: the driver's explicit schedule decision
 
@@ -72,6 +73,17 @@ struct MiniQMCConfig
   /// default), k >= 2 => delayed rank-k window (DelayedDeterminant).  Applies
   /// to both drivers so their trajectories stay comparable.
   int delay_rank = 0;
+  /// Inner team size per outer member (a crowd, or one walker in the
+  /// per-walker driver): how many threads that member's multi-position
+  /// spline requests and delayed-update flushes may fork UNDER the outer
+  /// region (the paper's Opt C nested layer).  0 = auto — the topology-aware
+  /// ThreadPartition::resolve split of the machine (threads left over after
+  /// the outer split, kept inside one socket; MQC_PARTITION /
+  /// MQC_INNER_THREADS env still override).  -1 = tuned size from `wisdom`.
+  /// >= 1 = explicit.  A pure scheduling knob: trajectories are bit-for-bit
+  /// identical for every value (enforced by tests/test_crowd.cpp); the
+  /// schedule actually run is surfaced as MiniQMCResult::team_path.
+  int inner_threads = 0;
   /// Optional tuning wisdom (core/tuner.h, non-owning; see tune_miniqmc):
   /// the entry under miniqmc_wisdom_key(norb, grid_size, num_walkers)
   /// supplies the OrbitalSet facade's position block, and — with
@@ -106,6 +118,15 @@ struct MiniQMCResult
   /// driver; for the crowd driver: cfg.crowd_size after the 0 = whole
   /// population / -1 = tuned-from-wisdom resolution and clamping).
   int crowd_size_used = 1;
+  /// The nested-team schedule the sweep ran — like spline_path, an explicit
+  /// decision (partition resolution + runtime nesting capability), surfaced
+  /// so benchmarks can prove the inner teams actually engaged instead of
+  /// silently measuring serialized nested regions.
+  TeamPath team_path = TeamPath::Flat;
+  /// Resolved partition: outer members the sweep region spawned (crowds, or
+  /// walkers for the per-walker driver) × inner team size per member.
+  int outer_threads_used = 1;
+  int inner_threads_used = 1;
 };
 
 MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg);

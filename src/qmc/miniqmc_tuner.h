@@ -44,10 +44,29 @@ struct CrowdTuneResult
 CrowdTuneResult tune_crowd_size(const MiniQMCConfig& cfg, std::vector<int> candidates = {},
                                 double min_seconds = 0.05);
 
+/// Result of an inner-team sweep with the real crowd driver.
+struct InnerTuneResult
+{
+  int best_inner = 1;
+  double best_seconds = 0.0;
+  std::vector<int> inner_sizes;
+  std::vector<double> seconds;
+};
+
+/// Probe run_miniqmc (driver := Crowd, cfg's crowd size) across inner team
+/// sizes — the nested Opt C layer's knob — and return the sweep.  An empty
+/// candidate list probes powers of two from 1 up to the machine threads
+/// left per crowd (always including 1, the flat schedule), so on a
+/// fully-occupied machine the sweep is just {1} and costs one probe.  The
+/// winner is what tune_miniqmc records as the wisdom entry's inner_threads.
+InnerTuneResult tune_inner_threads(const MiniQMCConfig& cfg, std::vector<int> candidates = {},
+                                   double min_seconds = 0.05);
+
 /// One-stop miniQMC tuning: run the joint (Nb, P) sweep on the driver's own
-/// coefficient problem, then the crowd-size sweep above AT the tuned tile
-/// size, and record the winners as ONE wisdom entry under
-/// miniqmc_wisdom_key().  Returns the recorded entry.
+/// coefficient problem, then the crowd-size sweep AT the tuned tile size,
+/// then the inner-team sweep AT the tuned crowd size, and record the
+/// winners as ONE wisdom entry (v4 fields) under miniqmc_wisdom_key().
+/// Returns the recorded entry.
 Wisdom::Entry tune_miniqmc(Wisdom& wisdom, const MiniQMCConfig& cfg, double min_seconds = 0.05);
 
 } // namespace mqc

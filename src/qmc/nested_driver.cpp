@@ -18,8 +18,17 @@ namespace mqc {
 
 NestedResult run_nested(const MultiBspline<float>& engine, const NestedConfig& cfg)
 {
+  // Partition resolution goes through the shared thread-team seam: explicit
+  // cfg.nth pins the inner team, 0 asks ThreadPartition for the
+  // topology-aware split over the walker count (one outer member per
+  // walker).  The flat region below then runs partition.total() threads and
+  // each thread derives its (walker, member) coordinates — the paper's
+  // explicit decomposition, just with the shape decided in one place.
   const int total = cfg.total_threads > 0 ? cfg.total_threads : max_threads();
-  const int nth = std::max(1, cfg.nth);
+  const int outer_hint = cfg.num_walkers > 0 ? cfg.num_walkers
+                                             : std::max(1, total / std::max(1, cfg.nth));
+  const ThreadPartition part = ThreadPartition::resolve(outer_hint, cfg.nth, total);
+  const int nth = part.inner;
   const int nw = cfg.num_walkers > 0 ? cfg.num_walkers : std::max(1, total / nth);
   const int nthreads = nw * nth;
   const int ntiles = engine.num_tiles();

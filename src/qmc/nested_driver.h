@@ -32,7 +32,11 @@ enum class NestedKernel
 
 struct NestedConfig
 {
-  int nth = 1;           ///< threads per walker
+  /// Threads per walker (the inner team).  0 => topology-aware auto via
+  /// ThreadPartition::resolve (common/threading.h): the machine's threads
+  /// split over the walkers, teams kept inside one socket, MQC_PARTITION /
+  /// MQC_INNER_THREADS env overrides honoured.
+  int nth = 1;
   int num_walkers = 0;   ///< 0 => total_threads / nth (>= 1)
   int total_threads = 0; ///< 0 => omp_get_max_threads()
   int ns = 64;           ///< random positions per walker per iteration

@@ -108,6 +108,16 @@ public:
   }
   [[nodiscard]] double sign() const noexcept { return det_up_.sign() * det_dn_.sign(); }
 
+  /// Hand the caller's inner team (common/threading.h) to both spin
+  /// determinants: delayed-update flushes distribute their column blocks
+  /// over it (bit-identical for every team size; no-op under
+  /// Sherman-Morrison).
+  void set_det_team(TeamHandle team) noexcept
+  {
+    det_up_.set_team(team);
+    det_dn_.set_team(team);
+  }
+
   /// log(|psi(r')| / |psi(r)|) for moving electron @p iel to @p rnew.
   /// Caches everything accept(iel) needs; reject() discards implicitly.
   double ratio_log(int iel, const Vec3<T>& rnew)

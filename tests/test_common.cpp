@@ -1,8 +1,10 @@
 // Unit tests for the common substrate: alignment math, aligned allocator,
 // RNG determinism and statistics, thread-team partitions, timers, tables.
 #include <cstdint>
+#include <cstdlib>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -198,6 +200,146 @@ TEST(Threading, TeamCoordinatesLayout)
   EXPECT_EQ(c3.member, 3);
   EXPECT_EQ(c4.walker, 1);
   EXPECT_EQ(c4.member, 0);
+}
+
+namespace {
+
+/// RAII env var override for topology/partition tests.
+struct ScopedEnv
+{
+  ScopedEnv(const char* name, const char* value) : name_(name)
+  {
+    const char* old = std::getenv(name);
+    if (old != nullptr)
+      saved_ = old;
+    had_ = old != nullptr;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv()
+  {
+    if (had_)
+      ::setenv(name_, saved_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+} // namespace
+
+TEST(Topology, EnvOverrideForcesShape)
+{
+  ScopedEnv env("MQC_TOPOLOGY", "2x8x2");
+  const MachineTopology topo = query_machine_topology();
+  EXPECT_TRUE(topo.detected);
+  EXPECT_EQ(topo.sockets, 2);
+  EXPECT_EQ(topo.cores_per_socket, 8);
+  EXPECT_EQ(topo.smt, 2);
+  EXPECT_EQ(topo.logical_cpus, 32);
+  EXPECT_EQ(topo.threads_per_socket(), 16);
+}
+
+TEST(Topology, DetectionAlwaysProducesAUsableShape)
+{
+  // Whatever the host exposes (full sysfs, restricted container, non-Linux
+  // fallback), the result must be internally consistent and non-degenerate —
+  // partition resolution divides by these numbers.
+  const MachineTopology topo = query_machine_topology();
+  EXPECT_GE(topo.logical_cpus, 1);
+  EXPECT_GE(topo.sockets, 1);
+  EXPECT_GE(topo.cores_per_socket, 1);
+  EXPECT_GE(topo.smt, 1);
+}
+
+TEST(ThreadPartition, ExplicitInnerPinsTheTeamSize)
+{
+  MachineTopology topo;
+  topo.logical_cpus = 16;
+  topo.sockets = 2;
+  topo.cores_per_socket = 8;
+  topo.smt = 1;
+  const auto part = ThreadPartition::resolve_for(/*outer_work=*/4, /*requested_inner=*/3,
+                                                 /*total_threads=*/16, topo);
+  EXPECT_EQ(part.outer, 4);
+  EXPECT_EQ(part.inner, 3);
+  EXPECT_EQ(part.total(), 12);
+}
+
+TEST(ThreadPartition, AutoSplitsLeftoverThreadsAcrossOuterMembers)
+{
+  MachineTopology topo;
+  topo.logical_cpus = 16;
+  topo.sockets = 2;
+  topo.cores_per_socket = 8;
+  topo.smt = 1;
+  // 2 crowds on 16 threads: 8 threads per crowd, and 8 divides a socket.
+  EXPECT_EQ(ThreadPartition::resolve_for(2, 0, 16, topo).inner, 8);
+  // 16 crowds on 16 threads: nothing left over — the flat schedule.
+  EXPECT_EQ(ThreadPartition::resolve_for(16, 0, 16, topo).inner, 1);
+  // More outer work than threads: still inner = 1, never 0.
+  EXPECT_EQ(ThreadPartition::resolve_for(64, 0, 16, topo).inner, 1);
+}
+
+TEST(ThreadPartition, AutoInnerNeverStraddlesASocket)
+{
+  MachineTopology topo;
+  topo.logical_cpus = 12;
+  topo.sockets = 2;
+  topo.cores_per_socket = 6;
+  topo.smt = 1;
+  // 12 threads / 1 crowd = 12, but a team of 12 would span both sockets:
+  // shrink to the largest divisor of threads-per-socket (6).
+  EXPECT_EQ(ThreadPartition::resolve_for(1, 0, 12, topo).inner, 6);
+  // 12 / 5 crowds = 2 — divides the socket, kept.
+  EXPECT_EQ(ThreadPartition::resolve_for(5, 0, 12, topo).inner, 2);
+  // 12 / 3 crowds = 4 — 4 does not divide 6; largest divisor <= 4 is 3.
+  EXPECT_EQ(ThreadPartition::resolve_for(3, 0, 12, topo).inner, 3);
+}
+
+TEST(ThreadPartition, EnvOverridesApplyOnlyInAutoMode)
+{
+  {
+    ScopedEnv env("MQC_PARTITION", "3x5");
+    const auto part = ThreadPartition::resolve(8, 0, 16);
+    EXPECT_EQ(part.outer, 3);
+    EXPECT_EQ(part.inner, 5);
+    // An explicit caller knob beats the environment.
+    EXPECT_EQ(ThreadPartition::resolve(8, 2, 16).inner, 2);
+  }
+  {
+    ScopedEnv env("MQC_INNER_THREADS", "4");
+    EXPECT_EQ(ThreadPartition::resolve(2, 0, 16).inner, 4);
+    EXPECT_EQ(ThreadPartition::resolve(2, 1, 16).inner, 1);
+  }
+}
+
+TEST(TeamHandle, ResolveAndParallelSemantics)
+{
+  EXPECT_EQ(TeamHandle::serial().resolve(), 1);
+  EXPECT_FALSE(TeamHandle::serial().parallel());
+  EXPECT_EQ(TeamHandle::of(5).resolve(), 5);
+  EXPECT_TRUE(TeamHandle::of(5).parallel());
+  // whole_machine defers to the runtime.
+  EXPECT_EQ(TeamHandle::whole_machine().resolve(), max_threads());
+  const ThreadPartition part{4, 3};
+  EXPECT_EQ(TeamHandle::inner_of(part).resolve(), 3);
+}
+
+TEST(TeamPath, ClassificationMatchesNestingCapability)
+{
+  EXPECT_EQ(classify_team_path(8, 1), TeamPath::Flat);
+  // A one-member outer region is inactive: inner teams always fork.
+  EXPECT_EQ(classify_team_path(1, 4), TeamPath::NestedInner);
+#ifdef _OPENMP
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+  EXPECT_EQ(classify_team_path(8, 4), TeamPath::SerialInner);
+  omp_set_max_active_levels(2);
+  EXPECT_EQ(classify_team_path(8, 4), TeamPath::NestedInner);
+  omp_set_max_active_levels(saved);
+#endif
 }
 
 TEST(Timer, StopwatchMonotone)

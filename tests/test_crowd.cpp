@@ -10,16 +10,25 @@
 // Slater-Jastrow wave function in float and double, with and without
 // delayed determinant updates.
 #include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "common/rng.h"
+#include "common/threading.h"
 #include "core/synthetic_orbitals.h"
+#include "core/tuner.h"
 #include "particles/graphite.h"
 #include "qmc/crowd_driver.h"
 #include "qmc/miniqmc_driver.h"
+#include "qmc/miniqmc_tuner.h"
 #include "qmc/wavefunction.h"
 
 using namespace mqc;
@@ -139,6 +148,155 @@ TEST(CrowdDriver, CrowdSizeResolutionClampsAndDefaults)
 
   cfg.crowd_size = -1; // auto without wisdom: whole population
   EXPECT_EQ(run_miniqmc(cfg).crowd_size_used, cfg.num_walkers);
+}
+
+TEST(CrowdDriver, NestedPartitionsAreBitForBitAcrossShapes)
+{
+  // The hierarchical thread-team acceptance: every partition shape —
+  // 1 crowd × wide inner team, N crowds × 1 (flat), inner sizes that divide
+  // neither the tile count nor the batch, teams wider than the work — must
+  // reproduce the per-walker trajectory bit-for-bit on every layout,
+  // because inner teams only distribute independent (tile, position-block)
+  // work items and disjoint flush column blocks.
+  struct LayoutCase
+  {
+    SpoLayout spo;
+    bool optimized;
+    const char* name;
+  };
+  const LayoutCase cases[] = {{SpoLayout::AoS, false, "AoS"},
+                              {SpoLayout::SoA, true, "SoA"},
+                              {SpoLayout::AoSoA, true, "AoSoA"}};
+  struct Shape
+  {
+    int crowd_size;
+    int inner;
+  };
+  // (crowd, inner): 1×N (whole population, wide team), N×1 (flat), a
+  // non-dividing crowd with a non-dividing team, single-walker crowds with
+  // teams, and a team wider than the tile count (16 splines / tile 16).
+  const Shape shapes[] = {{0, 4}, {0, 1}, {2, 3}, {3, 2}, {1, 2}, {2, 8}};
+  for (const auto& lc : cases) {
+    auto cfg = crowd_test_config();
+    cfg.spo = lc.spo;
+    cfg.tile_size = 16;
+    cfg.optimized_dt_jastrow = lc.optimized;
+    const auto per_walker = run_miniqmc(cfg);
+    for (const auto& sh : shapes) {
+      auto ccfg = cfg;
+      ccfg.driver = DriverMode::Crowd;
+      ccfg.crowd_size = sh.crowd_size;
+      ccfg.inner_threads = sh.inner;
+      const auto crowd = run_miniqmc(ccfg);
+      SCOPED_TRACE(::testing::Message() << lc.name << " crowd=" << sh.crowd_size
+                                        << " inner=" << sh.inner);
+      expect_identical_trajectories(per_walker, crowd, lc.name);
+      EXPECT_EQ(crowd.inner_threads_used, sh.inner);
+      EXPECT_EQ(crowd.outer_threads_used,
+                sh.crowd_size == 0 ? 1 : (4 + sh.crowd_size - 1) / sh.crowd_size);
+    }
+  }
+}
+
+TEST(CrowdDriver, PerWalkerDriverHonorsInnerTeamsBitForBit)
+{
+  // The per-walker driver owns the same seam: walkers with inner teams
+  // (parallel quadrature batches, threaded delayed flushes) must walk the
+  // identical trajectory as the flat per-walker sweep.
+  for (int delay : {0, 4}) {
+    auto cfg = crowd_test_config();
+    cfg.spo = SpoLayout::AoSoA;
+    cfg.tile_size = 16;
+    cfg.optimized_dt_jastrow = true;
+    cfg.delay_rank = delay;
+    cfg.inner_threads = 1;
+    const auto flat = run_miniqmc(cfg);
+    EXPECT_EQ(flat.team_path, TeamPath::Flat);
+    cfg.inner_threads = 3;
+    const auto nested = run_miniqmc(cfg);
+    expect_identical_trajectories(flat, nested, delay ? "per-walker delay4" : "per-walker");
+    EXPECT_EQ(nested.inner_threads_used, 3);
+  }
+}
+
+TEST(CrowdDriver, TeamPathIsAnExplicitRuntimeCapabilityDecision)
+{
+#ifdef _OPENMP
+  // Like spline_path, team_path must report what actually ran: with the
+  // runtime pinned to one active level (the operator's OMP_MAX_ACTIVE_LEVELS
+  // contract, which request_nested_levels respects), inner teams under a
+  // multi-crowd outer region serialize — and the result must say so, with
+  // the trajectory still bit-identical.
+  auto cfg = crowd_test_config();
+  cfg.spo = SpoLayout::AoSoA;
+  cfg.tile_size = 16;
+  cfg.driver = DriverMode::Crowd;
+  cfg.crowd_size = 2; // 2 crowds -> an active outer region
+  cfg.inner_threads = 2;
+
+  const auto baseline = run_miniqmc([&] {
+    auto c = cfg;
+    c.inner_threads = 1;
+    return c;
+  }());
+  EXPECT_EQ(baseline.team_path, TeamPath::Flat);
+
+  const int saved_levels = omp_get_max_active_levels();
+  const char* saved_env = std::getenv("OMP_MAX_ACTIVE_LEVELS");
+  const std::string saved_env_value = saved_env ? saved_env : "";
+
+  ::setenv("OMP_MAX_ACTIVE_LEVELS", "1", 1);
+  omp_set_max_active_levels(1);
+  const auto serialized = run_miniqmc(cfg);
+  EXPECT_EQ(serialized.team_path, TeamPath::SerialInner);
+  expect_identical_trajectories(baseline, serialized, "serialized inner");
+
+  ::unsetenv("OMP_MAX_ACTIVE_LEVELS");
+  omp_set_max_active_levels(saved_levels);
+  const auto nested = run_miniqmc(cfg); // request_nested_levels may raise to 2
+  EXPECT_EQ(nested.team_path, TeamPath::NestedInner);
+  expect_identical_trajectories(baseline, nested, "forked inner");
+
+  if (!saved_env_value.empty())
+    ::setenv("OMP_MAX_ACTIVE_LEVELS", saved_env_value.c_str(), 1);
+#else
+  GTEST_SKIP() << "no OpenMP runtime";
+#endif
+}
+
+TEST(CrowdDriver, InnerThreadsResolutionExplicitAutoAndTuned)
+{
+  auto cfg = crowd_test_config();
+  cfg.steps = 1;
+  cfg.spo = SpoLayout::AoSoA;
+  cfg.tile_size = 16;
+  cfg.driver = DriverMode::Crowd;
+  cfg.crowd_size = 2;
+
+  cfg.inner_threads = 3; // explicit
+  EXPECT_EQ(run_miniqmc(cfg).inner_threads_used, 3);
+
+  cfg.inner_threads = 0; // auto: topology split, at least one thread
+  EXPECT_GE(run_miniqmc(cfg).inner_threads_used, 1);
+
+  // -1 = tuned from wisdom: the v4 inner_threads field feeds the partition
+  // (proving the tuner knob is consumed end-to-end and stays
+  // trajectory-neutral — same trajectory as the explicit run above).
+  Wisdom wisdom;
+  Wisdom::Entry entry;
+  entry.tile_size = 16;
+  entry.pos_block = 2;
+  entry.crowd_size = 2;
+  entry.inner_threads = 2;
+  wisdom.insert(miniqmc_wisdom_key(cfg.num_splines, cfg.grid_size, cfg.num_walkers), entry);
+  cfg.wisdom = &wisdom;
+  cfg.inner_threads = -1;
+  const auto tuned = run_miniqmc(cfg);
+  EXPECT_EQ(tuned.inner_threads_used, 2);
+
+  cfg.wisdom = nullptr;
+  cfg.inner_threads = -1; // tuned without wisdom: falls back to auto
+  EXPECT_GE(run_miniqmc(cfg).inner_threads_used, 1);
 }
 
 TEST(CrowdDriver, BitForBitMatchesPerWalkerWithDelayedUpdates)
@@ -290,7 +448,10 @@ struct CrowdWfHarness
 
   /// Run the same Markov chain through a sequential per-walker loop and a
   /// lock-step crowd and require bit-identical ratios and final log psi.
-  void run_equivalence(int delay_rank)
+  /// @p team hands the crowd an inner thread team (batched facade requests
+  /// and delayed flushes schedule onto it) — equivalence must hold for
+  /// every team size.
+  void run_equivalence(int delay_rank, TeamHandle team = TeamHandle::serial())
   {
     std::vector<std::unique_ptr<SlaterJastrow<T>>> seq, batched;
     for (int i = 0; i < kWalkers; ++i) {
@@ -304,6 +465,7 @@ struct CrowdWfHarness
     for (auto& w : batched)
       ptrs.push_back(w.get());
     WavefunctionCrowd<T> crowd(ptrs);
+    crowd.set_team(team);
     ASSERT_EQ(crowd.size(), kWalkers);
 
     const int nel = 2 * norb;
@@ -375,4 +537,14 @@ TYPED_TEST(WavefunctionCrowdTest, LockStepMatchesSequentialWithDelayedUpdates)
 {
   CrowdWfHarness<TypeParam> h;
   h.run_equivalence(/*delay_rank=*/3);
+}
+
+TYPED_TEST(WavefunctionCrowdTest, InnerTeamKeepsLockStepBitForBit)
+{
+  // The crowd's inner team parallelizes its batched value requests and the
+  // walkers' delayed flushes; both are work-distribution only, so the chain
+  // stays bit-identical to the sequential per-walker loop in both
+  // precisions.
+  CrowdWfHarness<TypeParam> h;
+  h.run_equivalence(/*delay_rank=*/3, TeamHandle::of(2));
 }

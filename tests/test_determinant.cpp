@@ -252,6 +252,69 @@ TEST(Delayed, DelayOneEqualsImmediateUpdates)
       ASSERT_NEAR(d1.inverse()(i, j), sm.inverse()(i, j), 1e-8);
 }
 
+TEST(Delayed, ThreadedFlushIsBitIdenticalToSerial)
+{
+  // The flush's column blocks (256 columns each) are disjoint and within a
+  // block the per-element (i, m, j) order is untouched, so distributing
+  // blocks over an inner team must reproduce the serial flush BIT for bit —
+  // not merely to tolerance.  N = 520 spans 3 blocks (256 + 256 + 8,
+  // including a partial one); team 3 does not divide anything evenly.
+  const int n = 520;
+  const int k = 6;
+  const Matrix<double> a = random_matrix(n, 2026, 8.0);
+  DelayedDeterminant serial(k), teamed(k);
+  ASSERT_TRUE(serial.build(a));
+  ASSERT_TRUE(teamed.build(a));
+  teamed.set_team(TeamHandle::of(3));
+
+  Xoshiro256 rng(77);
+  std::vector<double> u(static_cast<std::size_t>(n));
+  for (int m = 0; m < k; ++m) { // fill exactly one window, flush on accept k
+    const int col = (m * 97) % n;
+    for (int i = 0; i < n; ++i)
+      u[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0) + (i == col ? 8.0 : 0.0);
+    ASSERT_EQ(serial.ratio(u.data(), col), teamed.ratio(u.data(), col)) << "m=" << m;
+    serial.accept_move(u.data(), col);
+    teamed.accept_move(u.data(), col);
+  }
+  ASSERT_EQ(serial.pending(), 0); // the window flushed
+  ASSERT_EQ(teamed.pending(), 0);
+  EXPECT_EQ(serial.log_det(), teamed.log_det());
+  const Matrix<double>& si = serial.inverse();
+  const Matrix<double>& ti = teamed.inverse();
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      ASSERT_EQ(si(i, j), ti(i, j)) << "inverse differs at (" << i << ", " << j << ")";
+}
+
+TEST(DetUpdater, SetTeamRoutesToTheDelayedEngine)
+{
+  // The wrapper forwards the caller's inner team to the delayed engine and
+  // drops it for Sherman-Morrison; both stay correct afterwards.
+  const int n = 40;
+  const Matrix<double> a = random_matrix(n, 5, 6.0);
+  DetUpdater sm(0), delayed(4);
+  ASSERT_TRUE(sm.build(a));
+  ASSERT_TRUE(delayed.build(a));
+  sm.set_team(TeamHandle::of(4)); // no-op, must not crash or change results
+  delayed.set_team(TeamHandle::of(4));
+
+  Xoshiro256 rng(9);
+  std::vector<double> u(static_cast<std::size_t>(n));
+  for (int m = 0; m < 8; ++m) {
+    const int col = m % n;
+    for (int i = 0; i < n; ++i)
+      u[static_cast<std::size_t>(i)] = rng.uniform(-1.0, 1.0) + (i == col ? 6.0 : 0.0);
+    const double rs = sm.ratio(u.data(), col);
+    const double rd = delayed.ratio(u.data(), col);
+    EXPECT_NEAR(rs, rd, 1e-9 * std::max(1.0, std::abs(rs)));
+    sm.accept_move(u.data(), col);
+    delayed.accept_move(u.data(), col);
+  }
+  delayed.flush();
+  EXPECT_NEAR(sm.log_det(), delayed.log_det(), 1e-8 * std::max(1.0, std::abs(sm.log_det())));
+}
+
 TEST(DetUpdater, DelayRankKnobSelectsTheAlgorithm)
 {
   EXPECT_EQ(DetUpdater(0).kind(), DetUpdateKind::ShermanMorrison);

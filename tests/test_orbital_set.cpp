@@ -138,7 +138,8 @@ void direct_eval(FacadeFixture<T>& fx, Fam fam, DerivLevel d, Outputs<T>& out)
 }
 
 template <typename T>
-void run_equivalence(Fam fam, DerivLevel d, int pos_block, bool parallel)
+void run_equivalence(Fam fam, DerivLevel d, int pos_block, bool parallel,
+                     TeamHandle team = TeamHandle::whole_machine())
 {
   FacadeFixture<T> fx;
   const bool aos = fam == Fam::AoS;
@@ -163,6 +164,7 @@ void run_equivalence(Fam fam, DerivLevel d, int pos_block, bool parallel)
   rq.stride = stride;
   rq.pos_block = pos_block;
   rq.parallel = parallel;
+  rq.team = team;
   spo.evaluate(rq, res);
 
   // Bit-for-bit across the full padded extent of every requested stream.
@@ -217,6 +219,106 @@ TYPED_TEST(OrbitalSetTypedTest, ParallelRequestsMatchSerialBitForBit)
                    << "family=" << static_cast<int>(fam) << " deriv=" << static_cast<int>(d));
       run_equivalence<TypeParam>(fam, d, /*pos_block=*/2, /*parallel=*/true);
     }
+}
+
+TYPED_TEST(OrbitalSetTypedTest, TeamScheduledRequestsMatchSerialBitForBit)
+{
+  // Inner-team sizes a partition could hand down: 2, a non-dividing 3
+  // (kBatch = 8 positions, 3 tiles), and more threads than work items.
+  // Teams only distribute independent (tile, block) items, so every size
+  // must reproduce the serial sweep exactly.
+  for (const auto fam : {Fam::AoS, Fam::SoA, Fam::AoSoA})
+    for (const int nth : {2, 3, 16}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "family=" << static_cast<int>(fam) << " team=" << nth);
+      run_equivalence<TypeParam>(fam, DerivLevel::VGH, /*pos_block=*/2, /*parallel=*/true,
+                                 TeamHandle::of(nth));
+    }
+}
+
+TYPED_TEST(OrbitalSetTypedTest, SerialTeamRunsTheSerialSweep)
+{
+  // parallel=true with a one-thread team must not open a region at all —
+  // it is the serial-inside-crowd path of a flat partition.
+  run_equivalence<TypeParam>(Fam::AoSoA, DerivLevel::VGL, /*pos_block=*/3, /*parallel=*/true,
+                             TeamHandle::serial());
+}
+
+TEST(OrbitalSet, TeamRequestsInsideAnOuterRegionMatchSerial)
+{
+  // The nested shape the crowd driver runs: an outer region whose members
+  // each issue team-scheduled facade requests.  Whether the inner regions
+  // fork or serialize is the runtime's nesting capability; the outputs must
+  // be bit-identical either way (each member writes its own buffers).
+  FacadeFixture<float> fx;
+  const std::size_t stride = fx.aosoa.out_stride();
+  Outputs<float> ref(kBatch, stride, false, true);
+  direct_eval(fx, Fam::AoSoA, DerivLevel::VGH, ref);
+
+  constexpr int kOuter = 2;
+  std::vector<std::unique_ptr<Outputs<float>>> got;
+  for (int c = 0; c < kOuter; ++c)
+    got.push_back(std::make_unique<Outputs<float>>(kBatch, stride, false, true));
+
+  request_nested_levels(2);
+  OrbitalSet<float> spo(fx.aosoa);
+#pragma omp parallel num_threads(kOuter)
+  {
+    const int c = thread_id() % kOuter;
+    OrbitalResource<float>& res = OrbitalResource<float>::thread_instance();
+    OrbitalEvalRequest<float> rq;
+    rq.deriv = DerivLevel::VGH;
+    rq.positions = fx.positions.data();
+    rq.count = kBatch;
+    rq.v = got[static_cast<std::size_t>(c)]->v.data();
+    rq.g = got[static_cast<std::size_t>(c)]->g.data();
+    rq.lh = got[static_cast<std::size_t>(c)]->lh.data();
+    rq.stride = stride;
+    rq.pos_block = 2;
+    rq.parallel = true;
+    rq.team = TeamHandle::of(2);
+    spo.evaluate(rq, res);
+  }
+
+  for (int c = 0; c < kOuter; ++c)
+    for (std::size_t p = 0; p < static_cast<std::size_t>(kBatch); ++p)
+      for (std::size_t i = 0; i < stride; ++i)
+        ASSERT_EQ(ref.v[p][i], got[static_cast<std::size_t>(c)]->v[p][i])
+            << "outer member " << c << " position " << p << " index " << i;
+}
+
+TEST(OrbitalSet, ThreadInstanceIsPerNestingLevel)
+{
+  // Regression (nested-team hazard): the master of an inner team IS the
+  // outer thread, so a single thread_local shared instance would hand a
+  // nested facade call the object an enclosing call is still using.  The
+  // shared instance must therefore differ per nesting level, and an outer
+  // call's live weight batch must survive a nested call that uses the
+  // shared instance.
+  auto& outer = OrbitalResource<float>::thread_instance();
+  BsplineWeights3D<float>* outer_w = outer.weights_for(4);
+  outer_w[0].i0 = 41;
+  outer_w[3].i0 = 44;
+
+  OrbitalResource<float>* inner_seen = nullptr;
+  request_nested_levels(2);
+#pragma omp parallel num_threads(1)
+  {
+    // Same OS thread (a one-thread region), one nesting level deeper.
+    auto& inner = OrbitalResource<float>::thread_instance();
+    inner_seen = &inner;
+    // A nested user may freely resize/fill its instance...
+    BsplineWeights3D<float>* iw = inner.weights_for(16);
+    iw[0].i0 = 1000;
+  }
+#ifdef _OPENMP
+  ASSERT_NE(inner_seen, &outer)
+      << "nested thread_instance aliased the outer call's live resource";
+#endif
+  // ...without clobbering the outer call's batch.
+  EXPECT_EQ(outer.weights_for(4), outer_w);
+  EXPECT_EQ(outer_w[0].i0, 41);
+  EXPECT_EQ(outer_w[3].i0, 44);
 }
 
 TEST(OrbitalSet, SinglePositionSugarIsTheBatchOfOne)

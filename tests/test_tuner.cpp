@@ -121,6 +121,48 @@ TEST(Wisdom, V3RoundTripWithCrowdSize)
   std::remove(path.c_str());
 }
 
+TEST(Wisdom, V4RoundTripWithInnerThreads)
+{
+  // The v4 schema adds the tuned nested inner-team size.
+  const std::string path = std::filesystem::temp_directory_path() / "mqc_wisdom_v4_test.txt";
+  Wisdom w;
+  w.insert(miniqmc_wisdom_key(512, 32, 16), {128, 3.5e9, 8, 4, 2});
+  ASSERT_TRUE(w.save(path));
+
+  Wisdom r;
+  ASSERT_TRUE(r.load(path));
+  const auto e = r.lookup(miniqmc_wisdom_key(512, 32, 16));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tile_size, 128);
+  EXPECT_EQ(e->pos_block, 8);
+  EXPECT_EQ(e->crowd_size, 4);
+  EXPECT_EQ(e->inner_threads, 2);
+  EXPECT_NEAR(e->throughput, 3.5e9, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Wisdom, LoadsLegacyV3Lines)
+{
+  // A pre-v4 wisdom file has five-field lines; inner_threads defaults to 0
+  // (= not tuned, drivers fall back to the topology auto split).
+  const std::string path = std::filesystem::temp_directory_path() / "mqc_wisdom_v3line_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# miniqmcpp wisdom v3: key tile_size pos_block crowd_size throughput\n";
+    out << "v2:miniqmc:float:N=512:grid=32x32x32:nw=16 128 8 4 3.5e+09\n";
+  }
+  Wisdom r;
+  ASSERT_TRUE(r.load(path));
+  const auto e = r.lookup("v2:miniqmc:float:N=512:grid=32x32x32:nw=16");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tile_size, 128);
+  EXPECT_EQ(e->pos_block, 8);
+  EXPECT_EQ(e->crowd_size, 4);
+  EXPECT_EQ(e->inner_threads, 0);
+  EXPECT_NEAR(e->throughput, 3.5e9, 1.0);
+  std::remove(path.c_str());
+}
+
 TEST(Wisdom, LoadsLegacyV2Lines)
 {
   // A pre-v3 wisdom file has four-field lines; crowd_size defaults to 0.
@@ -266,6 +308,24 @@ TEST(Tuner, CrowdSizeSweepProbesTheRealDriver)
   EXPECT_TRUE(best_found);
 }
 
+TEST(Tuner, InnerThreadsSweepProbesTheRealDriver)
+{
+  auto cfg = tuner_driver_config();
+  cfg.crowd_size = 2;
+  const auto result = tune_inner_threads(cfg, {1, 2});
+  ASSERT_EQ(result.inner_sizes.size(), 2u);
+  ASSERT_EQ(result.seconds.size(), 2u);
+  EXPECT_GE(result.best_inner, 1);
+  EXPECT_GT(result.best_seconds, 0.0);
+  for (const double s : result.seconds)
+    EXPECT_GT(s, 0.0);
+  // Empty candidate list: derived from the machine budget, always probes at
+  // least the flat schedule.
+  const auto autos = tune_inner_threads(cfg, {});
+  ASSERT_GE(autos.inner_sizes.size(), 1u);
+  EXPECT_EQ(autos.inner_sizes.front(), 1);
+}
+
 TEST(Tuner, TuneMiniqmcRecordsOneConsumableEntry)
 {
   const auto cfg = tuner_driver_config();
@@ -274,11 +334,13 @@ TEST(Tuner, TuneMiniqmcRecordsOneConsumableEntry)
   EXPECT_GT(entry.tile_size, 0);
   EXPECT_GT(entry.pos_block, 0);
   EXPECT_GT(entry.crowd_size, 0);
+  EXPECT_GE(entry.inner_threads, 1);
   EXPECT_GT(entry.throughput, 0.0);
   const auto hit = wisdom.lookup(miniqmc_wisdom_key(16, cfg.grid_size, cfg.num_walkers));
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->crowd_size, entry.crowd_size);
   EXPECT_EQ(hit->tile_size, entry.tile_size);
+  EXPECT_EQ(hit->inner_threads, entry.inner_threads);
 }
 
 TEST(Tuner, WisdomDispatchPicksTunedKnobsWithoutChangingTrajectories)
