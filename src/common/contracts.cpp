@@ -1,0 +1,21 @@
+#include "common/contracts.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mqc {
+
+void contract_failure(const char* condition, const char* file, int line, const char* fmt, ...)
+{
+  std::fprintf(stderr, "\nmqc contract violation: %s\n  at %s:%d\n  ", condition, file, line);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+} // namespace mqc

@@ -1,0 +1,56 @@
+// Debug contract checks: the mqc_contract() assertion layer (MQC_CONTRACTS).
+//
+// The repo's concurrency invariants are structural: scratch resources have
+// one live owner, thread teams are capabilities valid only inside the region
+// that created them, batched requests write disjoint output slots.  The
+// compiler cannot see any of that, and a violation does not crash — it
+// silently aliases memory and corrupts a trajectory three calls later.
+// mqc_contract() turns each of those latent corruptions into an immediate
+// abort with a file/line diagnostic, at the seam where the ownership rule is
+// stated, not where its violation finally manifests.
+//
+// Contracts are a *debug* tool: the MQC_CONTRACTS CMake option (OFF by
+// default) defines the macro away entirely in normal and Release builds, so
+// the hot paths carry zero overhead and the bench baselines are untouched.
+// CI runs a Debug+contracts configuration so every seam check executes on
+// every change (tests/test_contracts.cpp proves each aborting path fires).
+//
+// Usage:
+//   mqc_contract(cond, "message with %d-style details", value);
+// On failure: prints the condition, location and message to stderr, then
+// std::abort() — unconditionally fatal, never recoverable, so a violated
+// invariant cannot be caught and papered over.
+#ifndef MQC_COMMON_CONTRACTS_H
+#define MQC_COMMON_CONTRACTS_H
+
+namespace mqc {
+
+/// True in builds configured with -DMQC_CONTRACTS=ON; lets tests and
+/// diagnostics branch on the mode without the preprocessor.
+#ifdef MQC_CONTRACTS
+inline constexpr bool contracts_enabled = true;
+#else
+inline constexpr bool contracts_enabled = false;
+#endif
+
+/// Report a violated contract and abort.  Out-of-line so the macro expands
+/// to a compare + cold call and the formatting machinery stays out of every
+/// inlined seam.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+[[noreturn]] void
+contract_failure(const char* condition, const char* file, int line, const char* fmt, ...);
+
+} // namespace mqc
+
+#ifdef MQC_CONTRACTS
+#define mqc_contract(cond, ...)                                                                   \
+  (static_cast<bool>(cond) ? static_cast<void>(0)                                                 \
+                           : ::mqc::contract_failure(#cond, __FILE__, __LINE__, __VA_ARGS__))
+#else
+// Contracts compiled out: no evaluation of the condition or the arguments.
+#define mqc_contract(cond, ...) static_cast<void>(0)
+#endif
+
+#endif // MQC_COMMON_CONTRACTS_H

@@ -32,7 +32,10 @@
 #ifndef MQC_COMMON_THREADING_H
 #define MQC_COMMON_THREADING_H
 
+#include <algorithm>
 #include <cstddef>
+
+#include "common/contracts.h"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -173,6 +176,12 @@ struct ThreadPartition
 struct TeamHandle
 {
   int nthreads = 1;
+#ifdef MQC_CONTRACTS
+  /// Contract state: the OpenMP nesting level this handle belongs to, or -1
+  /// for an unbound handle (no region ownership asserted).  Set by
+  /// bound_to_current_region(); checked by resolve().
+  int owner_level = -1;
+#endif
 
   [[nodiscard]] static constexpr TeamHandle serial() noexcept { return TeamHandle{1}; }
   /// Let the runtime size the team at the parallel site.
@@ -184,8 +193,33 @@ struct TeamHandle
     return TeamHandle{p.inner};
   }
 
+  /// A copy of this handle bound to the enclosing parallel region: under
+  /// MQC_CONTRACTS, resolve() then aborts when called from a different
+  /// nesting level — the "team outlived its owning region" misuse (e.g. a
+  /// walker's inner team stashed and resolved after the driver's outer
+  /// region closed, where its thread budget is meaningless).  Drivers bind
+  /// the teams they store into long-lived state; transient handles stay
+  /// unbound and carry no check.  A no-op without MQC_CONTRACTS.
+  [[nodiscard]] TeamHandle bound_to_current_region() const noexcept
+  {
+    TeamHandle t = *this;
+#ifdef MQC_CONTRACTS
+    t.owner_level = nest_level();
+#endif
+    return t;
+  }
+
   /// Concrete thread count to hand to num_threads(...).
-  [[nodiscard]] int resolve() const noexcept { return nthreads > 0 ? nthreads : max_threads(); }
+  [[nodiscard]] int resolve() const noexcept
+  {
+#ifdef MQC_CONTRACTS
+    mqc_contract(owner_level < 0 || owner_level == nest_level(),
+                 "TeamHandle resolved outside its owning region: bound at nesting level %d, "
+                 "resolved at level %d (team of %d threads)",
+                 owner_level, nest_level(), nthreads);
+#endif
+    return nthreads > 0 ? nthreads : max_threads();
+  }
   /// Should a parallel schedule be attempted at all?
   [[nodiscard]] constexpr bool parallel() const noexcept { return nthreads != 1; }
 };
@@ -221,6 +255,58 @@ inline TeamPath classify_team_path(int outer, int inner) noexcept
   if (inner <= 1)
     return TeamPath::Flat;
   return (outer <= 1 || nesting_enabled()) ? TeamPath::NestedInner : TeamPath::SerialInner;
+}
+
+// ---------------------------------------------------------------------------
+// Team-scheduled loops: THE routing seam for parallel sweeps
+// ---------------------------------------------------------------------------
+//
+// Every parallel loop in src/ goes through these helpers (or through the
+// facade sweeps in core/orbital_set.h, which keep their pragmas for exact
+// hot-path codegen): the TeamHandle decides the width, the helper owns the
+// raw `#pragma omp parallel` — so no other layer opens regions, re-derives
+// the machine size, or hides a `num_threads` the partition didn't grant.
+// tools/lint_invariants.py enforces exactly that (rule `omp-parallel`).
+//
+// Both helpers only distribute independent iterations, so any team size is
+// trajectory-neutral by construction; a team resolving to 1 thread runs the
+// plain serial loop without opening a region at all.
+
+/// Run fn(i) for i in [0, n) on the team's threads (static schedule; the
+/// width is capped at n so no member is left without an iteration).
+template <typename Fn>
+void team_for(TeamHandle team, int n, Fn&& fn)
+{
+  const int nth = n > 1 ? std::min(team.resolve(), n) : 1;
+  if (nth > 1) {
+#pragma omp parallel for schedule(static) num_threads(nth)
+    for (int i = 0; i < n; ++i)
+      fn(i);
+  } else {
+    for (int i = 0; i < n; ++i)
+      fn(i);
+  }
+}
+
+/// Run fn(i, j) over the collapsed [0, n1) x [0, n2) space on the team's
+/// threads — the (tile, walker) / (tile, position-block) sweep shape.
+template <typename Fn>
+void team_for_collapse2(TeamHandle team, int n1, int n2, Fn&& fn)
+{
+  const long long total = static_cast<long long>(n1) * n2;
+  const int cap = total > static_cast<long long>(max_threads()) ? max_threads()
+                                                                : static_cast<int>(total);
+  const int nth = total > 1 ? std::min(team.resolve(), cap) : 1;
+  if (nth > 1) {
+#pragma omp parallel for collapse(2) schedule(static) num_threads(nth)
+    for (int i = 0; i < n1; ++i)
+      for (int j = 0; j < n2; ++j)
+        fn(i, j);
+  } else {
+    for (int i = 0; i < n1; ++i)
+      for (int j = 0; j < n2; ++j)
+        fn(i, j);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -164,15 +164,12 @@ void evaluate_vgh_batched(const MultiBspline<T>& engine, const std::vector<Vec3<
   assert(positions.size() == outs.size());
   const int nw = static_cast<int>(positions.size());
   const int nt = engine.num_tiles();
-  const int nth = team.resolve();
-#pragma omp parallel for collapse(2) schedule(static) num_threads(nth)
-  for (int t = 0; t < nt; ++t)
-    for (int w = 0; w < nw; ++w) {
-      const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
-      WalkerSoA<T>& out = *outs[static_cast<std::size_t>(w)];
-      engine.evaluate_vgh_tile(t, r.x, r.y, r.z, out.v.data(), out.g.data(), out.h.data(),
-                               out.stride);
-    }
+  team_for_collapse2(team, nt, nw, [&](int t, int w) {
+    const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
+    WalkerSoA<T>& out = *outs[static_cast<std::size_t>(w)];
+    engine.evaluate_vgh_tile(t, r.x, r.y, r.z, out.v.data(), out.g.data(), out.h.data(),
+                             out.stride);
+  });
 }
 
 /// Batched values-only evaluation, per-pair schedule.
@@ -184,13 +181,10 @@ void evaluate_v_batched(const MultiBspline<T>& engine, const std::vector<Vec3<T>
   assert(positions.size() == outs.size());
   const int nw = static_cast<int>(positions.size());
   const int nt = engine.num_tiles();
-  const int nth = team.resolve();
-#pragma omp parallel for collapse(2) schedule(static) num_threads(nth)
-  for (int t = 0; t < nt; ++t)
-    for (int w = 0; w < nw; ++w) {
-      const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
-      engine.evaluate_v_tile(t, r.x, r.y, r.z, outs[static_cast<std::size_t>(w)]->v.data());
-    }
+  team_for_collapse2(team, nt, nw, [&](int t, int w) {
+    const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
+    engine.evaluate_v_tile(t, r.x, r.y, r.z, outs[static_cast<std::size_t>(w)]->v.data());
+  });
 }
 
 /// Batched VGL, per-pair schedule.
@@ -202,15 +196,12 @@ void evaluate_vgl_batched(const MultiBspline<T>& engine, const std::vector<Vec3<
   assert(positions.size() == outs.size());
   const int nw = static_cast<int>(positions.size());
   const int nt = engine.num_tiles();
-  const int nth = team.resolve();
-#pragma omp parallel for collapse(2) schedule(static) num_threads(nth)
-  for (int t = 0; t < nt; ++t)
-    for (int w = 0; w < nw; ++w) {
-      const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
-      WalkerSoA<T>& out = *outs[static_cast<std::size_t>(w)];
-      engine.evaluate_vgl_tile(t, r.x, r.y, r.z, out.v.data(), out.g.data(), out.l.data(),
-                               out.stride);
-    }
+  team_for_collapse2(team, nt, nw, [&](int t, int w) {
+    const Vec3<T>& r = positions[static_cast<std::size_t>(w)];
+    WalkerSoA<T>& out = *outs[static_cast<std::size_t>(w)];
+    engine.evaluate_vgl_tile(t, r.x, r.y, r.z, out.v.data(), out.g.data(), out.l.data(),
+                             out.stride);
+  });
 }
 
 } // namespace mqc

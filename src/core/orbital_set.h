@@ -38,6 +38,8 @@
 #include <variant>
 #include <vector>
 
+#include "common/config.h"
+#include "common/contracts.h"
 #include "common/threading.h"
 #include "common/vec3.h"
 #include "core/bspline_aos.h"
@@ -93,6 +95,14 @@ struct OrbitalResource
 {
   std::vector<BsplineWeights3D<T>> weights;
   std::vector<T*> v, g, lh; ///< consumer pointer tables (gather helpers below)
+#ifdef MQC_CONTRACTS
+  /// Contract state: true while an OrbitalSet::evaluate call owns this
+  /// resource.  A second evaluation entering with the flag still set means
+  /// two calls share one scratch object — the weight batch of the live call
+  /// would be clobbered mid-evaluation (the aliasing the per-(thread, level)
+  /// thread_instance() stack exists to prevent).
+  bool contract_live = false;
+#endif
 
   /// Ensure weight capacity for a batch of @p count positions.
   BsplineWeights3D<T>* weights_for(int count)
@@ -251,6 +261,20 @@ public:
       return;
     assert(rq.positions != nullptr && rq.v != nullptr);
     assert((rq.deriv == DerivLevel::V) || (rq.g != nullptr && rq.lh != nullptr));
+#ifdef MQC_CONTRACTS
+    mqc_contract(!res.contract_live,
+                 "OrbitalResource re-entered: a live evaluation on nesting level %d still owns "
+                 "this resource; nested or concurrent facade calls must each own their own "
+                 "resource (thread_instance() hands out one per (thread, level))",
+                 nest_level());
+    res.contract_live = true;
+    struct LiveGuard
+    {
+      bool* live;
+      ~LiveGuard() { *live = false; }
+    } contract_guard{&res.contract_live};
+    contract_check_request(rq);
+#endif
     if (const auto* e = aos())
       evaluate_aos(**e, rq);
     else if (const auto* e = soa())
@@ -324,6 +348,56 @@ private:
   {
     return std::get_if<const MultiBspline<T>*>(&engine_);
   }
+
+#ifdef MQC_CONTRACTS
+  /// Seam validation of a batched request (contracts builds only): every
+  /// position owns a non-null output slot, the component stride honours the
+  /// engine contract, and no two positions' value slots alias.  Runs before
+  /// any kernel touches memory, so a malformed request aborts with the
+  /// request-level diagnostic instead of corrupting a neighbour's outputs.
+  void contract_check_request(const OrbitalEvalRequest<T>& rq) const
+  {
+    const OrbitalCapabilities caps = capabilities();
+    const bool has_derivs = rq.deriv != DerivLevel::V;
+    for (int p = 0; p < rq.count; ++p) {
+      mqc_contract(rq.v[p] != nullptr, "OrbitalEvalRequest value slot v[%d] is null", p);
+      if (has_derivs) {
+        mqc_contract(rq.g[p] != nullptr, "OrbitalEvalRequest gradient slot g[%d] is null", p);
+        mqc_contract(rq.lh[p] != nullptr,
+                     "OrbitalEvalRequest Laplacian/Hessian slot lh[%d] is null", p);
+      }
+    }
+    // Component stride: the SoA/AoSoA kernels sweep padded_splines() entries
+    // per component and promise `omp simd aligned` on every stream, so the
+    // documented engine contract is stride >= padded and lane-aligned (the
+    // AoS baseline packs its own groups and ignores stride).
+    if (caps.layout != OrbitalLayout::AoS && has_derivs)
+      mqc_contract(rq.stride >= caps.padded_splines && rq.stride % simd_lanes<T> == 0,
+                   "OrbitalEvalRequest stride %zu violates the engine contract "
+                   "(>= padded_splines %zu and a multiple of %zu lanes)",
+                   rq.stride, caps.padded_splines, simd_lanes<T>);
+    // Value-slot overlap: each position writes padded_splines() values (the
+    // SIMD sweeps store full padded rows; the AoS baseline num_splines —
+    // use the engine's write extent), so distinct positions need disjoint
+    // extents.  Sorting makes the check O(P log P); P is a position block.
+    const std::size_t extent = caps.layout == OrbitalLayout::AoS
+                                   ? static_cast<std::size_t>(caps.num_splines)
+                                   : caps.padded_splines;
+    std::vector<std::pair<const T*, int>> slots;
+    slots.reserve(static_cast<std::size_t>(rq.count));
+    for (int p = 0; p < rq.count; ++p)
+      slots.emplace_back(rq.v[p], p);
+    std::sort(slots.begin(), slots.end());
+    for (std::size_t i = 1; i < slots.size(); ++i) {
+      const auto gap = static_cast<std::size_t>(slots[i].first - slots[i - 1].first);
+      mqc_contract(gap >= extent,
+                   "OrbitalEvalRequest value slots of positions %d and %d overlap "
+                   "(%zu elements apart, write extent %zu): every position in a batch "
+                   "needs its own output slot",
+                   slots[i - 1].second, slots[i].second, gap, extent);
+    }
+  }
+#endif
 
   /// AoS baseline: no multi-position path — one single-position kernel call
   /// per position (the decision capabilities() exposes as

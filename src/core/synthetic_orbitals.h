@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/threading.h"
 #include "common/vec3.h"
 #include "core/bspline_builder.h"
 #include "core/coef_storage.h"
@@ -118,15 +119,18 @@ private:
 };
 
 /// Sample @p orbitals on @p grid and solve for the spline coefficient table.
-/// Parallel over orbitals.  The grid box must match the orbital box.
+/// Parallel over orbitals on the caller's team (threading.h seam; the
+/// default lets the runtime size the sweep — table construction is setup
+/// code with no enclosing partition).  Each orbital's solve is independent,
+/// so every team size builds the identical table.
 template <typename T>
 std::shared_ptr<CoefStorage<T>> build_planewave_storage(const Grid3D<T>& grid,
-                                                        const PlaneWaveOrbitals& orbitals)
+                                                        const PlaneWaveOrbitals& orbitals,
+                                                        TeamHandle team = TeamHandle::whole_machine())
 {
   auto storage = std::make_shared<CoefStorage<T>>(grid, orbitals.num_orbitals());
   const int nx = grid.x.num, ny = grid.y.num, nz = grid.z.num;
-#pragma omp parallel for schedule(dynamic)
-  for (int n = 0; n < orbitals.num_orbitals(); ++n) {
+  team_for(team, orbitals.num_orbitals(), [&](int n) {
     std::vector<double> samples(static_cast<std::size_t>(nx) * ny * nz);
     for (int i = 0; i < nx; ++i)
       for (int j = 0; j < ny; ++j)
@@ -137,7 +141,7 @@ std::shared_ptr<CoefStorage<T>> build_planewave_storage(const Grid3D<T>& grid,
           samples[(static_cast<std::size_t>(i) * ny + j) * nz + k] = orbitals.value(n, r);
         }
     set_spline_from_samples(*storage, n, samples.data());
-  }
+  });
   return storage;
 }
 

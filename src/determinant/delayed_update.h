@@ -178,7 +178,6 @@ public:
 
     constexpr int kColBlock = 256; // 2 KB of each G row per block
     const int nblocks = (n + kColBlock - 1) / kColBlock;
-    const int nth = std::min(team_.resolve(), nblocks);
     auto sweep_block = [&](int jb) {
       const int j0 = jb * kColBlock;
       const int j1 = std::min(n, j0 + kColBlock);
@@ -194,14 +193,10 @@ public:
         }
       }
     };
-    if (nth > 1) {
-#pragma omp parallel for schedule(static) num_threads(nth)
-      for (int jb = 0; jb < nblocks; ++jb)
-        sweep_block(jb);
-    } else {
-      for (int jb = 0; jb < nblocks; ++jb)
-        sweep_block(jb);
-    }
+    // Column blocks are disjoint and the per-element (i, m, j) order inside
+    // a block is unchanged, so the team-scheduled sweep stays bit-identical
+    // to the serial one (threading.h seam; width capped at nblocks).
+    team_for(team_, nblocks, sweep_block);
 
     // Fold the pending columns into the base orbital matrix.
     for (int m = 0; m < k; ++m) {

@@ -5,6 +5,7 @@
 
 #include "common/aligned_allocator.h"
 #include "common/simd.h"
+#include "common/threading.h"
 #include "common/timer.h"
 
 #ifdef _OPENMP
@@ -18,12 +19,17 @@ double measure_triad_bandwidth(std::size_t n, int reps)
   aligned_vector<float> a(n, 0.0f), b(n, 1.0f), c(n, 2.0f);
   const float s = 3.0f;
   double best = 0.0;
+  // Machine-wide team through the threading.h seam: the bandwidth ceiling
+  // wants every core streaming.  Contiguous static chunks, like STREAM.
+  const int nchunks = max_threads();
   for (int r = 0; r < reps; ++r) {
     Stopwatch watch;
-#pragma omp parallel for schedule(static)
-    for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i)
-      a[static_cast<std::size_t>(i)] =
-          b[static_cast<std::size_t>(i)] + s * c[static_cast<std::size_t>(i)];
+    team_for(TeamHandle::whole_machine(), nchunks, [&](int chunk) {
+      const Range range = block_range(n, static_cast<std::size_t>(nchunks),
+                                      static_cast<std::size_t>(chunk));
+      for (std::size_t i = range.first; i < range.last; ++i)
+        a[i] = b[i] + s * c[i];
+    });
     const double sec = watch.elapsed();
     // STREAM convention: two reads + one write per element.
     best = std::max(best, 3.0 * static_cast<double>(n) * sizeof(float) / sec);
@@ -50,6 +56,11 @@ double measure_peak_gflops_sp(int reps)
   auto run_once = [&](std::size_t iters) {
     double flops_total = 0.0;
     Stopwatch watch;
+    // Deliberate raw region: the peak-FLOPS ceiling needs one register-
+    // resident FMA kernel per hardware thread with no loop to distribute —
+    // a thread *team*, not team-scheduled work items, so the team_for seam
+    // does not apply.  Measurement code, never driver-partitioned.
+    // mqc-lint: allow(omp-parallel)
 #pragma omp parallel reduction(+ : flops_total)
     {
       alignas(kAlignment) float acc[chains][lanes];

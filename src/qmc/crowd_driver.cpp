@@ -185,19 +185,21 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
   Stopwatch total_watch;
 
   // ---- setup (not profiled): each crowd initializes its own walkers ------
-#pragma omp parallel for num_threads(num_crowds) schedule(static, 1)
-  for (int cid = 0; cid < num_crowds; ++cid) {
+  // The outer region is a team_for over crowd ids (one crowd per thread, and
+  // walker state a function of walker id only) — both through the
+  // threading.h seam.  Stored walker teams are region-bound so a stale
+  // resolve after the outer region closes aborts under MQC_CONTRACTS.
+  team_for(TeamHandle::of(num_crowds), num_crowds, [&](int cid) {
     const int first = cid * crowd_size;
     const int last = std::min(sys.nw, first + crowd_size);
     for (int wid = first; wid < last; ++wid) {
       init_walker(walkers[static_cast<std::size_t>(wid)], sys, cfg, wid);
-      walkers[static_cast<std::size_t>(wid)].set_team(inner);
+      walkers[static_cast<std::size_t>(wid)].set_team(inner.bound_to_current_region());
     }
-  }
+  });
 
   // ---- the profiled lock-step sweep, one crowd per thread ----------------
-#pragma omp parallel for num_threads(num_crowds) schedule(static, 1)
-  for (int cid = 0; cid < num_crowds; ++cid) {
+  team_for(TeamHandle::of(num_crowds), num_crowds, [&](int cid) {
     const int first = cid * crowd_size;
     const int count = std::min(sys.nw, first + crowd_size) - first;
     ProfileRegistry& cprof = crowd_profiles[static_cast<std::size_t>(cid)];
@@ -248,7 +250,7 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
       for (int i = 0; i < count; ++i)
         full_jastrow(walkers[static_cast<std::size_t>(first + i)], sys, cfg);
     }
-  }
+  });
   result.seconds = total_watch.elapsed();
   reduce_result(result, walkers);
   for (const auto& p : crowd_profiles)

@@ -37,18 +37,18 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
   Stopwatch total_watch;
 
   // ---- setup (not profiled): positions, tables, determinants ------------
-  // parallel-for over walker ids (not thread_id indexing) so every walker
-  // is initialized and swept even when the runtime grants fewer threads
-  // than requested (OMP_THREAD_LIMIT, dynamic teams).
-#pragma omp parallel for num_threads(sys.nw) schedule(static, 1)
-  for (int wid = 0; wid < sys.nw; ++wid) {
+  // team_for over walker ids (not thread_id indexing) so every walker is
+  // initialized and swept even when the runtime grants fewer threads than
+  // requested (OMP_THREAD_LIMIT, dynamic teams).  Stored walker teams are
+  // region-bound: a stale resolve after the outer region closes aborts
+  // under MQC_CONTRACTS.
+  team_for(TeamHandle::of(sys.nw), sys.nw, [&](int wid) {
     detail::init_walker(walkers[static_cast<std::size_t>(wid)], sys, cfg, wid);
-    walkers[static_cast<std::size_t>(wid)].set_team(inner);
-  }
+    walkers[static_cast<std::size_t>(wid)].set_team(inner.bound_to_current_region());
+  });
 
   // ---- the profiled Monte Carlo sweep, one walker per iteration ---------
-#pragma omp parallel for num_threads(sys.nw) schedule(static, 1)
-  for (int wid = 0; wid < sys.nw; ++wid) {
+  team_for(TeamHandle::of(sys.nw), sys.nw, [&](int wid) {
     WalkerState& w = walkers[static_cast<std::size_t>(wid)];
     for (int step = 0; step < cfg.steps; ++step) {
       // Drift-diffusion phase: particle-by-particle moves.
@@ -87,7 +87,7 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
       }
       detail::full_jastrow(w, sys, cfg);
     }
-  }
+  });
   result.seconds = total_watch.elapsed();
   detail::reduce_result(result, walkers);
   return result;

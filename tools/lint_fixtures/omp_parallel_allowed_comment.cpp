@@ -1,0 +1,9 @@
+// Fixture: pragma text inside comments and string literals is not code.
+// Expected: 0 [omp-parallel] findings.
+//
+// The old version used `#pragma omp parallel for num_threads(8)` here.
+/* #pragma omp parallel */
+const char* doc()
+{
+  return "wrap loops in #pragma omp parallel num_threads(k) at your peril";
+}

@@ -1,0 +1,10 @@
+// Fixture: the inline escape hatch silences a deliberate raw region.
+// Expected: 0 [omp-parallel] findings.
+void sweep(float* a, int n)
+{
+  // Deliberate raw region for this fixture's purposes.
+  // mqc-lint: allow(omp-parallel)
+#pragma omp parallel for num_threads(8)
+  for (int i = 0; i < n; ++i)
+    a[i] *= 2.0f;
+}

@@ -1,0 +1,8 @@
+// Fixture: raw OpenMP forking outside the threading seam must be flagged.
+// Expected: >= 1 [omp-parallel] finding.
+void sweep(float* a, int n)
+{
+#pragma omp parallel for num_threads(8)
+  for (int i = 0; i < n; ++i)
+    a[i] *= 2.0f;
+}

@@ -1,0 +1,13 @@
+// Fixture: a deliberately annotated raw engine call is silenced.
+// Expected: 0 [raw-spline-call] findings.
+struct Engine
+{
+  // mqc-lint: allow(raw-spline-call)
+  void evaluate_v_tile(int, float, float, float, float*) const {}
+};
+
+void ablation_reference(const Engine& engine, float* out)
+{
+  // mqc-lint: allow(raw-spline-call)
+  engine.evaluate_v_tile(0, 0.1f, 0.2f, 0.3f, out);
+}

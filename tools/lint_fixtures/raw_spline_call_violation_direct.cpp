@@ -1,0 +1,14 @@
+// Fixture: calling a spline engine entry point above the facade is flagged.
+// Expected: >= 2 [raw-spline-call] findings.
+struct Engine
+{
+  void evaluate_v_tile(int, float, float, float, float*) const {}
+  void evaluate_vgh_tile_multi(int, const void*, int, float* const*, float* const*,
+                               float* const*, unsigned long) const {}
+};
+
+void driver(const Engine& engine, float* out)
+{
+  engine.evaluate_v_tile(0, 0.1f, 0.2f, 0.3f, out);
+  engine.evaluate_vgh_tile_multi(0, nullptr, 1, nullptr, nullptr, nullptr, 0);
+}

@@ -1,0 +1,7 @@
+// Fixture: the inline escape hatch silences a reviewed thread_local.
+// Expected: 0 [thread-local] findings.
+int next_id()
+{
+  thread_local int counter = 0; // mqc-lint: allow(thread-local)
+  return ++counter;
+}

@@ -1,0 +1,7 @@
+// Fixture: new thread_local state outside the audited owners is flagged.
+// Expected: >= 1 [thread-local] finding.
+int next_id()
+{
+  thread_local int counter = 0;
+  return ++counter;
+}

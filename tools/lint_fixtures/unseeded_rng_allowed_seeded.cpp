@@ -1,0 +1,12 @@
+// Fixture: explicitly seeded engines and non-RNG identifiers are fine.
+// Expected: 0 [unseeded-rng] findings.
+#include <cstdint>
+#include <random>
+
+double sample(std::uint64_t seed)
+{
+  std::mt19937_64 gen(seed);            // seeded from the run configuration
+  const double wtime = 0.0;             // `omp_get_wtime()`-style name, not time()
+  double downtime(wtime);               // identifier merely containing "time"
+  return static_cast<double>(gen()) + downtime;
+}

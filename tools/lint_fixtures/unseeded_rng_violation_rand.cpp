@@ -1,0 +1,14 @@
+// Fixture: libc randomness and wall-clock seeding are flagged.
+// Expected: >= 3 [unseeded-rng] findings (rand, srand, time, random_device,
+// default-constructed engine).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int noise()
+{
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  std::random_device rd;
+  std::mt19937 gen;
+  return std::rand() + static_cast<int>(gen());
+}
