@@ -74,6 +74,27 @@ public:
     return result;
   }
 
+  /// The complete resumable stream state: the xoshiro words plus the cached
+  /// Box–Muller deviate.  gaussian() draws deviates in pairs and caches the
+  /// second, so a stream interrupted between the two MUST carry the cache
+  /// across a save/restore — dropping it would desynchronize every draw
+  /// after the restore point (qmc/checkpoint.cpp round-trips this struct).
+  struct State
+  {
+    std::array<std::uint64_t, 4> s{};
+    bool have_gauss = false;
+    double cached_gauss = 0.0;
+  };
+
+  [[nodiscard]] State state() const noexcept { return State{state_, have_gauss_, cached_gauss_}; }
+
+  void set_state(const State& st) noexcept
+  {
+    state_ = st.s;
+    have_gauss_ = st.have_gauss;
+    cached_gauss_ = st.cached_gauss;
+  }
+
   /// Uniform double in [0,1) with 53 random bits.
   double uniform() noexcept { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <set>
@@ -20,29 +21,12 @@
 namespace mqc {
 namespace {
 
-/// Parse "AxBxC" / "A:B:C" / "A,B,C" into up to three positive ints.
-/// Returns the number parsed (0 on garbage).
-int parse_triple(const char* text, int out[3])
+/// One-line warning for a malformed env knob; the caller then falls back to
+/// the automatic behaviour, never to a half-parsed shape.
+void warn_env_knob(const char* name, const char* text, const char* expected)
 {
-  if (text == nullptr)
-    return 0;
-  int count = 0;
-  const char* p = text;
-  while (count < 3) {
-    while (*p != '\0' && !std::isdigit(static_cast<unsigned char>(*p)))
-      ++p;
-    if (*p == '\0')
-      break;
-    long v = 0;
-    while (std::isdigit(static_cast<unsigned char>(*p))) {
-      v = v * 10 + (*p - '0');
-      ++p;
-    }
-    if (v <= 0)
-      return 0;
-    out[count++] = static_cast<int>(v);
-  }
-  return count;
+  std::fprintf(stderr, "mqc: warning: ignoring malformed %s=\"%s\" (expected %s); using auto\n",
+               name, text, expected);
 }
 
 bool read_int_file(const std::string& path, int& out)
@@ -95,6 +79,46 @@ bool query_sysfs_topology(MachineTopology& topo)
 
 } // namespace
 
+EnvKnob parse_env_knob(const char* text, int min_count, int max_count)
+{
+  EnvKnob k;
+  if (text == nullptr)
+    return k;
+  k.present = true;
+  const char* p = text;
+  while (*p == ' ' || *p == '\t')
+    ++p;
+  int count = 0;
+  for (;;) {
+    if (!std::isdigit(static_cast<unsigned char>(*p)))
+      return k; // empty field, separator run, or non-numeric garbage
+    long v = 0;
+    while (std::isdigit(static_cast<unsigned char>(*p))) {
+      v = v * 10 + (*p - '0');
+      if (v > 1'000'000)
+        return k; // absurd thread/socket counts are typos, not requests
+      ++p;
+    }
+    if (v <= 0 || count >= 3)
+      return k;
+    k.values[count++] = static_cast<int>(v);
+    if (*p == 'x' || *p == 'X' || *p == ':' || *p == ',') {
+      ++p;
+      continue;
+    }
+    while (*p == ' ' || *p == '\t')
+      ++p;
+    if (*p != '\0')
+      return k; // trailing garbage after the last field
+    break;
+  }
+  if (count < min_count || count > max_count)
+    return k;
+  k.count = count;
+  k.valid = true;
+  return k;
+}
+
 void request_nested_levels(int levels)
 {
 #ifdef _OPENMP
@@ -112,17 +136,19 @@ void request_nested_levels(int levels)
 MachineTopology query_machine_topology()
 {
   MachineTopology topo;
-  // 1. forced shape: MQC_TOPOLOGY=SxCxT.
-  int triple[3] = {1, 1, 1};
-  const int n = parse_triple(std::getenv("MQC_TOPOLOGY"), triple);
-  if (n >= 2) {
-    topo.sockets = triple[0];
-    topo.cores_per_socket = triple[1];
-    topo.smt = n >= 3 ? triple[2] : 1;
+  // 1. forced shape: MQC_TOPOLOGY=SxCxT (smt optional).
+  const char* topo_env = std::getenv("MQC_TOPOLOGY");
+  const EnvKnob forced = parse_env_knob(topo_env, 2, 3);
+  if (forced.valid) {
+    topo.sockets = forced.values[0];
+    topo.cores_per_socket = forced.values[1];
+    topo.smt = forced.count >= 3 ? forced.values[2] : 1;
     topo.logical_cpus = topo.sockets * topo.cores_per_socket * topo.smt;
     topo.detected = true;
     return topo;
   }
+  if (forced.present)
+    warn_env_knob("MQC_TOPOLOGY", topo_env, "SxC or SxCxT, positive integers");
   // 2. the kernel's description.
   if (query_sysfs_topology(topo))
     return topo;
@@ -172,12 +198,21 @@ ThreadPartition ThreadPartition::resolve(int outer_work, int requested_inner, in
 {
   if (requested_inner <= 0) {
     // Env overrides, only consulted in auto mode: an explicit knob from the
-    // caller (config, API) always wins over the environment.
-    int triple[3] = {0, 0, 0};
-    if (parse_triple(std::getenv("MQC_PARTITION"), triple) >= 2)
-      return ThreadPartition{triple[0], triple[1]};
-    if (parse_triple(std::getenv("MQC_INNER_THREADS"), triple) == 1)
-      return resolve_for(outer_work, triple[0], total_threads, machine_topology());
+    // caller (config, API) always wins over the environment.  A malformed
+    // value warns once here and falls through to the auto partition — it
+    // never produces a bogus shape.
+    const char* part_env = std::getenv("MQC_PARTITION");
+    const EnvKnob part = parse_env_knob(part_env, 2, 2);
+    if (part.valid)
+      return ThreadPartition{part.values[0], part.values[1]};
+    if (part.present)
+      warn_env_knob("MQC_PARTITION", part_env, "OxI, two positive integers");
+    const char* inner_env = std::getenv("MQC_INNER_THREADS");
+    const EnvKnob inner = parse_env_knob(inner_env, 1, 1);
+    if (inner.valid)
+      return resolve_for(outer_work, inner.values[0], total_threads, machine_topology());
+    if (inner.present)
+      warn_env_knob("MQC_INNER_THREADS", inner_env, "one positive integer");
   }
   return resolve_for(outer_work, requested_inner, total_threads, machine_topology());
 }

@@ -103,6 +103,29 @@ inline bool nesting_enabled() noexcept
 void request_nested_levels(int levels);
 
 // ---------------------------------------------------------------------------
+// Env-knob parsing
+// ---------------------------------------------------------------------------
+
+/// Strict parse of one env knob's value (MQC_TOPOLOGY / MQC_PARTITION /
+/// MQC_INNER_THREADS).  Robustness surface: a malformed value must never
+/// yield a bogus partition or half-parsed shape — it is rejected whole, the
+/// caller emits a one-line warning, and the auto fallback runs instead.
+struct EnvKnob
+{
+  bool present = false; ///< the env var was set (even to garbage)
+  bool valid = false;   ///< the value had exactly the expected shape
+  int count = 0;        ///< fields parsed (only when valid)
+  int values[3] = {0, 0, 0};
+};
+
+/// Parse @p text (null = absent) as @p min_count..@p max_count positive
+/// integers separated by 'x', ':' or ',' (e.g. "2x8x2").  Strict: empty
+/// values, zero/negative/oversized fields, wrong field counts, and ANY
+/// trailing garbage all yield present-but-invalid.  Pure function of the
+/// string — unit-testable without touching the environment.
+EnvKnob parse_env_knob(const char* text, int min_count, int max_count);
+
+// ---------------------------------------------------------------------------
 // Machine topology
 // ---------------------------------------------------------------------------
 

@@ -1,5 +1,6 @@
 #include "core/tuner.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -44,46 +45,99 @@ bool Wisdom::save(const std::string& path) const
   return static_cast<bool>(out);
 }
 
+namespace {
+
+/// A persisted integer knob: non-negative, integral, and sane in magnitude.
+bool integral_knob(double v) noexcept
+{
+  return std::isfinite(v) && v >= 0.0 && v == std::floor(v) && v <= 1e9;
+}
+
+} // namespace
+
 bool Wisdom::load(const std::string& path)
 {
+  load_status_ = LoadStatus{};
+  load_status_.attempted = true;
   std::ifstream in(path);
-  if (!in)
+  if (!in) {
+    load_status_.detail = path + ": cannot open";
     return false;
+  }
+  // All-or-nothing: parse into a staging map first.  A file with ANY
+  // malformed line is rejected whole — merging the "good" lines of a
+  // corrupt file would silently serve half the tuned knobs.
+  std::map<std::string, Entry> staged;
   std::string line;
+  int lineno = 0;
+  auto reject = [&](const std::string& why) {
+    ++load_status_.lines_rejected;
+    if (load_status_.detail.empty())
+      load_status_.detail = path + ":" + std::to_string(lineno) + ": " + why;
+  };
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#')
       continue;
     std::istringstream ls(line);
     std::string key;
-    Entry entry;
-    if (!(ls >> key >> entry.tile_size))
+    if (!(ls >> key)) {
+      reject("unparseable line");
       continue;
-    // The remaining numeric fields disambiguate the format version:
-    //   1 number  -> v1: throughput                       (pos_block := 1)
-    //   2 numbers -> v2: pos_block throughput             (crowd_size := 0)
-    //   3 numbers -> v3: pos_block crowd_size throughput  (inner_threads := 0)
-    //   4 numbers -> v4: pos_block crowd_size inner_threads throughput
-    double a = 0.0, b = 0.0, c = 0.0, d = 0.0;
-    if (!(ls >> a))
-      continue;
-    if (!(ls >> b)) {
-      entry.pos_block = 1;
-      entry.throughput = a;
-    } else if (!(ls >> c)) {
-      entry.pos_block = static_cast<int>(a);
-      entry.throughput = b;
-    } else if (!(ls >> d)) {
-      entry.pos_block = static_cast<int>(a);
-      entry.crowd_size = static_cast<int>(b);
-      entry.throughput = c;
-    } else {
-      entry.pos_block = static_cast<int>(a);
-      entry.crowd_size = static_cast<int>(b);
-      entry.inner_threads = static_cast<int>(c);
-      entry.throughput = d;
     }
-    entries_[key] = entry;
+    // The numeric field count disambiguates the format version:
+    //   2 -> v1: tile throughput                            (pos_block := 1)
+    //   3 -> v2: tile pos_block throughput                  (crowd_size := 0)
+    //   4 -> v3: tile pos_block crowd_size throughput       (inner_threads := 0)
+    //   5 -> v4: tile pos_block crowd_size inner_threads throughput
+    double num[5] = {};
+    int n = 0;
+    while (n < 5 && (ls >> num[n]))
+      ++n;
+    ls.clear(); // a failed extraction above must not mask trailing garbage
+    std::string trailing;
+    if (ls >> trailing) {
+      reject("unexpected field '" + trailing + "'");
+      continue;
+    }
+    if (n < 2) {
+      reject("too few fields (need at least tile_size and throughput)");
+      continue;
+    }
+    Entry entry;
+    const double throughput = num[n - 1];
+    bool knobs_ok = integral_knob(num[0]);
+    entry.tile_size = static_cast<int>(num[0]);
+    entry.pos_block = 1;
+    if (n >= 3) {
+      knobs_ok = knobs_ok && integral_knob(num[1]);
+      entry.pos_block = static_cast<int>(num[1]);
+    }
+    if (n >= 4) {
+      knobs_ok = knobs_ok && integral_knob(num[2]);
+      entry.crowd_size = static_cast<int>(num[2]);
+    }
+    if (n >= 5) {
+      knobs_ok = knobs_ok && integral_knob(num[3]);
+      entry.inner_threads = static_cast<int>(num[3]);
+    }
+    if (!knobs_ok) {
+      reject("knob fields must be non-negative integers");
+      continue;
+    }
+    if (!std::isfinite(throughput) || throughput < 0.0) {
+      reject("throughput must be finite and non-negative");
+      continue;
+    }
+    entry.throughput = throughput;
+    staged[key] = entry;
   }
+  if (load_status_.lines_rejected > 0)
+    return false;
+  for (auto& [key, entry] : staged)
+    entries_[key] = entry;
+  load_status_.ok = true;
+  load_status_.entries_loaded = static_cast<int>(staged.size());
   return true;
 }
 

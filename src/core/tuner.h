@@ -58,16 +58,36 @@ public:
   [[nodiscard]] std::optional<Entry> lookup(const std::string& key) const;
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
+  /// Outcome of the most recent load() on this object.  Robustness surface:
+  /// a truncated or garbage wisdom file must never crash, and must never
+  /// silently half-load — load() is all-or-nothing, and this status says
+  /// what happened so callers can report the fallback to defaults.
+  struct LoadStatus
+  {
+    bool attempted = false; ///< a load() ran on this object
+    bool ok = false;        ///< file opened and every line parsed cleanly
+    int entries_loaded = 0; ///< entries merged by the last successful load
+    int lines_rejected = 0; ///< malformed lines found in a rejected file
+    std::string detail;     ///< first failure diagnosis (empty when ok)
+  };
+
+  [[nodiscard]] const LoadStatus& load_status() const noexcept { return load_status_; }
+
   /// Plain-text persistence, one entry per line:
   ///   v4 format (written): "key tile_size pos_block crowd_size inner_threads throughput"
   ///   v3 format (still read): "key tile_size pos_block crowd_size throughput" (inner_threads := 0)
   ///   v2 format (still read): "key tile_size pos_block throughput" (crowd_size := 0)
   ///   v1 format (still read): "key tile_size throughput" (pos_block := 1, crowd_size := 0)
   bool save(const std::string& path) const;
+  /// All-or-nothing load: a file with ANY malformed line (bad token, wrong
+  /// field count, non-integral/negative knob, non-finite throughput) merges
+  /// NOTHING and returns false — existing entries and tuned defaults stay
+  /// untouched, and load_status() carries the line-level diagnosis.
   bool load(const std::string& path);
 
 private:
   std::map<std::string, Entry> entries_;
+  LoadStatus load_status_;
 };
 
 /// Result of one tile-size sweep.

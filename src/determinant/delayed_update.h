@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "common/config.h"
@@ -217,6 +218,55 @@ public:
   {
     flush();
     return binv_;
+  }
+
+  // -- checkpoint/restore state access (qmc/checkpoint.cpp) -----------------
+  //
+  // A snapshot serializes the IN-FLIGHT delayed window verbatim — the base
+  // inverse, the base orbital matrix, and the pending rank-k panel — instead
+  // of forcing a flush at the snapshot point.  Flushing would be simpler to
+  // serialize but is NOT trajectory-neutral: applying the Woodbury
+  // correction regroups the floating-point arithmetic of every subsequent
+  // ratio, so a run that snapshots mid-window would diverge bit-wise from
+  // an uninterrupted run.  Serializing the panel keeps the snapshot a pure
+  // observer (tests/test_checkpoint.cpp proves both the panel round-trip and
+  // the end-to-end trajectory equality at delay_rank >= 2).
+
+  [[nodiscard]] const Matrix<double>& base_inverse() const noexcept { return binv_; }
+  [[nodiscard]] const Matrix<double>& base_matrix() const noexcept { return a_current_; }
+  [[nodiscard]] const std::vector<int>& pending_columns() const noexcept { return pending_cols_; }
+  [[nodiscard]] const std::vector<std::vector<double>>& pending_u() const noexcept
+  {
+    return u_cols_;
+  }
+  [[nodiscard]] const std::vector<std::vector<double>>& pending_bu() const noexcept
+  {
+    return bu_cols_;
+  }
+  [[nodiscard]] const std::vector<std::vector<double>>& pending_vtb() const noexcept
+  {
+    return vtb_rows_;
+  }
+
+  /// Install a previously captured state verbatim (counterpart of the
+  /// accessors above).  The caller is responsible for shape consistency;
+  /// sizes are asserted, not repaired.
+  void restore(Matrix<double> binv, Matrix<double> a_current, double log_det, double sign,
+               std::vector<int> pending_cols, std::vector<std::vector<double>> u_cols,
+               std::vector<std::vector<double>> bu_cols,
+               std::vector<std::vector<double>> vtb_rows)
+  {
+    assert(binv.rows() == a_current.rows() && binv.cols() == a_current.cols());
+    assert(pending_cols.size() == u_cols.size() && pending_cols.size() == bu_cols.size() &&
+           pending_cols.size() == vtb_rows.size());
+    binv_ = std::move(binv);
+    a_current_ = std::move(a_current);
+    log_det_ = log_det;
+    sign_ = sign;
+    pending_cols_ = std::move(pending_cols);
+    u_cols_ = std::move(u_cols);
+    bu_cols_ = std::move(bu_cols);
+    vtb_rows_ = std::move(vtb_rows);
   }
 
 private:

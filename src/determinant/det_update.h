@@ -112,6 +112,14 @@ public:
     return kind_ == DetUpdateKind::Delayed ? delayed_.inverse() : dirac_.inverse();
   }
 
+  // checkpoint/restore access (qmc/checkpoint.cpp): the active engine as
+  // selected by kind().  Only the active engine holds live state; the idle
+  // one is default-constructed and excluded from snapshots.
+  [[nodiscard]] DiracDeterminant& dirac() noexcept { return dirac_; }
+  [[nodiscard]] const DiracDeterminant& dirac() const noexcept { return dirac_; }
+  [[nodiscard]] DelayedDeterminant& delayed() noexcept { return delayed_; }
+  [[nodiscard]] const DelayedDeterminant& delayed() const noexcept { return delayed_; }
+
 private:
   DetUpdateKind kind_;
   DiracDeterminant dirac_;

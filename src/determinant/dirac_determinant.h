@@ -13,6 +13,7 @@
 #ifndef MQC_DETERMINANT_DIRAC_DETERMINANT_H
 #define MQC_DETERMINANT_DIRAC_DETERMINANT_H
 
+#include <utility>
 #include <vector>
 
 #include "determinant/matrix.h"
@@ -43,6 +44,17 @@ public:
   /// O(N^3) recompute from a fresh orbital matrix (drift correction /
   /// verification path).
   bool recompute(const Matrix<double>& a) { return build(a); }
+
+  /// Restore a previously captured state (qmc/checkpoint.cpp).  The inverse
+  /// is installed verbatim — NOT rebuilt from an orbital matrix — because a
+  /// resumed trajectory must continue from the bit-exact accumulated
+  /// Sherman-Morrison state, which a fresh O(N^3) inversion would not match.
+  void restore(Matrix<double> ainv, double log_det, double sign)
+  {
+    ainv_ = std::move(ainv);
+    log_det_ = log_det;
+    sign_ = sign;
+  }
 
 private:
   Matrix<double> ainv_;

@@ -99,6 +99,16 @@ public:
   [[nodiscard]] const T* temp_r() const noexcept { return temp_r_.data(); }
   [[nodiscard]] const Vec3<T>* temp_dr() const noexcept { return temp_dr_.data(); }
 
+  // checkpoint/restore access (qmc/checkpoint.cpp): the committed table
+  // arrays verbatim.  Incremental accept_move entries are NOT guaranteed
+  // bit-identical to a fresh evaluate() (antisymmetric column writes negate
+  // instead of recomputing), so a resumed run must restore these bytes, not
+  // rebuild from positions.  temp_* scratch is excluded: it is fully
+  // overwritten by the next compute_temp before any read.
+  [[nodiscard]] std::size_t state_count() const noexcept { return r_.size(); }
+  [[nodiscard]] T* state_r() noexcept { return r_.data(); }
+  [[nodiscard]] Vec3<T>* state_dr() noexcept { return dr_.data(); }
+
 private:
   void set_pair(int i, int j, const Vec3<T>& ri, const Vec3<T>& rj)
   {
@@ -195,6 +205,11 @@ public:
   }
   [[nodiscard]] const T* temp_r() const noexcept { return temp_r_.data(); }
   [[nodiscard]] const Vec3<T>* temp_dr() const noexcept { return temp_dr_.data(); }
+
+  // checkpoint/restore access (see DistanceTableAA_AoS::state_count).
+  [[nodiscard]] std::size_t state_count() const noexcept { return r_.size(); }
+  [[nodiscard]] T* state_r() noexcept { return r_.data(); }
+  [[nodiscard]] Vec3<T>* state_dr() noexcept { return dr_.data(); }
 
 private:
   const Lattice* lattice_;
@@ -327,6 +342,14 @@ public:
   [[nodiscard]] const T* temp_dy() const noexcept { return temp_dy_.data(); }
   [[nodiscard]] const T* temp_dz() const noexcept { return temp_dz_.data(); }
 
+  // checkpoint/restore access (see DistanceTableAA_AoS::state_count).  The
+  // padded tail lanes are serialized too — verbatim bytes in, verbatim out.
+  [[nodiscard]] std::size_t state_count() const noexcept { return r_.size(); }
+  [[nodiscard]] T* state_r() noexcept { return r_.data(); }
+  [[nodiscard]] T* state_dx() noexcept { return dx_.data(); }
+  [[nodiscard]] T* state_dy() noexcept { return dy_.data(); }
+  [[nodiscard]] T* state_dz() noexcept { return dz_.data(); }
+
 private:
   T* row_r(int i) noexcept { return r_.data() + static_cast<std::size_t>(i) * stride_; }
   T* row_dx(int i) noexcept { return dx_.data() + static_cast<std::size_t>(i) * stride_; }
@@ -403,6 +426,13 @@ public:
   [[nodiscard]] const T* temp_dx() const noexcept { return temp_dx_.data(); }
   [[nodiscard]] const T* temp_dy() const noexcept { return temp_dy_.data(); }
   [[nodiscard]] const T* temp_dz() const noexcept { return temp_dz_.data(); }
+
+  // checkpoint/restore access (see DistanceTableAA_AoS::state_count).
+  [[nodiscard]] std::size_t state_count() const noexcept { return r_.size(); }
+  [[nodiscard]] T* state_r() noexcept { return r_.data(); }
+  [[nodiscard]] T* state_dx() noexcept { return dx_.data(); }
+  [[nodiscard]] T* state_dy() noexcept { return dy_.data(); }
+  [[nodiscard]] T* state_dz() noexcept { return dz_.data(); }
 
 private:
   T* row(aligned_vector<T>& v, int i) noexcept

@@ -198,14 +198,25 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
     }
   });
 
-  // ---- the profiled lock-step sweep, one crowd per thread ----------------
-  team_for(TeamHandle::of(num_crowds), num_crowds, [&](int cid) {
-    const int first = cid * crowd_size;
-    const int count = std::min(sys.nw, first + crowd_size) - first;
-    ProfileRegistry& cprof = crowd_profiles[static_cast<std::size_t>(cid)];
-    CrowdScratch scr(walkers, first, count, sys);
+  // ---- resume (outside any team region): overwrite the freshly built
+  // walker state from the snapshot, if one is usable -----------------------
+  const CheckpointRuntime ckrt = make_checkpoint_runtime(cfg, sys);
+  int step = resume_from_checkpoint(ckrt, cfg, sys, walkers, result);
 
-    for (int step = 0; step < cfg.steps; ++step) {
+  // ---- the profiled lock-step sweep, one crowd per thread ----------------
+  // Epoch-chunked exactly like the per-walker driver: each team region
+  // advances every crowd to the next step boundary, snapshots happen
+  // between regions.  CrowdScratch is rebuilt per epoch — gathered pointer
+  // tables and weight scratch, never trajectory state.
+  while (step < cfg.steps) {
+    const int boundary = next_epoch_boundary(ckrt, step, cfg.steps);
+    team_for(TeamHandle::of(num_crowds), num_crowds, [&](int cid) {
+      const int first = cid * crowd_size;
+      const int count = std::min(sys.nw, first + crowd_size) - first;
+      ProfileRegistry& cprof = crowd_profiles[static_cast<std::size_t>(cid)];
+      CrowdScratch scr(walkers, first, count, sys);
+
+      for (int s = step; s < boundary; ++s) {
       // Drift-diffusion phase: the whole crowd moves electron e together.
       for (int e = 0; e < sys.nel; ++e) {
         for (int i = 0; i < count; ++i) {
@@ -249,8 +260,11 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
       }
       for (int i = 0; i < count; ++i)
         full_jastrow(walkers[static_cast<std::size_t>(first + i)], sys, cfg);
-    }
-  });
+      }
+    });
+    step = boundary;
+    checkpoint_step_boundary(ckrt, cfg, sys, walkers, step, cfg.steps, result);
+  }
   result.seconds = total_watch.elapsed();
   reduce_result(result, walkers);
   for (const auto& p : crowd_profiles)

@@ -35,6 +35,7 @@
 #include "jastrow/one_body.h"
 #include "jastrow/two_body.h"
 #include "particles/graphite.h"
+#include "qmc/checkpoint.h"
 #include "qmc/miniqmc_driver.h"
 #include "qmc/miniqmc_tuner.h"
 #include "qmc/walker.h"
@@ -467,6 +468,63 @@ inline void reduce_result(MiniQMCResult& result, std::vector<WalkerState>& walke
 
 /// The crowd sweep (crowd_driver.cpp); dispatched to by run_miniqmc.
 MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg);
+
+// --------------------------------------------------------------------------
+// Checkpoint glue (implemented in qmc/checkpoint.cpp).
+//
+// Both drivers run the identical epoch-chunked protocol: advance all walkers
+// to the next step boundary inside one team region, then — OUTSIDE any team
+// region, with no OrbitalResource live — snapshot / inject faults / stop.
+// Chunking the sweep into epochs is trajectory-neutral: per-walker state and
+// rng streams persist across regions, and the stored walker teams stay
+// region-valid because TeamHandle binds by nesting level (threading.h).
+// --------------------------------------------------------------------------
+
+/// Per-run checkpoint/fault state resolved once from the config.
+struct CheckpointRuntime
+{
+  std::string path;
+  int interval = 0; ///< <= 0: only the final end-of-run snapshot
+  std::uint64_t config_hash = 0;
+  ckpt::FaultPlan fault;
+
+  [[nodiscard]] bool enabled() const noexcept { return !path.empty(); }
+};
+
+/// Hash of every configuration field that determines the trajectory (seed,
+/// system shape, layout, delay rank, ...).  Scheduling-only knobs — driver
+/// mode, crowd size, tile size, inner threads, step budget — are excluded:
+/// a snapshot is resumable under any of them (the bit-for-bit invariant).
+[[nodiscard]] std::uint64_t miniqmc_config_hash(const MiniQMCConfig& cfg,
+                                                const MiniQMCSystem& sys) noexcept;
+
+/// Resolve path/interval/fault plan (cfg.fault_inject overrides the
+/// MQC_FAULT_INJECT env var; faults are inert without a checkpoint path).
+[[nodiscard]] CheckpointRuntime make_checkpoint_runtime(const MiniQMCConfig& cfg,
+                                                        const MiniQMCSystem& sys);
+
+/// First step boundary after @p step: the next interval multiple, the armed
+/// fault's abort step, or the end of the run — whichever comes first.
+[[nodiscard]] int next_epoch_boundary(const CheckpointRuntime& rt, int step, int steps);
+
+/// The step-boundary snapshot point (call between team regions): writes an
+/// interval-aligned or final snapshot, applies armed file faults, and exits
+/// the process when the abort fault fires at this boundary.  Asserts no
+/// walker's OrbitalResource is live under MQC_CONTRACTS.
+void checkpoint_step_boundary(const CheckpointRuntime& rt, const MiniQMCConfig& cfg,
+                              const MiniQMCSystem& sys, std::vector<WalkerState>& walkers,
+                              int step, int steps, MiniQMCResult& result);
+
+/// Resume attempt (call after init_walker, before the sweep): restores every
+/// walker from the snapshot at rt.path (with `.prev` fallback) and returns
+/// the step to continue from; returns 0 (fresh start) when no snapshot is
+/// usable.  Outcome is surfaced in result.resumed_from_step /
+/// resume_fallback_used / resume_error — a damaged snapshot never crashes
+/// and never half-applies.
+[[nodiscard]] int resume_from_checkpoint(const CheckpointRuntime& rt, const MiniQMCConfig& cfg,
+                                         const MiniQMCSystem& sys,
+                                         std::vector<WalkerState>& walkers,
+                                         MiniQMCResult& result);
 
 } // namespace mqc::detail
 

@@ -47,47 +47,63 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
     walkers[static_cast<std::size_t>(wid)].set_team(inner.bound_to_current_region());
   });
 
+  // ---- resume (outside any team region): overwrite the freshly built
+  // walker state from the snapshot, if one is usable ----------------------
+  const detail::CheckpointRuntime ckrt = detail::make_checkpoint_runtime(cfg, sys);
+  int step = detail::resume_from_checkpoint(ckrt, cfg, sys, walkers, result);
+
   // ---- the profiled Monte Carlo sweep, one walker per iteration ---------
-  team_for(TeamHandle::of(sys.nw), sys.nw, [&](int wid) {
-    WalkerState& w = walkers[static_cast<std::size_t>(wid)];
-    for (int step = 0; step < cfg.steps; ++step) {
-      // Drift-diffusion phase: particle-by-particle moves.
-      for (int e = 0; e < sys.nel; ++e) {
-        ++w.attempted;
-        const Vec3<qmc_real> r_old = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
-        const Vec3<qmc_real> r_new = detail::propose(w.rng, r_old, cfg.move_sigma);
+  // Epoch-chunked: advance every walker to the next step boundary inside
+  // one team region, snapshot between regions (checkpoint_step_boundary is
+  // the crash-consistency point — and a no-op without a checkpoint path,
+  // in which case the whole run is a single region as before).  Chunking is
+  // trajectory-neutral: walker state and rng streams persist across
+  // regions, and the stored teams bind by nesting level (threading.h).
+  while (step < cfg.steps) {
+    const int boundary = detail::next_epoch_boundary(ckrt, step, cfg.steps);
+    team_for(TeamHandle::of(sys.nw), sys.nw, [&](int wid) {
+      WalkerState& w = walkers[static_cast<std::size_t>(wid)];
+      for (int s = step; s < boundary; ++s) {
+        // Drift-diffusion phase: particle-by-particle moves.
+        for (int e = 0; e < sys.nel; ++e) {
+          ++w.attempted;
+          const Vec3<qmc_real> r_old = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
+          const Vec3<qmc_real> r_new = detail::propose(w.rng, r_old, cfg.move_sigma);
 
-        const qmc_real* v;
-        {
-          ScopedTimer t(w.profile, kSectionBspline);
-          v = w.eval_vgh(sys, r_new); // VGH drives drift-diffusion (paper §IV)
+          const qmc_real* v;
+          {
+            ScopedTimer t(w.profile, kSectionBspline);
+            v = w.eval_vgh(sys, r_new); // VGH drives drift-diffusion (paper §IV)
+          }
+          detail::metropolis_move(w, sys, cfg, e, r_new, v);
         }
-        detail::metropolis_move(w, sys, cfg, e, r_new, v);
-      }
 
-      // Measurement phase: kinetic energy (VGL) and a pseudopotential-like
-      // quadrature (V at displaced points + one-body Jastrow ratio each).
-      // The quadrature V evaluations of one electron form a position batch:
-      // propose all points first (same rng stream as per-point evaluation,
-      // since neither distance tables nor kernels consume randomness), run
-      // the per-point distance/Jastrow ratios, then one multi-position V.
-      for (int e = 0; e < sys.nel; ++e) {
-        const Vec3<qmc_real> re = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
-        {
-          ScopedTimer t(w.profile, kSectionBspline);
-          w.eval_vgl(sys, re);
+        // Measurement phase: kinetic energy (VGL) and a pseudopotential-like
+        // quadrature (V at displaced points + one-body Jastrow ratio each).
+        // The quadrature V evaluations of one electron form a position batch:
+        // propose all points first (same rng stream as per-point evaluation,
+        // since neither distance tables nor kernels consume randomness), run
+        // the per-point distance/Jastrow ratios, then one multi-position V.
+        for (int e = 0; e < sys.nel; ++e) {
+          const Vec3<qmc_real> re = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
+          {
+            ScopedTimer t(w.profile, kSectionBspline);
+            w.eval_vgl(sys, re);
+          }
+          for (int q = 0; q < cfg.quadrature_points; ++q)
+            w.quad_r[static_cast<std::size_t>(q)] = detail::propose(w.rng, re, 0.5);
+          detail::quadrature_dist_jastrow(w, sys, cfg, e);
+          if (cfg.quadrature_points > 0) {
+            ScopedTimer t(w.profile, kSectionBspline);
+            w.eval_v_batch(sys, w.quad_r.data(), cfg.quadrature_points);
+          }
         }
-        for (int q = 0; q < cfg.quadrature_points; ++q)
-          w.quad_r[static_cast<std::size_t>(q)] = detail::propose(w.rng, re, 0.5);
-        detail::quadrature_dist_jastrow(w, sys, cfg, e);
-        if (cfg.quadrature_points > 0) {
-          ScopedTimer t(w.profile, kSectionBspline);
-          w.eval_v_batch(sys, w.quad_r.data(), cfg.quadrature_points);
-        }
+        detail::full_jastrow(w, sys, cfg);
       }
-      detail::full_jastrow(w, sys, cfg);
-    }
-  });
+    });
+    step = boundary;
+    detail::checkpoint_step_boundary(ckrt, cfg, sys, walkers, step, cfg.steps, result);
+  }
   result.seconds = total_watch.elapsed();
   detail::reduce_result(result, walkers);
   return result;

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/threading.h" // ThreadPartition / TeamPath: the nested-team decision
@@ -84,6 +85,22 @@ struct MiniQMCConfig
   /// identical for every value (enforced by tests/test_crowd.cpp); the
   /// schedule actually run is surfaced as MiniQMCResult::team_path.
   int inner_threads = 0;
+  /// Checkpoint/restore (qmc/checkpoint.h).  Empty path = no checkpointing.
+  /// With a path set, both drivers snapshot the full resumable walker state
+  /// at step boundaries: every `checkpoint_interval` steps when the interval
+  /// is > 0, plus once at the end of the run.  Snapshot writes are pure
+  /// observers — trajectories are bit-for-bit identical with checkpointing
+  /// on, off, or at any interval (tests/test_checkpoint.cpp).
+  std::string checkpoint_path;
+  int checkpoint_interval = 0;
+  /// Resume from `checkpoint_path` before sweeping: restore walker state and
+  /// continue from the snapshotted step.  A missing/damaged/mismatched
+  /// snapshot (after the `.prev` fallback) degrades to a fresh start — never
+  /// a crash — surfaced via MiniQMCResult::resume_error.
+  bool resume = false;
+  /// Fault-injection spec (see qmc/checkpoint.h FaultPlan); overrides the
+  /// MQC_FAULT_INJECT env var when non-empty.  Testing machinery only.
+  std::string fault_inject;
   /// Optional tuning wisdom (core/tuner.h, non-owning; see tune_miniqmc):
   /// the entry under miniqmc_wisdom_key(norb, grid_size, num_walkers)
   /// supplies the OrbitalSet facade's position block, and — with
@@ -127,6 +144,19 @@ struct MiniQMCResult
   /// walkers for the per-walker driver) × inner team size per member.
   int outer_threads_used = 1;
   int inner_threads_used = 1;
+  /// Step the sweep restarted from when cfg.resume found a usable snapshot;
+  /// -1 = fresh start (no resume requested, or every snapshot was rejected).
+  /// Surfaced like spline_path/team_path: restart provenance is an explicit
+  /// decision, never silent.
+  int resumed_from_step = -1;
+  /// True when the `.prev` snapshot served the resume because the primary
+  /// was missing or damaged (the crash-recovery path actually engaged).
+  bool resume_fallback_used = false;
+  /// One-line diagnosis when a requested resume fell back to a fresh start
+  /// or to `.prev` (empty = clean resume or no resume requested).
+  std::string resume_error;
+  /// Snapshots this run wrote (interval-aligned + final).
+  int checkpoints_written = 0;
 };
 
 MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg);

@@ -316,6 +316,87 @@ TEST(ThreadPartition, EnvOverridesApplyOnlyInAutoMode)
   }
 }
 
+// ---------------------------------------------------------------------------
+// Env-knob parse hardening: a malformed MQC_TOPOLOGY / MQC_PARTITION /
+// MQC_INNER_THREADS must be rejected whole (present && !valid) so the caller
+// warns once and runs the auto fallback — never a half-parsed bogus shape.
+// ---------------------------------------------------------------------------
+
+TEST(EnvKnob, StrictParseAcceptsExpectedShapes)
+{
+  const EnvKnob topo = parse_env_knob("2x8x2", 2, 3);
+  EXPECT_TRUE(topo.present);
+  EXPECT_TRUE(topo.valid);
+  EXPECT_EQ(topo.count, 3);
+  EXPECT_EQ(topo.values[0], 2);
+  EXPECT_EQ(topo.values[1], 8);
+  EXPECT_EQ(topo.values[2], 2);
+  // Alternate separators and optional smt field.
+  EXPECT_TRUE(parse_env_knob("2:8", 2, 3).valid);
+  EXPECT_TRUE(parse_env_knob("2,8,2", 2, 3).valid);
+  EXPECT_TRUE(parse_env_knob(" 4 ", 1, 1).valid);
+  // Absent is neither present nor valid — distinct from garbage.
+  const EnvKnob absent = parse_env_knob(nullptr, 1, 1);
+  EXPECT_FALSE(absent.present);
+  EXPECT_FALSE(absent.valid);
+}
+
+TEST(EnvKnob, StrictParseRejectsMalformedValues)
+{
+  const char* bad[] = {
+      "",          // empty value
+      "abc",       // non-numeric
+      "3x",        // trailing separator, missing field
+      "x5",        // leading separator, missing field
+      "3xx5",      // empty middle field
+      "0x5",       // zero field
+      "-3x5",      // negative field
+      "3x5junk",   // trailing garbage glued to a field
+      "3x5 junk",  // trailing garbage after whitespace
+      "3.5x2",     // fractional field
+      "3x5x7x9",   // too many fields even for the widest knob
+      "9999999x2", // absurd magnitude (a typo, not a request)
+  };
+  for (const char* text : bad) {
+    const EnvKnob k = parse_env_knob(text, 2, 3);
+    EXPECT_TRUE(k.present) << '"' << text << '"';
+    EXPECT_FALSE(k.valid) << '"' << text << '"';
+  }
+  // Wrong field count for the specific knob: valid shape, wrong arity.
+  EXPECT_FALSE(parse_env_knob("3x5x7", 2, 2).valid); // MQC_PARTITION wants OxI
+  EXPECT_FALSE(parse_env_knob("3x5", 1, 1).valid);   // MQC_INNER_THREADS wants I
+  EXPECT_FALSE(parse_env_knob("3", 2, 3).valid);     // MQC_TOPOLOGY wants SxC[xT]
+}
+
+TEST(EnvKnob, MalformedTopologyFallsBackToDetection)
+{
+  ScopedEnv env("MQC_TOPOLOGY", "2x8junk");
+  const MachineTopology topo = query_machine_topology();
+  // The override is ignored whole: whatever detection produced, it is a
+  // usable shape and NOT the half-parsed 2x8 the garbage value suggested.
+  EXPECT_GE(topo.logical_cpus, 1);
+  EXPECT_GE(topo.sockets, 1);
+  EXPECT_FALSE(topo.sockets == 2 && topo.cores_per_socket == 8 && !topo.detected);
+}
+
+TEST(EnvKnob, MalformedPartitionFallsBackToAuto)
+{
+  ScopedEnv env("MQC_PARTITION", "3x5x7");
+  // Three fields is not OxI: the override is rejected and auto resolution
+  // runs, which clamps outer to the work count — the forced path would not.
+  const auto part = ThreadPartition::resolve(8, 0, 16);
+  EXPECT_EQ(part.outer, 8);
+  EXPECT_GE(part.inner, 1);
+}
+
+TEST(EnvKnob, MalformedInnerThreadsFallsBackToAuto)
+{
+  ScopedEnv env("MQC_INNER_THREADS", "lots");
+  const auto part = ThreadPartition::resolve(16, 0, 16);
+  EXPECT_EQ(part.outer, 16);
+  EXPECT_EQ(part.inner, 1); // 16 threads / 16 outer = auto inner of 1
+}
+
 TEST(TeamHandle, ResolveAndParallelSemantics)
 {
   EXPECT_EQ(TeamHandle::serial().resolve(), 1);

@@ -183,6 +183,99 @@ TEST(Wisdom, LoadsLegacyV2Lines)
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// Load hardening: a truncated or garbage wisdom file must never crash and
+// never silently half-load — the whole file is rejected, existing entries
+// survive, and load_status() carries the diagnosis (one corrupt artifact per
+// failure mode, lint-fixture style).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Write @p body to a temp wisdom file, load it into a Wisdom that already
+/// holds one good entry, and require the all-or-nothing rejection contract.
+void expect_rejected(const std::string& tag, const std::string& body)
+{
+  const std::string path =
+      std::filesystem::temp_directory_path() / ("mqc_wisdom_corrupt_" + tag + ".txt");
+  {
+    std::ofstream out(path);
+    out << body;
+  }
+  Wisdom w;
+  w.insert("pre-existing", {64, 1.0e9});
+  EXPECT_FALSE(w.load(path)) << tag;
+  EXPECT_TRUE(w.load_status().attempted) << tag;
+  EXPECT_FALSE(w.load_status().ok) << tag;
+  EXPECT_GE(w.load_status().lines_rejected, 1) << tag;
+  EXPECT_FALSE(w.load_status().detail.empty()) << tag;
+  // Nothing merged, nothing lost: the corrupt file's parseable lines must
+  // NOT leak in, and entries present before the load must survive.
+  EXPECT_EQ(w.size(), 1u) << tag;
+  EXPECT_TRUE(w.lookup("pre-existing").has_value()) << tag;
+  std::remove(path.c_str());
+}
+
+} // namespace
+
+TEST(WisdomHardening, TruncatedV1LineRejectsWholeFile)
+{
+  // v1 line cut off mid-entry: key + tile but no throughput.
+  expect_rejected("v1_truncated", "good:key 128 2.5e+09\n"
+                                  "vgh:float:N=512:grid=48x48x48 128\n");
+}
+
+TEST(WisdomHardening, GarbageTokenInV2LineRejectsWholeFile)
+{
+  expect_rejected("v2_garbage", "v2:vgh:float:N=512:grid=48x48x48:nw=8 128 four 2.5e+09\n");
+}
+
+TEST(WisdomHardening, NegativeKnobInV3LineRejectsWholeFile)
+{
+  expect_rejected("v3_negative", "v2:miniqmc:float:N=512:grid=32x32x32:nw=16 128 8 -4 3.5e+09\n");
+}
+
+TEST(WisdomHardening, ExtraFieldsInV4LineRejectsWholeFile)
+{
+  expect_rejected("v4_extra", "v2:miniqmc:float:N=512:grid=32x32x32:nw=16 128 8 4 2 3.5e+09 junk\n");
+}
+
+TEST(WisdomHardening, NonIntegralKnobRejectsWholeFile)
+{
+  expect_rejected("v2_fractional", "v2:vgh:float:N=512:grid=48x48x48:nw=8 128 4.5 2.5e+09\n");
+}
+
+TEST(WisdomHardening, NonFiniteThroughputRejectsWholeFile)
+{
+  expect_rejected("v4_nan", "v2:miniqmc:float:N=512:grid=32x32x32:nw=16 128 8 4 2 nan\n");
+}
+
+TEST(WisdomHardening, UnreadablePathSurfacesOpenFailure)
+{
+  Wisdom w;
+  EXPECT_FALSE(w.load("/nonexistent/path/wisdom.txt"));
+  EXPECT_TRUE(w.load_status().attempted);
+  EXPECT_FALSE(w.load_status().ok);
+  EXPECT_NE(w.load_status().detail.find("cannot open"), std::string::npos);
+}
+
+TEST(WisdomHardening, CleanLoadReportsStatus)
+{
+  const std::string path = std::filesystem::temp_directory_path() / "mqc_wisdom_status_test.txt";
+  Wisdom w;
+  w.insert("k1", {64, 1.5e9});
+  w.insert("k2", {128, 2.5e9, 4, 2, 1});
+  ASSERT_TRUE(w.save(path));
+  Wisdom r;
+  ASSERT_TRUE(r.load(path));
+  EXPECT_TRUE(r.load_status().attempted);
+  EXPECT_TRUE(r.load_status().ok);
+  EXPECT_EQ(r.load_status().entries_loaded, 2);
+  EXPECT_EQ(r.load_status().lines_rejected, 0);
+  EXPECT_TRUE(r.load_status().detail.empty());
+  std::remove(path.c_str());
+}
+
 TEST(Wisdom, MiniqmcKeyFormat)
 {
   EXPECT_EQ(miniqmc_wisdom_key(512, 32, 16), "v2:miniqmc:float:N=512:grid=32x32x32:nw=16");

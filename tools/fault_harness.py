@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Fault-injection harness for the crash-consistent checkpoint subsystem.
+
+Drives build/examples/checkpoint_restart through the failure modes the
+checkpoint format must survive, and FAILS when an injected fault is not
+detected or a resumed trajectory diverges from the uninterrupted reference:
+
+  kill -> resume        process killed mid-run at a step boundary
+                        (MQC fault `abort@N`, exit code 42); the resumed run
+                        must reproduce the reference `walker_accepts` /
+                        `walker_log_det` fingerprints bit-for-bit;
+  corrupt -> fall back  a section of the snapshot is corrupted before the
+                        kill; the resume must detect it (CRC), fall back to
+                        the previous good snapshot, and still match;
+  truncate -> fall back same, for a truncated file tail;
+  version skew          a snapshot whose format-version field is patched
+                        (header CRC recomputed, so only the version check
+                        can reject it) must be refused;
+  config skew           resuming under a different seed must be refused via
+                        the config trajectory hash — fresh start, no crash,
+                        no silent wrong-state resume.
+
+Scenarios run for both drivers under two MQC_PARTITION shapes so the resume
+invariant is exercised across schedules, not just one thread layout.
+
+Stdlib only; exit 0 = all scenarios pass, 1 = failures, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import binascii
+import os
+import shutil
+import struct
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+FAULT_EXIT_CODE = 42  # ckpt::kFaultExitCode: an injected kill, not a crash
+HEADER_CRC_SPAN = 24  # magic(8) + version(4) + config_hash(8) + count(4)
+VERSION_OFFSET = 8
+
+
+class Failure(Exception):
+    pass
+
+
+def run_binary(binary, args, env_extra=None, expect_exit=0):
+    """Run the example binary; raise Failure on unexpected exit code."""
+    env = dict(os.environ)
+    env.update(env_extra or {})
+    proc = subprocess.run([str(binary)] + args, capture_output=True, text=True, env=env)
+    if proc.returncode != expect_exit:
+        raise Failure(
+            f"{' '.join(args)}: exit {proc.returncode}, expected {expect_exit}\n"
+            f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
+    return proc.stdout
+
+
+def parse_run(stdout):
+    """Parse the machine-readable output of checkpoint_restart."""
+    out = {"fingerprints": []}
+    for line in stdout.splitlines():
+        if line.startswith("fingerprint "):
+            _, wid, accepts, bits = line.split()
+            out["fingerprints"].append((int(wid), int(accepts), bits))
+        elif "=" in line:
+            key, _, value = line.partition("=")
+            out[key] = value
+    return out
+
+
+def expect(cond, what):
+    if not cond:
+        raise Failure(what)
+
+
+def expect_fingerprints_equal(ref, got, what):
+    expect(got["fingerprints"] == ref["fingerprints"],
+           f"{what}: trajectory diverged from uninterrupted reference\n"
+           f"  reference: {ref['fingerprints']}\n"
+           f"  resumed:   {got['fingerprints']}")
+
+
+def patch_version(path):
+    """Flip the format-version field and RE-COMPUTE the header CRC, so only
+    the version check itself can reject the file (not the CRC)."""
+    data = bytearray(Path(path).read_bytes())
+    version = struct.unpack_from("<I", data, VERSION_OFFSET)[0]
+    struct.pack_into("<I", data, VERSION_OFFSET, version + 1)
+    crc = binascii.crc32(bytes(data[:HEADER_CRC_SPAN])) & 0xFFFFFFFF
+    struct.pack_into("<I", data, HEADER_CRC_SPAN, crc)
+    Path(path).write_bytes(bytes(data))
+
+
+def scenario_kill_resume(binary, workdir, base_args, env, tag):
+    """abort@3 with interval 2: the resume restarts from the step-2 snapshot
+    and must land on the reference fingerprints."""
+    ckpt = str(workdir / f"{tag}.ckpt")
+    ref = parse_run(run_binary(binary, base_args + ["--steps", "6"], env))
+    run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt, "--interval", "2",
+                                    "--fault", "abort@3"], env, expect_exit=FAULT_EXIT_CODE)
+    got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt,
+                                                    "--resume"], env))
+    expect(got["resumed_from_step"] == "2", f"{tag}: resumed_from_step="
+           f"{got['resumed_from_step']}, expected 2 (last interval-aligned snapshot)")
+    expect_fingerprints_equal(ref, got, tag)
+    return ref
+
+
+def scenario_corrupt_fallback(binary, workdir, base_args, env, tag, ref):
+    """Corrupt a walker section in the newest snapshot right before the kill:
+    the resume must DETECT it (CRC) and fall back to the .prev snapshot."""
+    ckpt = str(workdir / f"{tag}.ckpt")
+    run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt, "--interval", "1",
+                                    "--fault", "abort@3,corrupt@walker0"], env,
+               expect_exit=FAULT_EXIT_CODE)
+    got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt,
+                                                    "--resume"], env))
+    expect(got["resume_fallback"] == "1",
+           f"{tag}: injected corruption NOT detected (no fallback to .prev; "
+           f"resume_error='{got['resume_error']}')")
+    expect(got["resume_error"] != "", f"{tag}: detected fault left no diagnostic")
+    expect(got["resumed_from_step"] == "2",
+           f"{tag}: fell back to step {got['resumed_from_step']}, expected 2")
+    expect_fingerprints_equal(ref, got, tag)
+
+
+def scenario_truncate_fallback(binary, workdir, base_args, env, tag, ref):
+    ckpt = str(workdir / f"{tag}.ckpt")
+    run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt, "--interval", "1",
+                                    "--fault", "abort@3,truncate@40"], env,
+               expect_exit=FAULT_EXIT_CODE)
+    got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt,
+                                                    "--resume"], env))
+    expect(got["resume_fallback"] == "1",
+           f"{tag}: truncation NOT detected (resume_error='{got['resume_error']}')")
+    expect(got["resumed_from_step"] == "2",
+           f"{tag}: fell back to step {got['resumed_from_step']}, expected 2")
+    expect_fingerprints_equal(ref, got, tag)
+
+
+def scenario_version_skew(binary, workdir, base_args, env, tag, ref):
+    """A future-format snapshot (valid CRCs!) must be refused on version, and
+    the refused run falls back to a fresh full-length run, still matching the
+    reference because the trajectory is deterministic from the seed."""
+    ckpt = workdir / f"{tag}.ckpt"
+    run_binary(binary, base_args + ["--steps", "4", "--ckpt", str(ckpt), "--interval", "2"], env)
+    patch_version(ckpt)
+    prev = Path(str(ckpt) + ".prev")
+    if prev.exists():
+        patch_version(prev)
+    got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", str(ckpt),
+                                                    "--resume"], env))
+    expect(got["resumed_from_step"] == "-1",
+           f"{tag}: version-skewed snapshot was ACCEPTED (resumed from "
+           f"{got['resumed_from_step']})")
+    expect("version" in got["resume_error"],
+           f"{tag}: rejection not attributed to version (resume_error="
+           f"'{got['resume_error']}')")
+    expect_fingerprints_equal(ref, got, tag)
+
+
+def scenario_config_skew(binary, workdir, base_args, env, tag, ref):
+    """A snapshot from a different seed hashes to a different trajectory:
+    resuming from it must be refused — fresh start, never a silent
+    wrong-state resume."""
+    ckpt = str(workdir / f"{tag}.ckpt")
+    run_binary(binary, base_args + ["--steps", "4", "--ckpt", ckpt, "--interval", "2",
+                                    "--seed", "99"], env)
+    got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt,
+                                                    "--resume"], env))
+    expect(got["resumed_from_step"] == "-1",
+           f"{tag}: foreign-config snapshot was ACCEPTED (resumed from "
+           f"{got['resumed_from_step']})")
+    expect(got["resume_error"] != "", f"{tag}: refusal left no diagnostic")
+    expect_fingerprints_equal(ref, got, tag)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "build" / "examples" / "checkpoint_restart",
+                        help="checkpoint_restart binary (default: build/examples/...)")
+    parser.add_argument("--workdir", type=Path, default=None,
+                        help="scratch directory (default: a fresh temp dir)")
+    args = parser.parse_args(argv)
+
+    if not args.binary.exists():
+        print(f"error: {args.binary} not found (build the examples first)", file=sys.stderr)
+        return 2
+    workdir = args.workdir or Path(tempfile.mkdtemp(prefix="mqc_fault_"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    cleanup = args.workdir is None
+
+    failures = 0
+    ran = 0
+    scenarios = [
+        ("kill-resume", None),  # placeholder: runs first to produce the reference
+        ("corrupt-fallback", scenario_corrupt_fallback),
+        ("truncate-fallback", scenario_truncate_fallback),
+        ("version-skew", scenario_version_skew),
+        ("config-skew", scenario_config_skew),
+    ]
+    for driver in ("per-walker", "crowd"):
+        for partition in ("1x2", "2x1"):
+            env = {"MQC_PARTITION": partition}
+            base_args = ["--driver", driver, "--walkers", "4", "--delay", "4"]
+            label = f"driver={driver} partition={partition}"
+            ref = None
+            for name, fn in scenarios:
+                tag = f"{driver}-{partition.replace('x', '_')}-{name}"
+                ran += 1
+                try:
+                    if name == "kill-resume":
+                        ref = scenario_kill_resume(args.binary, workdir, base_args, env, tag)
+                    else:
+                        if ref is None:
+                            raise Failure("no reference trajectory (kill-resume failed)")
+                        fn(args.binary, workdir, base_args, env, tag, ref)
+                    print(f"PASS {name} [{label}]")
+                except Failure as e:
+                    print(f"FAIL {name} [{label}]: {e}")
+                    failures += 1
+
+    if cleanup and failures == 0:
+        shutil.rmtree(workdir, ignore_errors=True)
+    print(f"fault_harness: {ran} scenario(s), {failures} failure(s)"
+          + ("" if cleanup and failures == 0 else f" (artifacts in {workdir})"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

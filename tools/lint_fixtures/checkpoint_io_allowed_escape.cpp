@@ -1,0 +1,9 @@
+// Fixture: the reviewed escape hatch silences one deliberate site.
+// Expected: 0 findings.
+#include "qmc/checkpoint.h"
+
+void probe_format(const mqc::ckpt::Snapshot& snap)
+{
+  // harness-only format probe, reviewed // mqc-lint: allow(checkpoint-io)
+  mqc::ckpt::write_snapshot("probe.ckpt", snap, nullptr);
+}

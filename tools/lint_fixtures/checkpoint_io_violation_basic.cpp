@@ -1,0 +1,9 @@
+// Fixture: a driver writing checkpoint files directly (bypassing the
+// src/qmc/checkpoint.* owner of the format) must be flagged.
+// Expected: >= 1 [checkpoint-io] finding.
+#include "qmc/checkpoint.h"
+
+void snapshot_inline(const mqc::ckpt::Snapshot& snap)
+{
+  mqc::ckpt::write_snapshot("run.ckpt", snap, nullptr);
+}

@@ -1,0 +1,10 @@
+// Fixture: hand-rolling the blob codec outside checkpoint.* forks the
+// on-disk format and must be flagged.
+// Expected: >= 1 [checkpoint-io] finding.
+#include "qmc/checkpoint.h"
+
+void serialize_somewhere_else()
+{
+  mqc::ckpt::BlobWriter w;
+  w.u32(42);
+}

@@ -96,6 +96,20 @@ RULES = [
         allowed_dirs=("src/core/",),
     ),
     Rule(
+        "checkpoint-io",
+        "checkpoint file I/O or blob codec used outside src/qmc/checkpoint.*",
+        r"(\bckpt\s*::\s*)?\b(write_snapshot|read_snapshot(_with_fallback)?|"
+        r"apply_file_faults|BlobWriter|BlobReader)\b",
+        "checkpoint serialization and file I/O live in src/qmc/checkpoint.{h,cpp} "
+        "only; drivers snapshot through the detail:: epoch hooks "
+        "(checkpoint_step_boundary, resume_from_checkpoint) so the on-disk "
+        "format, CRC framing and atomic-rename protocol have a single owner",
+        allowed_paths=(
+            "src/qmc/checkpoint.h",
+            "src/qmc/checkpoint.cpp",
+        ),
+    ),
+    Rule(
         "unseeded-rng",
         "non-reproducible randomness (`rand`, `srand`, `time`, `random_device`, unseeded engines)",
         r"(\bs?rand\s*\()|(\btime\s*\()|(\brandom_device\b)|"
