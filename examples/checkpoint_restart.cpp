@@ -17,6 +17,7 @@
 #include <string>
 
 #include "qmc/miniqmc_driver.h"
+#include "qmc/walker_population.h"
 
 namespace {
 
@@ -34,7 +35,9 @@ void usage(const char* prog)
       "  --ckpt PATH                 checkpoint file (enables snapshots)\n"
       "  --interval N                steps between snapshots (default 2)\n"
       "  --resume                    restore from --ckpt before sweeping\n"
-      "  --fault SPEC                fault-injection spec (see qmc/checkpoint.h)\n",
+      "  --fault SPEC                fault-injection spec (see qmc/checkpoint.h)\n"
+      "  --shards N                  run as a resident WalkerPopulation with N\n"
+      "                              shards (0 = plain run_miniqmc, default)\n",
       prog);
 }
 
@@ -51,6 +54,7 @@ int main(int argc, char** argv)
   cfg.num_walkers = 4;
   cfg.steps = 6;
   cfg.checkpoint_interval = 2;
+  int shards = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,6 +98,8 @@ int main(int argc, char** argv)
       cfg.resume = true;
     } else if (arg == "--fault") {
       cfg.fault_inject = next();
+    } else if (arg == "--shards") {
+      shards = std::atoi(next());
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -104,7 +110,20 @@ int main(int argc, char** argv)
     }
   }
 
-  const MiniQMCResult res = run_miniqmc(cfg);
+  MiniQMCResult res;
+  if (shards > 0) {
+    // Resident-service path: same config, same snapshot file, same output —
+    // the harness compares this against plain run_miniqmc bit-for-bit and
+    // kills/resumes it across different shard counts.
+    PopulationConfig pcfg;
+    pcfg.qmc = cfg;
+    pcfg.num_shards = shards;
+    WalkerPopulation pop(pcfg);
+    pop.run_to_step(cfg.steps);
+    res = pop.result();
+  } else {
+    res = run_miniqmc(cfg);
+  }
 
   // Machine-parseable restart provenance + fingerprints (fault_harness.py).
   std::printf("resumed_from_step=%d\n", res.resumed_from_step);

@@ -194,6 +194,28 @@ ThreadPartition ThreadPartition::resolve_for(int outer_work, int requested_inner
   return part;
 }
 
+int resolve_shard_count_for(int requested, const MachineTopology& topo) noexcept
+{
+  if (requested > 0)
+    return requested;
+  return std::max(1, topo.sockets);
+}
+
+int resolve_shard_count(int requested)
+{
+  if (requested <= 0) {
+    // Env override, only consulted in auto mode (same precedence contract as
+    // the partition knobs): explicit API request > MQC_SHARDS > topology.
+    const char* env = std::getenv("MQC_SHARDS");
+    const EnvKnob knob = parse_env_knob(env, 1, 1);
+    if (knob.valid)
+      return knob.values[0];
+    if (knob.present)
+      warn_env_knob("MQC_SHARDS", env, "one positive integer");
+  }
+  return resolve_shard_count_for(requested, machine_topology());
+}
+
 ThreadPartition ThreadPartition::resolve(int outer_work, int requested_inner, int total_threads)
 {
   if (requested_inner <= 0) {

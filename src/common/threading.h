@@ -191,6 +191,18 @@ struct ThreadPartition
                                      const MachineTopology& topo);
 };
 
+/// Number of resident-population shards to run on this host.  A shard is the
+/// NUMA replication unit (qmc/walker_population.h): each shard owns a
+/// socket-local first-touch copy of the read-only coefficient tables, so the
+/// natural count is one per socket.  `requested` > 0 pins the count; 0 means
+/// auto: MQC_SHARDS if set and valid (one positive integer; malformed values
+/// warn and fall through), else machine_topology().sockets.
+int resolve_shard_count(int requested = 0);
+
+/// resolve_shard_count() against an explicit topology (unit-testable: no
+/// env lookup, no cached machine state).
+[[nodiscard]] int resolve_shard_count_for(int requested, const MachineTopology& topo) noexcept;
+
 /// A capability handle passed down a call chain: "this call may use up to
 /// `nthreads` threads".  `0` delegates to the runtime (whatever
 /// omp_get_max_threads() grants at the parallel site) — the documented

@@ -14,6 +14,8 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/aligned_allocator.h"
 #include "common/config.h"
@@ -133,6 +135,62 @@ private:
   std::size_t n_pad_ = 0;
   std::size_t zs_ = 0, ys_ = 0, xs_ = 0;
   aligned_vector<T> data_;
+};
+
+/// Per-shard (per-socket) replicas of one read-only coefficient table.
+///
+/// On a NUMA host the table is the bandwidth wall (paper §IV; Luo et al.,
+/// arXiv:1805.07406): a single allocation lands on one socket and every
+/// other socket's inner teams pull all spline traffic across the
+/// interconnect.  A WalkerPopulation therefore gives each shard its own
+/// copy, materialized by `replicate(s)` ON the shard's own thread — under
+/// Linux's default first-touch policy the copy's pages land on the socket
+/// of the thread that writes them.  Shard 0 always resolves to the master
+/// itself (no copy; it was first-touched by whoever built it), and each
+/// shard's engines/OrbitalSet facade are then constructed over its replica,
+/// so every facade evaluation on that shard reads socket-local memory.
+///
+/// Replicas are exact element-wise copies, so which replica serves a walker
+/// is trajectory-neutral: bit-for-bit identical results for any shard count.
+template <typename T>
+class CoefReplicaSet
+{
+public:
+  CoefReplicaSet() = default;
+
+  /// @p master becomes shard 0's table (no copy); shards 1..n-1 start empty
+  /// until their owning thread calls replicate().
+  CoefReplicaSet(std::shared_ptr<CoefStorage<T>> master, int num_shards)
+      : replicas_(static_cast<std::size_t>(num_shards < 1 ? 1 : num_shards))
+  {
+    assert(master != nullptr);
+    replicas_[0] = std::move(master);
+  }
+
+  [[nodiscard]] int num_shards() const noexcept { return static_cast<int>(replicas_.size()); }
+
+  /// Materialize shard @p s's replica as a copy of the master, allocated and
+  /// written by the CALLING thread (the first-touch point — call it from the
+  /// shard's own team).  Idempotent: an existing replica is returned as-is,
+  /// and shard 0 always gets the master.  Distinct shards may replicate
+  /// concurrently (each writes only its own pre-sized slot).
+  std::shared_ptr<CoefStorage<T>> replicate(int s)
+  {
+    auto& slot = replicas_[static_cast<std::size_t>(s)];
+    if (!slot)
+      slot = std::make_shared<CoefStorage<T>>(*replicas_[0]);
+    return slot;
+  }
+
+  /// The shard-local table: its replica when materialized, else the master.
+  [[nodiscard]] std::shared_ptr<CoefStorage<T>> local(int s) const
+  {
+    const auto& slot = replicas_[static_cast<std::size_t>(s)];
+    return slot ? slot : replicas_[0];
+  }
+
+private:
+  std::vector<std::shared_ptr<CoefStorage<T>>> replicas_;
 };
 
 } // namespace mqc

@@ -268,11 +268,18 @@ FaultPlan parse_fault_plan(const std::string& spec)
     const std::string kind = tok.substr(0, at);
     const std::string arg = tok.substr(at + 1);
     auto parse_int = [](const std::string& s, int& out_val) {
-      if (s.empty())
+      // Digits only — strtol would also accept "+3", "-0" and leading
+      // whitespace, silently arming a step the harness never asked for
+      // (signed forms are operator typos, not valid fault specs).
+      if (s.empty() || s.size() > 10)
         return false;
-      char* endp = nullptr;
-      const long v = std::strtol(s.c_str(), &endp, 10);
-      if (endp != s.c_str() + s.size() || v < 0 || v > 1000000000L)
+      long v = 0;
+      for (const char c : s) {
+        if (c < '0' || c > '9')
+          return false;
+        v = v * 10 + (c - '0');
+      }
+      if (v > 1000000000L)
         return false;
       out_val = static_cast<int>(v);
       return true;
@@ -335,35 +342,72 @@ bool apply_file_faults(const std::string& path, const FaultPlan& plan)
   if (!plan.corrupt_header && !plan.corrupt_meta && plan.corrupt_walker < 0 &&
       plan.truncate_tail <= 0)
     return true;
+  // Every requested damage token is individually confirmed or loudly
+  // reported as a NO-OP on stderr: a fault that silently fails to fire lets
+  // a harness scenario "pass" while injecting nothing (the out-of-range
+  // `corrupt@walker<i>` bug) — tools/fault_harness.py treats an unconfirmed
+  // injection as a failure.
+  bool all_applied = true;
+  auto applied = [&](const char* what) {
+    std::fprintf(stderr, "miniqmc: fault-injected: %s (%s)\n", what, path.c_str());
+  };
+  auto noop = [&](const char* what, const char* why) {
+    std::fprintf(stderr, "miniqmc: fault-injection NO-OP: %s (%s: %s)\n", what, why,
+                 path.c_str());
+    all_applied = false;
+  };
   std::vector<std::uint8_t> bytes;
-  if (!read_file(path, bytes))
+  if (!read_file(path, bytes)) {
+    noop("corrupt/truncate", "snapshot file unreadable");
     return false;
+  }
   auto flip = [&](std::size_t off) {
     if (off < bytes.size())
       bytes[off] ^= 0x5au;
   };
-  if (plan.corrupt_header)
-    flip(12); // inside the config-hash field
+  if (plan.corrupt_header) {
+    if (bytes.size() > 12) {
+      flip(12); // inside the config-hash field
+      applied("corrupt@header");
+    } else {
+      noop("corrupt@header", "file shorter than the header");
+    }
+  }
   if (plan.corrupt_meta) {
     std::size_t len = 0;
     const std::size_t off =
         section_payload_offset(bytes, static_cast<std::uint32_t>(SectionId::Meta), 0, &len);
-    if (off != std::string::npos && len > 0)
+    if (off != std::string::npos && len > 0) {
       flip(off + len / 2);
+      applied("corrupt@meta");
+    } else {
+      noop("corrupt@meta", "snapshot has no meta section");
+    }
   }
   if (plan.corrupt_walker >= 0) {
     std::size_t len = 0;
     const std::size_t off =
         section_payload_offset(bytes, static_cast<std::uint32_t>(SectionId::Walker),
                                static_cast<std::uint32_t>(plan.corrupt_walker), &len);
-    if (off != std::string::npos && len > 0)
+    char what[64];
+    std::snprintf(what, sizeof what, "corrupt@walker%d", plan.corrupt_walker);
+    if (off != std::string::npos && len > 0) {
       flip(off + len / 2);
+      applied(what);
+    } else {
+      noop(what, "snapshot has no such walker section (id >= population?)");
+    }
   }
   if (plan.truncate_tail > 0) {
     const auto cut = static_cast<std::size_t>(plan.truncate_tail);
     bytes.resize(cut >= bytes.size() ? 0 : bytes.size() - cut);
+    applied("truncate");
   }
-  return write_file(path, bytes.data(), bytes.size());
+  if (!write_file(path, bytes.data(), bytes.size())) {
+    noop("corrupt/truncate", "snapshot rewrite failed");
+    return false;
+  }
+  return all_applied;
 }
 
 } // namespace mqc::ckpt
@@ -672,6 +716,14 @@ CheckpointRuntime make_checkpoint_runtime(const MiniQMCConfig& cfg, const MiniQM
 
 int next_epoch_boundary(const CheckpointRuntime& rt, int step, int steps)
 {
+  // Invariant (requires step < steps): the returned boundary is strictly
+  // greater than step — each candidate below (next interval multiple, armed
+  // abort step, end of run) exceeds step — so the drivers' epoch loops
+  // always terminate and every boundary reaches checkpoint_step_boundary.
+  // The `interval > steps` case clamps to `steps` and writes the final
+  // snapshot there; runs that never reach this function at all (steps == 0,
+  // or a resume at/past the budget) get their end-of-run snapshot from the
+  // drivers' post-loop guarantee.
   int boundary = steps;
   if (rt.enabled() && rt.interval > 0) {
     const int next_ckpt = (step / rt.interval + 1) * rt.interval;

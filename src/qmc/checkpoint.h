@@ -222,7 +222,12 @@ bool write_snapshot(const std::string& path, const Snapshot& snap, std::string* 
 // corrupt/truncate tokens damage the checkpoint file at `path` right before
 // the abort — they require an `abort@N` companion to fire.  A malformed
 // token produces a one-line stderr warning and is ignored (never UB, never
-// a partial plan).
+// a partial plan); numeric arguments are digits-only, so signed forms like
+// `abort@+3` are rejected rather than silently parsed.  Every damage token
+// that fires prints a `fault-injected:` confirmation, and one that finds
+// nothing to damage (e.g. `corrupt@walker9` in a 4-walker snapshot) prints
+// a `fault-injection NO-OP:` warning — tools/fault_harness.py fails a
+// scenario whose injection was a no-op.
 
 struct FaultPlan
 {
@@ -239,7 +244,10 @@ struct FaultPlan
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
 
 /// Damage the snapshot file at @p path per the plan's corrupt/truncate
-/// tokens (no-op for a plan without them).  Returns false on I/O failure.
+/// tokens (no-op for a plan without them).  Each token is confirmed
+/// (`fault-injected:`) or reported (`fault-injection NO-OP:`) on stderr;
+/// returns false on I/O failure or when any requested damage found nothing
+/// to hit, so a caller can tell an armed-but-inert plan from a real one.
 bool apply_file_faults(const std::string& path, const FaultPlan& plan);
 
 } // namespace mqc::ckpt

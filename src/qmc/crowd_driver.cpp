@@ -1,14 +1,16 @@
 // The miniQMC crowd sweep: walkers advance in lock-step crowds so that every
 // spline evaluation becomes a multi-position OrbitalSet request (see
 // crowd_driver.h for the design contract and miniqmc_context.h for the
-// shared per-walker arithmetic).  Threading is hierarchical (Opt C): the
-// outer team runs one crowd per member, and each member owns an inner team
-// from the driver's ThreadPartition — the crowd's multi-position facade
-// requests and its walkers' delayed-update flushes fork that inner team
-// under the outer region (or run serial when the partition says inner = 1,
-// the classic flat schedule).  crowd_size still trades per-member batch
-// depth against outer width; inner_threads re-occupies the cores a wide
-// crowd would otherwise leave idle.
+// shared per-walker arithmetic; the sweep body itself lives in crowd_sweep.h
+// so the WalkerPopulation shards and the JobQueue workers run the identical
+// kernel).  Threading is hierarchical (Opt C): the outer team runs one crowd
+// per member, and each member owns an inner team from the driver's
+// ThreadPartition — the crowd's multi-position facade requests and its
+// walkers' delayed-update flushes fork that inner team under the outer
+// region (or run serial when the partition says inner = 1, the classic flat
+// schedule).  crowd_size still trades per-member batch depth against outer
+// width; inner_threads re-occupies the cores a wide crowd would otherwise
+// leave idle.
 //
 // The single-vs-multi schedule is an explicit OrbitalSet capabilities
 // decision made once per run and surfaced in MiniQMCResult::spline_path:
@@ -17,136 +19,13 @@
 // trajectory, just without the table-traffic amortization — and the result
 // says so instead of silently benchmarking the fallback.
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "qmc/crowd_driver.h"
-#include "qmc/miniqmc_context.h"
+#include "qmc/crowd_sweep.h"
 
 namespace mqc::detail {
-
-namespace {
-
-/// Per-crowd scratch: gathered trial positions, per-walker output-slot
-/// pointer tables for the multi-position requests, and the OrbitalResource
-/// owning the batch's weight sets.  Allocated once per crowd so the timed
-/// sweep allocates nothing.
-struct CrowdScratch
-{
-  CrowdScratch(std::vector<WalkerState>& walkers, int first, int count, const MiniQMCSystem& sys)
-  {
-    rnew.resize(static_cast<std::size_t>(count));
-    v.resize(static_cast<std::size_t>(count));
-    g.resize(static_cast<std::size_t>(count));
-    h.resize(static_cast<std::size_t>(count));
-    l.resize(static_cast<std::size_t>(count));
-    quad_v.resize(static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.nq));
-    quad_pos.resize(static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.nq));
-    (void)ores.weights_for(count * sys.nq);
-    for (int i = 0; i < count; ++i) {
-      WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
-      const auto ui = static_cast<std::size_t>(i);
-      // The facade writes into the layout-appropriate walker buffer: AoS
-      // component groups for the baseline engine, SoA streams otherwise.
-      if (sys.aos_outputs) {
-        v[ui] = w.out_aos->v.data();
-        g[ui] = w.out_aos->g.data();
-        h[ui] = w.out_aos->h.data();
-        l[ui] = w.out_aos->l.data();
-      } else {
-        v[ui] = w.out_soa->v.data();
-        g[ui] = w.out_soa->g.data();
-        h[ui] = w.out_soa->h.data();
-        l[ui] = w.out_soa->l.data();
-      }
-      for (int q = 0; q < sys.nq; ++q)
-        quad_v[ui * static_cast<std::size_t>(sys.nq) + static_cast<std::size_t>(q)] =
-            w.quad_v_ptrs[static_cast<std::size_t>(q)];
-    }
-  }
-
-  std::vector<Vec3<qmc_real>> rnew;
-  std::vector<qmc_real*> v, g, h, l;   ///< per-walker component slots
-  std::vector<qmc_real*> quad_v;       ///< count*nq quadrature value slots
-  std::vector<Vec3<qmc_real>> quad_pos; ///< gathered count*nq quadrature positions
-  OrbitalResource<qmc_real> ores;      ///< weight sets for the crowd's batches
-};
-
-/// One VGH request for the crowd's trial positions (scr.rnew[0..count)),
-/// landing in each walker's own output buffers.  @p team is the crowd's
-/// inner team: with more than one thread the facade forks the (tile,
-/// position-block) sweep under this crowd's outer thread (Opt C).
-void crowd_eval_vgh(const MiniQMCSystem& sys, std::vector<WalkerState>& walkers, int first,
-                    int count, CrowdScratch& scr, TeamHandle team)
-{
-  OrbitalEvalRequest<qmc_real> rq;
-  rq.deriv = DerivLevel::VGH;
-  rq.positions = scr.rnew.data();
-  rq.count = count;
-  rq.v = scr.v.data();
-  rq.g = scr.g.data();
-  rq.lh = scr.h.data();
-  rq.stride = sys.out_pad;
-  rq.parallel = team.parallel();
-  rq.team = team;
-  sys.spo.evaluate(rq, scr.ores);
-  for (int i = 0; i < count; ++i)
-    walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
-        static_cast<std::size_t>(sys.norb);
-}
-
-/// One VGL request at the crowd's current positions of electron e (kinetic
-/// energy measurement).
-void crowd_eval_vgl(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
-                    std::vector<WalkerState>& walkers, int first, int count, int e,
-                    CrowdScratch& scr, TeamHandle team)
-{
-  for (int i = 0; i < count; ++i) {
-    const WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
-    scr.rnew[static_cast<std::size_t>(i)] = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
-  }
-  OrbitalEvalRequest<qmc_real> rq;
-  rq.deriv = DerivLevel::VGL;
-  rq.positions = scr.rnew.data();
-  rq.count = count;
-  rq.v = scr.v.data();
-  rq.g = scr.g.data();
-  rq.lh = scr.l.data();
-  rq.stride = sys.out_pad;
-  rq.parallel = team.parallel();
-  rq.team = team;
-  sys.spo.evaluate(rq, scr.ores);
-  for (int i = 0; i < count; ++i)
-    walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
-        static_cast<std::size_t>(sys.norb);
-}
-
-/// One V request over the whole crowd's quadrature points (count*nq
-/// positions, each walker's nq points already proposed into its quad_r).
-void crowd_eval_quad_v(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
-                       std::vector<WalkerState>& walkers, int first, int count, CrowdScratch& scr,
-                       TeamHandle team)
-{
-  const int nq = cfg.quadrature_points;
-  // Gather the crowd's quadrature positions into one contiguous batch.
-  for (int i = 0; i < count; ++i) {
-    const WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
-    std::copy(w.quad_r.begin(), w.quad_r.begin() + nq,
-              scr.quad_pos.begin() + static_cast<std::size_t>(i) * static_cast<std::size_t>(nq));
-  }
-  OrbitalEvalRequest<qmc_real> rq;
-  rq.deriv = DerivLevel::V;
-  rq.positions = scr.quad_pos.data();
-  rq.count = count * nq;
-  rq.v = scr.quad_v.data();
-  rq.parallel = team.parallel();
-  rq.team = team;
-  sys.spo.evaluate(rq, scr.ores);
-  for (int i = 0; i < count; ++i)
-    walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
-        static_cast<std::size_t>(nq) * static_cast<std::size_t>(sys.norb);
-}
-
-} // namespace
 
 MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
 {
@@ -167,6 +46,7 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
 
   std::vector<WalkerState> walkers(static_cast<std::size_t>(sys.nw));
   std::vector<ProfileRegistry> crowd_profiles(static_cast<std::size_t>(num_crowds));
+  std::vector<std::unique_ptr<CrowdScratch>> scratch(static_cast<std::size_t>(num_crowds));
 
   MiniQMCResult result;
   result.num_walkers = sys.nw;
@@ -189,6 +69,11 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
   // walker state a function of walker id only) — both through the
   // threading.h seam.  Stored walker teams are region-bound so a stale
   // resolve after the outer region closes aborts under MQC_CONTRACTS.
+  // CrowdScratch is built here too, ONCE per crowd on the thread that will
+  // sweep it (static schedule keeps the crowd→thread map stable, so the
+  // scratch pages are first-touched where they are consumed): its gathered
+  // pointer tables are walker-invariant, and rebuilding them every epoch
+  // made a checkpoint_interval=1 run re-gather every step.
   team_for(TeamHandle::of(num_crowds), num_crowds, [&](int cid) {
     const int first = cid * crowd_size;
     const int last = std::min(sys.nw, first + crowd_size);
@@ -196,6 +81,8 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
       init_walker(walkers[static_cast<std::size_t>(wid)], sys, cfg, wid);
       walkers[static_cast<std::size_t>(wid)].set_team(inner.bound_to_current_region());
     }
+    scratch[static_cast<std::size_t>(cid)] =
+        std::make_unique<CrowdScratch>(walkers, first, last - first, sys);
   });
 
   // ---- resume (outside any team region): overwrite the freshly built
@@ -206,65 +93,24 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
   // ---- the profiled lock-step sweep, one crowd per thread ----------------
   // Epoch-chunked exactly like the per-walker driver: each team region
   // advances every crowd to the next step boundary, snapshots happen
-  // between regions.  CrowdScratch is rebuilt per epoch — gathered pointer
-  // tables and weight scratch, never trajectory state.
+  // between regions.
+  const int entry_step = step;
   while (step < cfg.steps) {
     const int boundary = next_epoch_boundary(ckrt, step, cfg.steps);
     team_for(TeamHandle::of(num_crowds), num_crowds, [&](int cid) {
       const int first = cid * crowd_size;
       const int count = std::min(sys.nw, first + crowd_size) - first;
-      ProfileRegistry& cprof = crowd_profiles[static_cast<std::size_t>(cid)];
-      CrowdScratch scr(walkers, first, count, sys);
-
-      for (int s = step; s < boundary; ++s) {
-      // Drift-diffusion phase: the whole crowd moves electron e together.
-      for (int e = 0; e < sys.nel; ++e) {
-        for (int i = 0; i < count; ++i) {
-          WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
-          ++w.attempted;
-          const Vec3<qmc_real> r_old = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
-          scr.rnew[static_cast<std::size_t>(i)] = propose(w.rng, r_old, cfg.move_sigma);
-        }
-        {
-          ScopedTimer t(cprof, kSectionBspline);
-          crowd_eval_vgh(sys, walkers, first, count, scr, inner);
-        }
-        for (int i = 0; i < count; ++i) {
-          WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
-          const qmc_real* v = sys.aos_outputs ? w.out_aos->v.data() : w.out_soa->v.data();
-          metropolis_move(w, sys, cfg, e, scr.rnew[static_cast<std::size_t>(i)], v);
-        }
-      }
-
-      // Measurement phase, electron by electron across the crowd: one VGL
-      // request (kinetic energy), per-walker quadrature proposals and
-      // distance/Jastrow ratios, then one V request over all count*nq
-      // quadrature points.  Each walker's rng stream sees exactly the
-      // per-walker driver's draw sequence.
-      for (int e = 0; e < sys.nel; ++e) {
-        {
-          ScopedTimer t(cprof, kSectionBspline);
-          crowd_eval_vgl(sys, cfg, walkers, first, count, e, scr, inner);
-        }
-        for (int i = 0; i < count; ++i) {
-          WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
-          const Vec3<qmc_real> re = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
-          for (int q = 0; q < cfg.quadrature_points; ++q)
-            w.quad_r[static_cast<std::size_t>(q)] = propose(w.rng, re, 0.5);
-          quadrature_dist_jastrow(w, sys, cfg, e);
-        }
-        if (cfg.quadrature_points > 0) {
-          ScopedTimer t(cprof, kSectionBspline);
-          crowd_eval_quad_v(sys, cfg, walkers, first, count, scr, inner);
-        }
-      }
-      for (int i = 0; i < count; ++i)
-        full_jastrow(walkers[static_cast<std::size_t>(first + i)], sys, cfg);
-      }
+      crowd_sweep_steps(sys, cfg, walkers, first, count, *scratch[static_cast<std::size_t>(cid)],
+                        crowd_profiles[static_cast<std::size_t>(cid)], inner, step, boundary);
     });
     step = boundary;
     checkpoint_step_boundary(ckrt, cfg, sys, walkers, step, cfg.steps, result);
   }
+  // End-of-run snapshot guarantee for runs that never entered the loop
+  // (steps == 0, or a resume at/past the budget) — same contract as the
+  // per-walker driver: a set checkpoint path always leaves a snapshot.
+  if (entry_step >= cfg.steps)
+    checkpoint_step_boundary(ckrt, cfg, sys, walkers, step, step, result);
   result.seconds = total_watch.elapsed();
   reduce_result(result, walkers);
   for (const auto& p : crowd_profiles)

@@ -1,0 +1,207 @@
+// The crowd lock-step sweep kernel, factored out of crowd_driver.cpp so
+// every consumer of the crowd schedule — run_miniqmc_crowd, the resident
+// WalkerPopulation shards (walker_population.cpp) and the JobQueue's
+// per-shard workers (job_queue.cpp) — advances walkers through the one
+// implementation.  A crowd is a contiguous walker range [first, first+count)
+// advanced in lock-step: each electron move gathers the crowd's trial
+// positions into ONE multi-position OrbitalSet request.  All per-walker
+// arithmetic (distance tables, Jastrow/determinant ratios, Metropolis
+// decisions, rng draws) is miniqmc_context.h's, untouched — a crowd
+// trajectory stays bit-for-bit the per-walker trajectory for any crowd
+// decomposition, which is what makes shard counts and job packing
+// trajectory-neutral by construction.
+//
+// Like miniqmc_context.h, this header is an implementation detail of the
+// qmc/ translation units, not public API.
+#ifndef MQC_QMC_CROWD_SWEEP_H
+#define MQC_QMC_CROWD_SWEEP_H
+
+#include <algorithm>
+#include <vector>
+
+#include "qmc/miniqmc_context.h"
+
+namespace mqc::detail {
+
+/// Per-crowd scratch: gathered trial positions, per-walker output-slot
+/// pointer tables for the multi-position requests, and the OrbitalResource
+/// owning the batch's weight sets.  Everything here is walker-INVARIANT
+/// (slot pointers into per-walker buffers that live as long as the walker):
+/// build it once per crowd, outside the epoch loop, so the timed sweep —
+/// and a checkpoint_interval=1 run's every-step epochs — allocate nothing.
+struct CrowdScratch
+{
+  CrowdScratch(std::vector<WalkerState>& walkers, int first, int count, const MiniQMCSystem& sys)
+  {
+    rnew.resize(static_cast<std::size_t>(count));
+    v.resize(static_cast<std::size_t>(count));
+    g.resize(static_cast<std::size_t>(count));
+    h.resize(static_cast<std::size_t>(count));
+    l.resize(static_cast<std::size_t>(count));
+    quad_v.resize(static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.nq));
+    quad_pos.resize(static_cast<std::size_t>(count) * static_cast<std::size_t>(sys.nq));
+    (void)ores.weights_for(count * sys.nq);
+    for (int i = 0; i < count; ++i) {
+      WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+      const auto ui = static_cast<std::size_t>(i);
+      // The facade writes into the layout-appropriate walker buffer: AoS
+      // component groups for the baseline engine, SoA streams otherwise.
+      if (sys.aos_outputs) {
+        v[ui] = w.out_aos->v.data();
+        g[ui] = w.out_aos->g.data();
+        h[ui] = w.out_aos->h.data();
+        l[ui] = w.out_aos->l.data();
+      } else {
+        v[ui] = w.out_soa->v.data();
+        g[ui] = w.out_soa->g.data();
+        h[ui] = w.out_soa->h.data();
+        l[ui] = w.out_soa->l.data();
+      }
+      for (int q = 0; q < sys.nq; ++q)
+        quad_v[ui * static_cast<std::size_t>(sys.nq) + static_cast<std::size_t>(q)] =
+            w.quad_v_ptrs[static_cast<std::size_t>(q)];
+    }
+  }
+
+  std::vector<Vec3<qmc_real>> rnew;
+  std::vector<qmc_real*> v, g, h, l;   ///< per-walker component slots
+  std::vector<qmc_real*> quad_v;       ///< count*nq quadrature value slots
+  std::vector<Vec3<qmc_real>> quad_pos; ///< gathered count*nq quadrature positions
+  OrbitalResource<qmc_real> ores;      ///< weight sets for the crowd's batches
+};
+
+/// One VGH request for the crowd's trial positions (scr.rnew[0..count)),
+/// landing in each walker's own output buffers.  @p team is the crowd's
+/// inner team: with more than one thread the facade forks the (tile,
+/// position-block) sweep under this crowd's outer thread (Opt C).
+inline void crowd_eval_vgh(const MiniQMCSystem& sys, std::vector<WalkerState>& walkers, int first,
+                           int count, CrowdScratch& scr, TeamHandle team)
+{
+  OrbitalEvalRequest<qmc_real> rq;
+  rq.deriv = DerivLevel::VGH;
+  rq.positions = scr.rnew.data();
+  rq.count = count;
+  rq.v = scr.v.data();
+  rq.g = scr.g.data();
+  rq.lh = scr.h.data();
+  rq.stride = sys.out_pad;
+  rq.parallel = team.parallel();
+  rq.team = team;
+  sys.spo.evaluate(rq, scr.ores);
+  for (int i = 0; i < count; ++i)
+    walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
+        static_cast<std::size_t>(sys.norb);
+}
+
+/// One VGL request at the crowd's current positions of electron e (kinetic
+/// energy measurement).
+inline void crowd_eval_vgl(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
+                           std::vector<WalkerState>& walkers, int first, int count, int e,
+                           CrowdScratch& scr, TeamHandle team)
+{
+  for (int i = 0; i < count; ++i) {
+    const WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+    scr.rnew[static_cast<std::size_t>(i)] = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
+  }
+  OrbitalEvalRequest<qmc_real> rq;
+  rq.deriv = DerivLevel::VGL;
+  rq.positions = scr.rnew.data();
+  rq.count = count;
+  rq.v = scr.v.data();
+  rq.g = scr.g.data();
+  rq.lh = scr.l.data();
+  rq.stride = sys.out_pad;
+  rq.parallel = team.parallel();
+  rq.team = team;
+  sys.spo.evaluate(rq, scr.ores);
+  for (int i = 0; i < count; ++i)
+    walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
+        static_cast<std::size_t>(sys.norb);
+}
+
+/// One V request over the whole crowd's quadrature points (count*nq
+/// positions, each walker's nq points already proposed into its quad_r).
+inline void crowd_eval_quad_v(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
+                              std::vector<WalkerState>& walkers, int first, int count,
+                              CrowdScratch& scr, TeamHandle team)
+{
+  const int nq = cfg.quadrature_points;
+  // Gather the crowd's quadrature positions into one contiguous batch.
+  for (int i = 0; i < count; ++i) {
+    const WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+    std::copy(w.quad_r.begin(), w.quad_r.begin() + nq,
+              scr.quad_pos.begin() + static_cast<std::size_t>(i) * static_cast<std::size_t>(nq));
+  }
+  OrbitalEvalRequest<qmc_real> rq;
+  rq.deriv = DerivLevel::V;
+  rq.positions = scr.quad_pos.data();
+  rq.count = count * nq;
+  rq.v = scr.quad_v.data();
+  rq.parallel = team.parallel();
+  rq.team = team;
+  sys.spo.evaluate(rq, scr.ores);
+  for (int i = 0; i < count; ++i)
+    walkers[static_cast<std::size_t>(first + i)].orbital_evals +=
+        static_cast<std::size_t>(nq) * static_cast<std::size_t>(sys.norb);
+}
+
+/// Advance the crowd [first, first+count) from step @p step_begin to
+/// @p step_end (exclusive): the lock-step drift-diffusion + measurement body
+/// shared by every crowd consumer.  Call inside the consumer's outer region
+/// (or from a plain thread with a serial @p team); snapshots and fault
+/// points stay OUTSIDE, at the epoch boundaries between calls.
+inline void crowd_sweep_steps(const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
+                              std::vector<WalkerState>& walkers, int first, int count,
+                              CrowdScratch& scr, ProfileRegistry& cprof, TeamHandle inner,
+                              int step_begin, int step_end)
+{
+  for (int s = step_begin; s < step_end; ++s) {
+    // Drift-diffusion phase: the whole crowd moves electron e together.
+    for (int e = 0; e < sys.nel; ++e) {
+      for (int i = 0; i < count; ++i) {
+        WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+        ++w.attempted;
+        const Vec3<qmc_real> r_old = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
+        scr.rnew[static_cast<std::size_t>(i)] = propose(w.rng, r_old, cfg.move_sigma);
+      }
+      {
+        ScopedTimer t(cprof, kSectionBspline);
+        crowd_eval_vgh(sys, walkers, first, count, scr, inner);
+      }
+      for (int i = 0; i < count; ++i) {
+        WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+        const qmc_real* v = sys.aos_outputs ? w.out_aos->v.data() : w.out_soa->v.data();
+        metropolis_move(w, sys, cfg, e, scr.rnew[static_cast<std::size_t>(i)], v);
+      }
+    }
+
+    // Measurement phase, electron by electron across the crowd: one VGL
+    // request (kinetic energy), per-walker quadrature proposals and
+    // distance/Jastrow ratios, then one V request over all count*nq
+    // quadrature points.  Each walker's rng stream sees exactly the
+    // per-walker driver's draw sequence.
+    for (int e = 0; e < sys.nel; ++e) {
+      {
+        ScopedTimer t(cprof, kSectionBspline);
+        crowd_eval_vgl(sys, cfg, walkers, first, count, e, scr, inner);
+      }
+      for (int i = 0; i < count; ++i) {
+        WalkerState& w = walkers[static_cast<std::size_t>(first + i)];
+        const Vec3<qmc_real> re = cfg.optimized_dt_jastrow ? w.elec_soa[e] : w.elec_aos[e];
+        for (int q = 0; q < cfg.quadrature_points; ++q)
+          w.quad_r[static_cast<std::size_t>(q)] = propose(w.rng, re, 0.5);
+        quadrature_dist_jastrow(w, sys, cfg, e);
+      }
+      if (cfg.quadrature_points > 0) {
+        ScopedTimer t(cprof, kSectionBspline);
+        crowd_eval_quad_v(sys, cfg, walkers, first, count, scr, inner);
+      }
+    }
+    for (int i = 0; i < count; ++i)
+      full_jastrow(walkers[static_cast<std::size_t>(first + i)], sys, cfg);
+  }
+}
+
+} // namespace mqc::detail
+
+#endif // MQC_QMC_CROWD_SWEEP_H

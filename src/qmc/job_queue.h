@@ -1,0 +1,112 @@
+// JobQueue: asynchronous job submission onto a resident WalkerPopulation
+// (ROADMAP item 1's "many small requests multiplexed onto one hot, resident
+// spline engine").
+//
+// A job is an independent unit of Monte Carlo work — its own walker count,
+// step budget and rng seed — validated against the resident system (one
+// population serves one physical system at one kernel precision; a
+// mismatched job is rejected with a surfaced error, never silently run on
+// the wrong tables).  One worker thread per population shard pops jobs from
+// a shared queue, PACKS up to `max_pack` of them into a single lock-step
+// crowd on its shard's socket-local engine (qmc/crowd_sweep.h), and sweeps
+// the pack together so the spline tables are streamed once per move across
+// all packed jobs — the crowd amortization applied across job boundaries.
+// Jobs with unequal step budgets are ordered longest-first inside a pack
+// and retire from the sweep as their budgets expire (the active range is
+// always a prefix), so packing never pads short jobs.
+//
+// Determinism contract (tests/test_population.cpp): every job's per-walker
+// trajectory is a function of (the population's resident tables, job seed,
+// walker index) alone — regardless of which shard served it, what it was
+// packed with, or the submission order.  A job whose seed equals the
+// population's is bit-for-bit identical to a standalone run_miniqmc with
+// that seed/walkers/steps; other seeds draw independent walker streams
+// against the same resident tables (the config seed sources both the table
+// and the streams, and jobs deliberately reuse the resident table).
+//
+// Threading: workers are plain std::threads; all sweeps inside a worker run
+// with a serial TeamHandle (the parallelism is across shards and packed
+// walkers, not within a job's facade calls), and the shared MiniQMCSystem
+// state they touch is read-only.  The queue itself is a mutex + two
+// condition variables — no lock is held while sweeping.
+#ifndef MQC_QMC_JOB_QUEUE_H
+#define MQC_QMC_JOB_QUEUE_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qmc/walker_population.h"
+
+namespace mqc {
+
+/// One independent unit of work: system × precision × step budget.
+struct JobSpec
+{
+  int num_walkers = 1;
+  int steps = 1;         ///< Monte Carlo sweeps for this job's walkers
+  std::uint64_t seed = 1; ///< rng seed; trajectories are f(seed, walker index)
+  /// Kernel precision the submitter expects, in bytes per real.  Must match
+  /// the resident engine (sizeof(float) for this build's qmc_real) — a
+  /// population cannot serve a double-precision job from float tables.
+  int precision_bytes = 4;
+  /// Requested system shape; 0 / {0,0,0} = inherit the resident system.
+  /// Non-zero values must MATCH the resident system: one population owns one
+  /// set of replicated coefficient tables, so a different system is a
+  /// routing error surfaced per job, not a silent re-build.
+  int grid_size = 0;
+  std::array<int, 3> supercell{0, 0, 0};
+};
+
+struct JobResult
+{
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::string error; ///< rejection reason when !ok (validation, never a crash)
+  int shard = -1;    ///< shard whose resident engine served the job
+  /// Per-walker trajectory fingerprints, same semantics as MiniQMCResult's.
+  std::vector<std::size_t> walker_accepts;
+  std::vector<double> walker_log_det;
+};
+
+class JobQueue
+{
+public:
+  /// Spin up one worker per shard of @p pop.  @p max_pack caps how many
+  /// queued jobs one worker fuses into a single crowd sweep (>= 1; a pure
+  /// throughput knob — packing is trajectory-neutral per job).  The
+  /// population must outlive the queue; jobs share its read-only systems.
+  explicit JobQueue(WalkerPopulation& pop, int max_pack = 4);
+  /// Drains: finishes every submitted job, then joins the workers.
+  ~JobQueue();
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Enqueue a job; returns its id immediately (workers pick it up async).
+  std::uint64_t submit(const JobSpec& spec);
+  /// Block until job @p id completes and return its result (one-shot: the
+  /// result is handed over and released).  An unknown or already-collected
+  /// id returns ok=false immediately.
+  JobResult wait(std::uint64_t id);
+  /// Block until every submitted job has completed; returns all uncollected
+  /// results in submission order (and releases them).
+  std::vector<JobResult> drain();
+
+  [[nodiscard]] int num_workers() const noexcept;
+  /// Jobs completed so far (monotone; includes rejected jobs).
+  [[nodiscard]] std::size_t completed() const;
+  /// Crowd sweeps executed so far — completed()/packed_batches() is the
+  /// measured packing factor the bench reports.
+  [[nodiscard]] std::size_t packed_batches() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+} // namespace mqc
+
+#endif // MQC_QMC_JOB_QUEUE_H

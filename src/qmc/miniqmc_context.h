@@ -48,7 +48,16 @@ using qmc_real = float; ///< kernel precision (the paper's miniQMC is all SP)
 /// table and engines, the Jastrow functors, and the ion sets.
 struct MiniQMCSystem
 {
-  explicit MiniQMCSystem(const MiniQMCConfig& cfg)
+  /// @p replica (optional) is a pre-built coefficient table this system
+  /// adopts instead of generating its own — the WalkerPopulation's NUMA
+  /// path: each shard passes its socket-local CoefReplicaSet copy here, so
+  /// the engines and the OrbitalSet facade built below resolve every
+  /// evaluation through shard-local memory.  A replica must be an exact
+  /// copy of the table this config would generate (asserted on shape);
+  /// since the generated table is a deterministic function of (grid, norb,
+  /// seed), adopting a copy is trajectory-neutral bit-for-bit.
+  explicit MiniQMCSystem(const MiniQMCConfig& cfg,
+                         std::shared_ptr<CoefStorage<qmc_real>> replica = nullptr)
       : crystal(make_graphite_supercell(cfg.supercell[0], cfg.supercell[1], cfg.supercell[2]))
   {
     norb = cfg.num_splines > 0 ? cfg.num_splines : crystal.num_orbitals();
@@ -63,7 +72,14 @@ struct MiniQMCSystem
     for (const auto& row : crystal.lattice.rows())
       lmax = std::max(lmax, std::abs(row.x) + std::abs(row.y) + std::abs(row.z));
     const auto grid = Grid3D<qmc_real>::cube(cfg.grid_size, static_cast<qmc_real>(lmax));
-    coefs = make_random_storage<qmc_real>(grid, norb, cfg.seed);
+    if (replica) {
+      assert(replica->num_splines() == norb);
+      assert(replica->grid().x.num == grid.x.num && replica->grid().y.num == grid.y.num &&
+             replica->grid().z.num == grid.z.num);
+      coefs = std::move(replica);
+    } else {
+      coefs = make_random_storage<qmc_real>(grid, norb, cfg.seed);
+    }
 
     // Tuned dispatch knobs from the wisdom entry tune_miniqmc recorded
     // (never trajectory-affecting: tile size regroups the same per-orbital

@@ -59,6 +59,7 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
   // in which case the whole run is a single region as before).  Chunking is
   // trajectory-neutral: walker state and rng streams persist across
   // regions, and the stored teams bind by nesting level (threading.h).
+  const int entry_step = step;
   while (step < cfg.steps) {
     const int boundary = detail::next_epoch_boundary(ckrt, step, cfg.steps);
     team_for(TeamHandle::of(sys.nw), sys.nw, [&](int wid) {
@@ -104,6 +105,13 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
     step = boundary;
     detail::checkpoint_step_boundary(ckrt, cfg, sys, walkers, step, cfg.steps, result);
   }
+  // A run that never entered the loop (steps == 0, or a resume landing at or
+  // past the step budget) still owes its end-of-run snapshot: a set
+  // checkpoint path must always leave a resumable snapshot behind, counted
+  // in checkpoints_written.  Passing the walkers' actual step as the budget
+  // makes this a pure final write (the abort fault requires step < steps).
+  if (entry_step >= cfg.steps)
+    detail::checkpoint_step_boundary(ckrt, cfg, sys, walkers, step, step, result);
   result.seconds = total_watch.elapsed();
   detail::reduce_result(result, walkers);
   return result;

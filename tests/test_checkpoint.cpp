@@ -24,6 +24,7 @@
 #include "common/rng.h"
 #include "qmc/checkpoint.h"
 #include "qmc/miniqmc_driver.h"
+#include "qmc/walker_population.h"
 
 using namespace mqc;
 
@@ -256,6 +257,157 @@ TEST(CheckpointRoundTrip, MissingSnapshotFallsBackToFreshStart)
 }
 
 // ---------------------------------------------------------------------------
+// End-of-run snapshot guarantee (edge cases around interval vs steps)
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointRoundTrip, IntervalLargerThanStepsStillWritesFinalSnapshot)
+{
+  // interval > steps means no interior boundary ever hits the interval; the
+  // clamped final boundary must still produce the end-of-run snapshot.
+  for (const DriverMode driver : {DriverMode::PerWalker, DriverMode::Crowd}) {
+    MiniQMCConfig cfg = make_cfg(driver, SpoLayout::SoA, true, 1);
+    const MiniQMCResult ref = run_miniqmc(cfg);
+    ScopedCkpt ck(driver == DriverMode::Crowd ? "bigint_crowd" : "bigint_pw");
+    cfg.checkpoint_path = ck.path;
+    cfg.checkpoint_interval = 100;
+    const MiniQMCResult part = run_miniqmc(cfg);
+    EXPECT_EQ(part.checkpoints_written, 1);
+    ASSERT_TRUE(std::filesystem::exists(ck.path));
+
+    MiniQMCConfig rest = cfg;
+    rest.resume = true;
+    const MiniQMCResult resumed = run_miniqmc(rest);
+    EXPECT_EQ(resumed.resumed_from_step, cfg.steps);
+    expect_same_trajectory(ref, resumed, "interval>steps final snapshot");
+  }
+}
+
+TEST(CheckpointRoundTrip, ZeroStepRunStillWritesSnapshot)
+{
+  // steps == 0: the sweep loop never executes, but a set checkpoint path
+  // must still leave the (initial-state) snapshot on disk — the resident
+  // state on disk always matches the cursor.
+  for (const DriverMode driver : {DriverMode::PerWalker, DriverMode::Crowd}) {
+    MiniQMCConfig cfg = make_cfg(driver, SpoLayout::SoA, true, 1);
+    cfg.steps = 0;
+    ScopedCkpt ck(driver == DriverMode::Crowd ? "zerostep_crowd" : "zerostep_pw");
+    cfg.checkpoint_path = ck.path;
+    cfg.checkpoint_interval = 2;
+    const MiniQMCResult got = run_miniqmc(cfg);
+    EXPECT_EQ(got.checkpoints_written, 1);
+    EXPECT_TRUE(std::filesystem::exists(ck.path));
+  }
+}
+
+TEST(CheckpointRoundTrip, ResumeAtOrPastEndWritesSnapshotAndKeepsTrajectory)
+{
+  // A resume that lands exactly at cfg.steps sweeps nothing; it must not
+  // crash, must re-assert the snapshot, and must report the completed-run
+  // fingerprints unchanged.
+  MiniQMCConfig cfg = make_cfg(DriverMode::Crowd, SpoLayout::SoA, true, 4);
+  ScopedCkpt ck("resume_past_end");
+  cfg.checkpoint_path = ck.path;
+  cfg.checkpoint_interval = 2;
+  const MiniQMCResult full = run_miniqmc(cfg);
+
+  MiniQMCConfig again = cfg;
+  again.resume = true;
+  const MiniQMCResult noop = run_miniqmc(again);
+  EXPECT_EQ(noop.resumed_from_step, cfg.steps);
+  EXPECT_EQ(noop.checkpoints_written, 1) << "no-op run must re-assert the snapshot";
+  expect_same_trajectory(full, noop, "resume at end");
+}
+
+// ---------------------------------------------------------------------------
+// WalkerPopulation persistence (service-layer resume)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+MiniQMCResult run_population_to(const MiniQMCConfig& cfg, int shards, int target)
+{
+  PopulationConfig pcfg;
+  pcfg.qmc = cfg;
+  pcfg.num_shards = shards;
+  WalkerPopulation pop(pcfg);
+  pop.run_to_step(target);
+  return pop.result();
+}
+
+} // namespace
+
+TEST(CheckpointPopulation, KilledPopulationResumesUnderDifferentShardCount)
+{
+  // Kill a 1-shard population at step 4 (destroy it mid-trajectory), resume
+  // the snapshot under 3 shards and a different partition shape: shard
+  // assignment is derived machine layout, not trajectory state, so the
+  // fingerprints must match the uninterrupted single-shard run bit-for-bit.
+  const MiniQMCConfig cfg = make_cfg(DriverMode::Crowd, SpoLayout::SoA, true, 4);
+  const MiniQMCResult ref = run_miniqmc(cfg);
+
+  ScopedCkpt ck("population_shards");
+  MiniQMCConfig part = cfg;
+  part.checkpoint_path = ck.path;
+  part.checkpoint_interval = 2;
+  {
+    ScopedEnv env("MQC_PARTITION", "1x2");
+    const MiniQMCResult first = run_population_to(part, 1, 4);
+    EXPECT_GE(first.checkpoints_written, 1);
+  }
+  {
+    ScopedEnv env("MQC_PARTITION", "2x1");
+    MiniQMCConfig rest = part;
+    rest.resume = true;
+    PopulationConfig pcfg;
+    pcfg.qmc = rest;
+    pcfg.num_shards = 3;
+    WalkerPopulation pop(pcfg);
+    EXPECT_EQ(pop.current_step(), 4);
+    pop.run_to_step(cfg.steps);
+    const MiniQMCResult resumed = pop.result();
+    EXPECT_EQ(resumed.resumed_from_step, 4);
+    EXPECT_FALSE(resumed.resume_fallback_used);
+    expect_same_trajectory(ref, resumed, "population cross-shard resume");
+  }
+}
+
+TEST(CheckpointPopulation, SnapshotsInteroperateWithRunMiniqmcBothWays)
+{
+  const MiniQMCConfig cfg = make_cfg(DriverMode::PerWalker, SpoLayout::SoA, true, 1);
+  const MiniQMCResult ref = run_miniqmc(cfg);
+
+  // Population snapshot -> run_miniqmc resume.
+  {
+    ScopedCkpt ck("pop_to_driver");
+    MiniQMCConfig part = cfg;
+    part.checkpoint_path = ck.path;
+    part.checkpoint_interval = 2;
+    (void)run_population_to(part, 2, 4);
+    MiniQMCConfig rest = cfg;
+    rest.checkpoint_path = ck.path;
+    rest.resume = true;
+    const MiniQMCResult resumed = run_miniqmc(rest);
+    EXPECT_EQ(resumed.resumed_from_step, 4);
+    expect_same_trajectory(ref, resumed, "population snapshot -> driver");
+  }
+  // run_miniqmc snapshot -> population resume.
+  {
+    ScopedCkpt ck("driver_to_pop");
+    MiniQMCConfig part = cfg;
+    part.steps = 4;
+    part.checkpoint_path = ck.path;
+    part.checkpoint_interval = 2;
+    (void)run_miniqmc(part);
+    MiniQMCConfig rest = cfg;
+    rest.checkpoint_path = ck.path;
+    rest.resume = true;
+    const MiniQMCResult resumed = run_population_to(rest, 2, cfg.steps);
+    EXPECT_EQ(resumed.resumed_from_step, 4);
+    expect_same_trajectory(ref, resumed, "driver snapshot -> population");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // File format validation and fallback
 // ---------------------------------------------------------------------------
 
@@ -460,4 +612,43 @@ TEST(CheckpointFaults, MalformedTokensAreIgnoredNotArmed)
   EXPECT_FALSE(mixed.corrupt_header);
   EXPECT_FALSE(mixed.corrupt_meta);
   EXPECT_EQ(mixed.corrupt_walker, -1);
+}
+
+TEST(CheckpointFaults, SignedStepNumbersAreRejected)
+{
+  // strtol would happily parse "+3" and "-0"; the spec grammar is digits
+  // only, so signed forms must be dropped (warned), never armed.
+  EXPECT_FALSE(ckpt::parse_fault_plan("abort@+3").armed());
+  EXPECT_FALSE(ckpt::parse_fault_plan("abort@-3").armed());
+  EXPECT_FALSE(ckpt::parse_fault_plan("abort@ 3").armed());
+  EXPECT_FALSE(ckpt::parse_fault_plan("corrupt@walker+1").armed());
+  EXPECT_FALSE(ckpt::parse_fault_plan("corrupt@walker-1").armed());
+  EXPECT_FALSE(ckpt::parse_fault_plan("truncate@+40").armed());
+  EXPECT_FALSE(ckpt::parse_fault_plan("abort@99999999999999999999").armed()); // overflow
+  const ckpt::FaultPlan mixed = ckpt::parse_fault_plan("abort@+3,truncate@40");
+  EXPECT_EQ(mixed.abort_at_step, -1); // the signed token alone is dropped
+  EXPECT_EQ(mixed.truncate_tail, 40);
+}
+
+TEST(CheckpointFaults, OutOfRangeWalkerInjectionIsReportedAsNoop)
+{
+  // corrupt@walker<i> with i >= the snapshot's population finds no section:
+  // apply_file_faults must return false (no-op surfaced, warned on stderr)
+  // and leave the file undamaged so a resume still loads it.
+  ScopedCkpt ck("fault_noop");
+  std::string err;
+  ASSERT_TRUE(ckpt::write_snapshot(ck.path, make_test_snapshot(7), &err)) << err;
+  ckpt::FaultPlan plan;
+  plan.corrupt_walker = 99; // snapshot only has walker 0
+  EXPECT_FALSE(ckpt::apply_file_faults(ck.path, plan));
+  ckpt::Snapshot out;
+  EXPECT_TRUE(ckpt::read_snapshot(ck.path, 7, out).loaded()) << "no-op damaged the file";
+
+  // A mixed plan where one token lands and one misses is still a no-op
+  // overall (false), but the landing token DOES damage the file.
+  ckpt::FaultPlan mixed;
+  mixed.corrupt_walker = 99;
+  mixed.corrupt_meta = true;
+  EXPECT_FALSE(ckpt::apply_file_faults(ck.path, mixed));
+  EXPECT_FALSE(ckpt::read_snapshot(ck.path, 7, out).loaded());
 }

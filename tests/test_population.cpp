@@ -1,0 +1,360 @@
+// WalkerPopulation service layer (qmc/walker_population.h) and the async
+// JobQueue multiplexer (qmc/job_queue.h).
+//
+// The contracts under test:
+//   * a resident population reproduces run_miniqmc's per-walker
+//     `walker_accepts` / `walker_log_det` fingerprints bit-for-bit, for
+//     EVERY shard count and partition shape (sharding is placement, never
+//     trajectory state);
+//   * incremental advancement (run_steps / run_to_step in pieces) lands on
+//     the same fingerprints as one shot;
+//   * coefficient replicas are exact element-wise copies of the master;
+//   * a job served through the queue matches a standalone run over the same
+//     seed/walkers/steps regardless of packing, submission order, or which
+//     shard picked it up; and
+//   * mismatched jobs (wrong precision, wrong system) are REJECTED with a
+//     surfaced error, never silently run on the resident tables.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/threading.h"
+#include "core/coef_storage.h"
+#include "qmc/job_queue.h"
+#include "qmc/miniqmc_driver.h"
+#include "qmc/walker_population.h"
+
+using namespace mqc;
+
+namespace {
+
+/// RAII env var override (shard/partition knob tests).
+struct ScopedEnv
+{
+  ScopedEnv(const char* name, const char* value) : name_(name)
+  {
+    const char* old = std::getenv(name);
+    had_ = old != nullptr;
+    if (had_)
+      saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv()
+  {
+    if (had_)
+      ::setenv(name_, saved_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+MiniQMCConfig make_cfg(int walkers = 6, int steps = 6)
+{
+  MiniQMCConfig cfg;
+  cfg.supercell = {1, 1, 1};
+  cfg.grid_size = 16;
+  cfg.spo = SpoLayout::SoA;
+  cfg.optimized_dt_jastrow = true;
+  cfg.num_walkers = walkers;
+  cfg.steps = steps;
+  cfg.delay_rank = 4; // in-flight Woodbury panels cross epoch boundaries
+  return cfg;
+}
+
+/// Bitwise trajectory comparison (same discipline as test_checkpoint.cpp).
+void expect_same_trajectory(const MiniQMCResult& ref, const MiniQMCResult& got,
+                            const std::string& what)
+{
+  EXPECT_EQ(ref.walker_accepts, got.walker_accepts) << what;
+  ASSERT_EQ(ref.walker_log_det.size(), got.walker_log_det.size()) << what;
+  for (std::size_t w = 0; w < ref.walker_log_det.size(); ++w) {
+    std::uint64_t a = 0, b = 0;
+    std::memcpy(&a, &ref.walker_log_det[w], sizeof a);
+    std::memcpy(&b, &got.walker_log_det[w], sizeof b);
+    EXPECT_EQ(a, b) << what << ": walker " << w << " log-det bits differ";
+  }
+}
+
+MiniQMCResult run_population(const MiniQMCConfig& cfg, int shards)
+{
+  PopulationConfig pcfg;
+  pcfg.qmc = cfg;
+  pcfg.num_shards = shards;
+  WalkerPopulation pop(pcfg);
+  pop.run_to_step(cfg.steps);
+  return pop.result();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Resident population: bit-for-bit equivalence with run_miniqmc
+// ---------------------------------------------------------------------------
+
+TEST(WalkerPopulationSuite, MatchesRunMiniqmcBitForBit)
+{
+  const MiniQMCConfig cfg = make_cfg();
+  const MiniQMCResult ref = run_miniqmc(cfg);
+  const MiniQMCResult got = run_population(cfg, 2);
+  EXPECT_EQ(got.num_walkers, ref.num_walkers);
+  expect_same_trajectory(ref, got, "population vs run_miniqmc");
+}
+
+TEST(WalkerPopulationSuite, ShardCountIsTrajectoryNeutral)
+{
+  const MiniQMCConfig cfg = make_cfg();
+  const MiniQMCResult ref = run_population(cfg, 1);
+  for (const int shards : {2, 3, 6}) {
+    const MiniQMCResult got = run_population(cfg, shards);
+    expect_same_trajectory(ref, got, "shards=" + std::to_string(shards));
+  }
+  // More shards than walkers: clamped, never an empty shard.
+  PopulationConfig pcfg;
+  pcfg.qmc = cfg;
+  pcfg.num_shards = 99;
+  WalkerPopulation pop(pcfg);
+  EXPECT_LE(pop.num_shards(), pop.num_walkers());
+  pop.run_to_step(cfg.steps);
+  MiniQMCResult got = pop.result();
+  expect_same_trajectory(ref, got, "shards=99 (clamped)");
+}
+
+TEST(WalkerPopulationSuite, PartitionShapeAndCrowdSizeAreNeutral)
+{
+  MiniQMCConfig cfg = make_cfg();
+  const MiniQMCResult ref = run_miniqmc(cfg);
+  for (const char* shape : {"1x2", "2x1"}) {
+    ScopedEnv env("MQC_PARTITION", shape);
+    for (const int crowd : {0, 2}) {
+      MiniQMCConfig c = cfg;
+      c.crowd_size = crowd;
+      const MiniQMCResult got = run_population(c, 2);
+      expect_same_trajectory(ref, got,
+                             std::string("partition=") + shape + " crowd=" +
+                                 std::to_string(crowd));
+    }
+  }
+}
+
+TEST(WalkerPopulationSuite, IncrementalAdvancementMatchesOneShot)
+{
+  const MiniQMCConfig cfg = make_cfg();
+  const MiniQMCResult ref = run_miniqmc(cfg);
+
+  PopulationConfig pcfg;
+  pcfg.qmc = cfg;
+  pcfg.num_shards = 2;
+  WalkerPopulation pop(pcfg);
+  EXPECT_EQ(pop.current_step(), 0);
+  pop.run_steps(2);
+  EXPECT_EQ(pop.current_step(), 2);
+  pop.run_to_step(5);
+  pop.run_to_step(3); // backwards target: no-op, never a rewind
+  EXPECT_EQ(pop.current_step(), 5);
+  pop.run_steps(1);
+  EXPECT_EQ(pop.current_step(), cfg.steps);
+  expect_same_trajectory(ref, pop.result(), "incremental");
+  // result() is idempotent between (and after) runs.
+  expect_same_trajectory(ref, pop.result(), "incremental (second call)");
+}
+
+// ---------------------------------------------------------------------------
+// Shard resolution and coefficient replication
+// ---------------------------------------------------------------------------
+
+TEST(WalkerPopulationSuite, ResolveShardCountFollowsTopologyAndEnv)
+{
+  MachineTopology topo;
+  topo.sockets = 2;
+  topo.cores_per_socket = 8;
+  topo.smt = 1;
+  EXPECT_EQ(resolve_shard_count_for(0, topo), 2); // auto: one per socket
+  EXPECT_EQ(resolve_shard_count_for(5, topo), 5); // explicit wins
+  {
+    ScopedEnv env("MQC_SHARDS", "3");
+    EXPECT_EQ(resolve_shard_count(0), 3);
+    EXPECT_EQ(resolve_shard_count(7), 7); // explicit still beats the env
+  }
+  {
+    ScopedEnv env("MQC_SHARDS", "banana"); // malformed: warn + topology
+    EXPECT_GE(resolve_shard_count(0), 1);
+  }
+}
+
+TEST(WalkerPopulationSuite, ReplicasAreExactCopiesOfTheMaster)
+{
+  const auto grid = Grid3D<float>::cube(4);
+  auto master = std::make_shared<CoefStorage<float>>(grid, 8);
+  master->fill_random(1234);
+
+  CoefReplicaSet<float> set(master, 3);
+  EXPECT_EQ(set.num_shards(), 3);
+  EXPECT_EQ(set.replicate(0).get(), master.get()); // shard 0 IS the master
+  EXPECT_EQ(set.local(1).get(), master.get());     // not yet materialized
+
+  const auto rep = set.replicate(1);
+  ASSERT_NE(rep.get(), master.get());
+  EXPECT_EQ(set.replicate(1).get(), rep.get()); // idempotent
+  EXPECT_EQ(set.local(1).get(), rep.get());
+  for (int i = 0; i < grid.x.num + 3; ++i)
+    for (int j = 0; j < grid.y.num + 3; ++j)
+      for (int k = 0; k < grid.z.num + 3; ++k) {
+        const float* a = master->row(i, j, k);
+        const float* b = rep->row(i, j, k);
+        ASSERT_EQ(0, std::memcmp(a, b, master->padded_splines() * sizeof(float)))
+            << "replica row (" << i << "," << j << "," << k << ") differs";
+      }
+}
+
+// ---------------------------------------------------------------------------
+// JobQueue: async multiplexing onto the resident engines
+// ---------------------------------------------------------------------------
+
+TEST(JobQueueSuite, JobMatchesStandaloneRunBitForBit)
+{
+  // The job's seed must match the population's here: config seed drives BOTH
+  // the coefficient table and the walker rng streams, and a job runs on the
+  // RESIDENT table (that is the point of the service).  With matching seeds
+  // the job is exactly a standalone run over the same physics.
+  MiniQMCConfig base = make_cfg(4, 0);
+  base.seed = 777;
+
+  MiniQMCConfig standalone = base;
+  standalone.num_walkers = 3;
+  standalone.steps = 5;
+  const MiniQMCResult ref = run_miniqmc(standalone);
+
+  PopulationConfig pcfg;
+  pcfg.qmc = base;
+  pcfg.num_shards = 2;
+  WalkerPopulation pop(pcfg);
+  JobQueue queue(pop);
+  EXPECT_EQ(queue.num_workers(), pop.num_shards());
+
+  JobSpec spec;
+  spec.num_walkers = 3;
+  spec.steps = 5;
+  spec.seed = 777;
+  const JobResult r = queue.wait(queue.submit(spec));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GE(r.shard, 0);
+  EXPECT_EQ(r.walker_accepts, ref.walker_accepts);
+  ASSERT_EQ(r.walker_log_det.size(), ref.walker_log_det.size());
+  for (std::size_t w = 0; w < r.walker_log_det.size(); ++w) {
+    std::uint64_t a = 0, b = 0;
+    std::memcpy(&a, &ref.walker_log_det[w], sizeof a);
+    std::memcpy(&b, &r.walker_log_det[w], sizeof b);
+    EXPECT_EQ(a, b) << "job walker " << w << " log-det bits differ";
+  }
+}
+
+TEST(JobQueueSuite, PackingAndSubmissionOrderAreTrajectoryNeutral)
+{
+  const MiniQMCConfig base = make_cfg(4, 0);
+  PopulationConfig pcfg;
+  pcfg.qmc = base;
+  pcfg.num_shards = 2;
+  WalkerPopulation pop(pcfg);
+
+  // Jobs with UNEQUAL step budgets (exercises longest-first prefix
+  // retirement) under two different pack caps and submission orders.
+  const int specs[][3] = {{2, 5, 11}, {1, 2, 22}, {3, 4, 33}, {2, 1, 44}};
+  std::vector<std::vector<std::size_t>> accepts_by_seed[2];
+  for (const int max_pack : {1, 4}) {
+    JobQueue queue(pop, max_pack);
+    std::vector<std::uint64_t> ids;
+    if (max_pack == 1) {
+      for (const auto& s : specs)
+        ids.push_back(queue.submit(JobSpec{s[0], s[1], static_cast<std::uint64_t>(s[2])}));
+    } else { // reversed submission order
+      for (int i = 3; i >= 0; --i)
+        ids.push_back(queue.submit(
+            JobSpec{specs[i][0], specs[i][1], static_cast<std::uint64_t>(specs[i][2])}));
+    }
+    auto& acc = accepts_by_seed[max_pack == 1 ? 0 : 1];
+    acc.resize(4);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const JobResult r = queue.wait(ids[i]);
+      ASSERT_TRUE(r.ok) << r.error;
+      const std::size_t spec_idx = max_pack == 1 ? i : 3 - i;
+      acc[spec_idx] = r.walker_accepts;
+    }
+    EXPECT_EQ(queue.completed(), 4u);
+    EXPECT_GE(queue.packed_batches(), 1u);
+    EXPECT_LE(queue.packed_batches(), 4u);
+  }
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(accepts_by_seed[0][static_cast<std::size_t>(i)],
+              accepts_by_seed[1][static_cast<std::size_t>(i)])
+        << "job " << i << " diverged across pack/order";
+}
+
+TEST(JobQueueSuite, DrainReturnsEverySubmittedJob)
+{
+  PopulationConfig pcfg;
+  pcfg.qmc = make_cfg(4, 0);
+  WalkerPopulation pop(pcfg);
+  JobQueue queue(pop, 2);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    JobSpec spec;
+    spec.num_walkers = 1;
+    spec.steps = 1 + i % 3;
+    spec.seed = static_cast<std::uint64_t>(100 + i);
+    ids.push_back(queue.submit(spec));
+  }
+  const std::vector<JobResult> all = queue.drain();
+  ASSERT_EQ(all.size(), ids.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].id, ids[i]) << "drain() must return submission order";
+    EXPECT_TRUE(all[i].ok) << all[i].error;
+  }
+  EXPECT_TRUE(queue.drain().empty()); // one-shot handover
+}
+
+TEST(JobQueueSuite, MismatchedJobsAreRejectedWithSurfacedErrors)
+{
+  PopulationConfig pcfg;
+  pcfg.qmc = make_cfg(4, 0);
+  WalkerPopulation pop(pcfg);
+  JobQueue queue(pop);
+
+  JobSpec wrong_precision;
+  wrong_precision.precision_bytes = 8; // resident engine is float
+  const JobResult rp = queue.wait(queue.submit(wrong_precision));
+  EXPECT_FALSE(rp.ok);
+  EXPECT_NE(rp.error.find("precision"), std::string::npos) << rp.error;
+
+  JobSpec wrong_grid;
+  wrong_grid.grid_size = 32; // resident system is 16
+  const JobResult rg = queue.wait(queue.submit(wrong_grid));
+  EXPECT_FALSE(rg.ok);
+  EXPECT_NE(rg.error.find("mismatch"), std::string::npos) << rg.error;
+
+  JobSpec wrong_cell;
+  wrong_cell.supercell = {2, 1, 1}; // resident system is {1,1,1}
+  const JobResult rc = queue.wait(queue.submit(wrong_cell));
+  EXPECT_FALSE(rc.ok);
+  EXPECT_NE(rc.error.find("supercell"), std::string::npos) << rc.error;
+
+  JobSpec bad_walkers;
+  bad_walkers.num_walkers = 0;
+  EXPECT_FALSE(queue.wait(queue.submit(bad_walkers)).ok);
+
+  // Inheriting specs (zeros) still run fine after the rejections.
+  JobSpec good;
+  good.num_walkers = 1;
+  good.steps = 2;
+  EXPECT_TRUE(queue.wait(queue.submit(good)).ok);
+
+  // Unknown / already-collected ids fail fast instead of hanging.
+  EXPECT_FALSE(queue.wait(0).ok);
+  EXPECT_FALSE(queue.wait(999).ok);
+}

@@ -18,10 +18,22 @@ detected or a resumed trajectory diverges from the uninterrupted reference:
                         can reject it) must be refused;
   config skew           resuming under a different seed must be refused via
                         the config trajectory hash — fresh start, no crash,
-                        no silent wrong-state resume.
+                        no silent wrong-state resume;
+  noop injection        a file fault aimed at a non-existent target
+                        (corrupt@walker99 with 4 walkers) must be surfaced as
+                        an explicit NO-OP warning, never silently skipped;
+  malformed spec        a signed step number (abort@+3) must be rejected at
+                        parse time with a warning, and the run completes
+                        cleanly with no fault armed;
+  population resume     a resident WalkerPopulation (--shards) killed under
+                        one shard count must resume under a DIFFERENT shard
+                        count bit-for-bit.
 
 Scenarios run for both drivers under two MQC_PARTITION shapes so the resume
-invariant is exercised across schedules, not just one thread layout.
+invariant is exercised across schedules, not just one thread layout.  Every
+scenario that injects file damage also asserts the binary CONFIRMED the
+injection on stderr (`fault-injected:`) — an injection that quietly becomes
+a no-op is itself a harness failure.
 
 Stdlib only; exit 0 = all scenarios pass, 1 = failures, 2 = usage error.
 """
@@ -48,7 +60,9 @@ class Failure(Exception):
 
 
 def run_binary(binary, args, env_extra=None, expect_exit=0):
-    """Run the example binary; raise Failure on unexpected exit code."""
+    """Run the example binary; raise Failure on unexpected exit code.
+    Returns the CompletedProcess so scenarios can inspect stderr (injection
+    confirmations / NO-OP warnings) as well as stdout."""
     env = dict(os.environ)
     env.update(env_extra or {})
     proc = subprocess.run([str(binary)] + args, capture_output=True, text=True, env=env)
@@ -56,7 +70,18 @@ def run_binary(binary, args, env_extra=None, expect_exit=0):
         raise Failure(
             f"{' '.join(args)}: exit {proc.returncode}, expected {expect_exit}\n"
             f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}")
-    return proc.stdout
+    return proc
+
+
+def expect_injection_confirmed(proc, tag):
+    """A run that was supposed to damage the snapshot must say so: require a
+    `fault-injected:` confirmation and reject any `NO-OP` — a fault plan that
+    silently failed to fire would make every downstream PASS meaningless."""
+    expect("fault-injected:" in proc.stderr,
+           f"{tag}: no fault-injected confirmation on stderr — the injection "
+           f"was a silent no-op\nstderr:\n{proc.stderr}")
+    expect("NO-OP" not in proc.stderr,
+           f"{tag}: injection partially no-op'd\nstderr:\n{proc.stderr}")
 
 
 def parse_run(stdout):
@@ -99,11 +124,11 @@ def scenario_kill_resume(binary, workdir, base_args, env, tag):
     """abort@3 with interval 2: the resume restarts from the step-2 snapshot
     and must land on the reference fingerprints."""
     ckpt = str(workdir / f"{tag}.ckpt")
-    ref = parse_run(run_binary(binary, base_args + ["--steps", "6"], env))
+    ref = parse_run(run_binary(binary, base_args + ["--steps", "6"], env).stdout)
     run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt, "--interval", "2",
                                     "--fault", "abort@3"], env, expect_exit=FAULT_EXIT_CODE)
     got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt,
-                                                    "--resume"], env))
+                                                    "--resume"], env).stdout)
     expect(got["resumed_from_step"] == "2", f"{tag}: resumed_from_step="
            f"{got['resumed_from_step']}, expected 2 (last interval-aligned snapshot)")
     expect_fingerprints_equal(ref, got, tag)
@@ -114,11 +139,12 @@ def scenario_corrupt_fallback(binary, workdir, base_args, env, tag, ref):
     """Corrupt a walker section in the newest snapshot right before the kill:
     the resume must DETECT it (CRC) and fall back to the .prev snapshot."""
     ckpt = str(workdir / f"{tag}.ckpt")
-    run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt, "--interval", "1",
-                                    "--fault", "abort@3,corrupt@walker0"], env,
-               expect_exit=FAULT_EXIT_CODE)
+    kill = run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt, "--interval", "1",
+                                           "--fault", "abort@3,corrupt@walker0"], env,
+                      expect_exit=FAULT_EXIT_CODE)
+    expect_injection_confirmed(kill, tag)
     got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt,
-                                                    "--resume"], env))
+                                                    "--resume"], env).stdout)
     expect(got["resume_fallback"] == "1",
            f"{tag}: injected corruption NOT detected (no fallback to .prev; "
            f"resume_error='{got['resume_error']}')")
@@ -130,11 +156,12 @@ def scenario_corrupt_fallback(binary, workdir, base_args, env, tag, ref):
 
 def scenario_truncate_fallback(binary, workdir, base_args, env, tag, ref):
     ckpt = str(workdir / f"{tag}.ckpt")
-    run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt, "--interval", "1",
-                                    "--fault", "abort@3,truncate@40"], env,
-               expect_exit=FAULT_EXIT_CODE)
+    kill = run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt, "--interval", "1",
+                                           "--fault", "abort@3,truncate@40"], env,
+                      expect_exit=FAULT_EXIT_CODE)
+    expect_injection_confirmed(kill, tag)
     got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt,
-                                                    "--resume"], env))
+                                                    "--resume"], env).stdout)
     expect(got["resume_fallback"] == "1",
            f"{tag}: truncation NOT detected (resume_error='{got['resume_error']}')")
     expect(got["resumed_from_step"] == "2",
@@ -153,7 +180,7 @@ def scenario_version_skew(binary, workdir, base_args, env, tag, ref):
     if prev.exists():
         patch_version(prev)
     got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", str(ckpt),
-                                                    "--resume"], env))
+                                                    "--resume"], env).stdout)
     expect(got["resumed_from_step"] == "-1",
            f"{tag}: version-skewed snapshot was ACCEPTED (resumed from "
            f"{got['resumed_from_step']})")
@@ -171,11 +198,63 @@ def scenario_config_skew(binary, workdir, base_args, env, tag, ref):
     run_binary(binary, base_args + ["--steps", "4", "--ckpt", ckpt, "--interval", "2",
                                     "--seed", "99"], env)
     got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt,
-                                                    "--resume"], env))
+                                                    "--resume"], env).stdout)
     expect(got["resumed_from_step"] == "-1",
            f"{tag}: foreign-config snapshot was ACCEPTED (resumed from "
            f"{got['resumed_from_step']})")
     expect(got["resume_error"] != "", f"{tag}: refusal left no diagnostic")
+    expect_fingerprints_equal(ref, got, tag)
+
+
+def scenario_noop_injection(binary, workdir, base_args, env, tag, ref):
+    """A corrupt@walker target past the population (walker 99 of 4) finds no
+    section to damage: the binary must WARN (fault-injection NO-OP) instead
+    of silently skipping, and the undamaged snapshot must resume cleanly."""
+    ckpt = str(workdir / f"{tag}.ckpt")
+    kill = run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt, "--interval", "1",
+                                           "--fault", "abort@3,corrupt@walker99"], env,
+                      expect_exit=FAULT_EXIT_CODE)
+    expect("fault-injection NO-OP" in kill.stderr,
+           f"{tag}: out-of-range corrupt@walker99 fired silently (no NO-OP "
+           f"warning)\nstderr:\n{kill.stderr}")
+    got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt,
+                                                    "--resume"], env).stdout)
+    expect(got["resume_fallback"] == "0",
+           f"{tag}: no-op injection DID damage the snapshot "
+           f"(resume_error='{got['resume_error']}')")
+    expect(got["resumed_from_step"] == "3",
+           f"{tag}: resumed from {got['resumed_from_step']}, expected 3 "
+           f"(newest snapshot, undamaged)")
+    expect_fingerprints_equal(ref, got, tag)
+
+
+def scenario_malformed_spec(binary, workdir, base_args, env, tag, ref):
+    """A signed step number is not a fault plan: `abort@+3` must be rejected
+    at parse time (strtol would have accepted it and armed step 3), the run
+    must complete cleanly with NO fault armed, and the trajectory must match
+    the reference."""
+    ckpt = str(workdir / f"{tag}.ckpt")
+    proc = run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt, "--interval", "2",
+                                           "--fault", "abort@+3"], env)
+    expect("ignoring malformed" in proc.stderr,
+           f"{tag}: malformed token 'abort@+3' accepted without a warning\n"
+           f"stderr:\n{proc.stderr}")
+    got = parse_run(proc.stdout)
+    expect_fingerprints_equal(ref, got, tag)
+
+
+def scenario_population_resume(binary, workdir, base_args, env, tag, ref):
+    """Kill a resident WalkerPopulation under 2 shards, resume it under 3:
+    shard assignment is derived machine layout, not trajectory state, so the
+    resumed fingerprints must match the plain-driver reference bit-for-bit."""
+    ckpt = str(workdir / f"{tag}.ckpt")
+    run_binary(binary, base_args + ["--steps", "6", "--shards", "2", "--ckpt", ckpt,
+                                    "--interval", "2", "--fault", "abort@3"], env,
+               expect_exit=FAULT_EXIT_CODE)
+    got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--shards", "3",
+                                                    "--ckpt", ckpt, "--resume"], env).stdout)
+    expect(got["resumed_from_step"] == "2",
+           f"{tag}: resumed_from_step={got['resumed_from_step']}, expected 2")
     expect_fingerprints_equal(ref, got, tag)
 
 
@@ -204,6 +283,9 @@ def main(argv=None):
         ("truncate-fallback", scenario_truncate_fallback),
         ("version-skew", scenario_version_skew),
         ("config-skew", scenario_config_skew),
+        ("noop-injection", scenario_noop_injection),
+        ("malformed-spec", scenario_malformed_spec),
+        ("population-resume", scenario_population_resume),
     ]
     for driver in ("per-walker", "crowd"):
         for partition in ("1x2", "2x1"):
