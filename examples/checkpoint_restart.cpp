@@ -25,7 +25,7 @@ void usage(const char* prog)
 {
   std::printf(
       "usage: %s [options]\n"
-      "  --driver per-walker|crowd   sweep driver (default per-walker)\n"
+      "  --driver per-walker|crowd|dmc  sweep driver (default per-walker)\n"
       "  --layout aos|soa|aosoa      spline layout (default soa, optimized tables)\n"
       "  --walkers N                 walker count (default 4)\n"
       "  --steps N                   Monte Carlo sweeps (default 6)\n"
@@ -37,7 +37,13 @@ void usage(const char* prog)
       "  --resume                    restore from --ckpt before sweeping\n"
       "  --fault SPEC                fault-injection spec (see qmc/checkpoint.h)\n"
       "  --shards N                  run as a resident WalkerPopulation with N\n"
-      "                              shards (0 = plain run_miniqmc, default)\n",
+      "                              shards (0 = plain run_miniqmc, default)\n"
+      "  --dmc N                     DMC driver: N branching generations\n"
+      "                              (implies --driver dmc; --steps is ignored)\n"
+      "  --dmc-gen-steps N           sweeps per generation (default 1)\n"
+      "  --dmc-target N              target population (default = --walkers)\n"
+      "  --dmc-tau T                 branching time step (default 0.4 here)\n"
+      "  --dmc-replay                fixed-population replay oracle mode\n",
       prog);
 }
 
@@ -54,6 +60,9 @@ int main(int argc, char** argv)
   cfg.num_walkers = 4;
   cfg.steps = 6;
   cfg.checkpoint_interval = 2;
+  // An aggressive-enough default branching time step that harness-scale DMC
+  // runs (4 walkers, a handful of generations) actually see birth/death.
+  cfg.dmc_tau = 0.4;
   int shards = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,7 +76,9 @@ int main(int argc, char** argv)
     };
     if (arg == "--driver") {
       const std::string v = next();
-      cfg.driver = v == "crowd" ? DriverMode::Crowd : DriverMode::PerWalker;
+      cfg.driver = v == "crowd"
+                       ? DriverMode::Crowd
+                       : (v == "dmc" ? DriverMode::DMC : DriverMode::PerWalker);
     } else if (arg == "--layout") {
       const std::string v = next();
       if (v == "aos") {
@@ -100,6 +111,17 @@ int main(int argc, char** argv)
       cfg.fault_inject = next();
     } else if (arg == "--shards") {
       shards = std::atoi(next());
+    } else if (arg == "--dmc") {
+      cfg.driver = DriverMode::DMC;
+      cfg.dmc_generations = std::atoi(next());
+    } else if (arg == "--dmc-gen-steps") {
+      cfg.dmc_gen_steps = std::atoi(next());
+    } else if (arg == "--dmc-target") {
+      cfg.dmc_target_walkers = std::atoi(next());
+    } else if (arg == "--dmc-tau") {
+      cfg.dmc_tau = std::atof(next());
+    } else if (arg == "--dmc-replay") {
+      cfg.dmc_replay = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -130,6 +152,20 @@ int main(int argc, char** argv)
   std::printf("resume_fallback=%d\n", res.resume_fallback_used ? 1 : 0);
   std::printf("resume_error=%s\n", res.resume_error.c_str());
   std::printf("checkpoints_written=%d\n", res.checkpoints_written);
+  if (cfg.driver == DriverMode::DMC) {
+    // Branching provenance: population trace + counters + trial energy (raw
+    // bits, same discipline as the fingerprints).  The harness asserts a
+    // resumed run reproduces ALL of it, not just the walker fingerprints.
+    std::string trace;
+    for (const int p : res.dmc_population)
+      trace += (trace.empty() ? "" : ",") + std::to_string(p);
+    std::printf("dmc_population=%s\n", trace.c_str());
+    std::printf("dmc_births=%" PRIu64 "\n", res.dmc_births);
+    std::printf("dmc_deaths=%" PRIu64 "\n", res.dmc_deaths);
+    std::uint64_t et_bits = 0;
+    std::memcpy(&et_bits, &res.dmc_trial_energy, sizeof et_bits);
+    std::printf("dmc_trial_energy=%016" PRIx64 "\n", et_bits);
+  }
   for (std::size_t w = 0; w < res.walker_accepts.size(); ++w) {
     // log-det as raw bits: the harness compares trajectories bit-for-bit,
     // and a decimal round-trip would hide 1-ulp divergence.

@@ -95,6 +95,20 @@ public:
     cached_gauss_ = st.cached_gauss;
   }
 
+  /// Derive an independent stream for a spawned walker (DMC birth path).
+  /// The child is seeded from the next two raw draws of THIS stream, so it
+  /// is a pure function of the parent's state at the split point, and the
+  /// parent advances past those draws — parent and child never replay each
+  /// other's sequence.  The parent's Box–Muller cache is not inherited: the
+  /// child starts on a fresh gaussian phase.
+  [[nodiscard]] Xoshiro256 split() noexcept
+  {
+    const std::uint64_t hi = (*this)();
+    const std::uint64_t lo = (*this)();
+    SplitMix64 sm(hi ^ (0x94d049bb133111ebULL * (lo | 1)));
+    return Xoshiro256(sm.next());
+  }
+
   /// Uniform double in [0,1) with 53 random bits.
   double uniform() noexcept { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
 

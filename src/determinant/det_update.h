@@ -16,6 +16,8 @@
 #ifndef MQC_DETERMINANT_DET_UPDATE_H
 #define MQC_DETERMINANT_DET_UPDATE_H
 
+#include <cassert>
+
 #include "common/threading.h"
 #include "determinant/delayed_update.h"
 #include "determinant/dirac_determinant.h"
@@ -110,6 +112,24 @@ public:
   const Matrix<double>& inverse()
   {
     return kind_ == DetUpdateKind::Delayed ? delayed_.inverse() : dirac_.inverse();
+  }
+
+  /// Deep-copy the active engine's state from @p other — the DMC
+  /// walker-birth path (qmc/dmc_driver.cpp): a spawned child inherits its
+  /// parent's inverse, log-det and any pending delayed-update window
+  /// byte-for-byte, instead of rebuilding O(N^3) from scratch.  Both sides
+  /// must be configured with the same delay_rank.  The inner-team binding is
+  /// scheduling state, not walker state: the clone keeps its own team.
+  void clone_state_from(const DetUpdater& other)
+  {
+    assert(kind_ == other.kind_ && delay() == other.delay());
+    if (kind_ == DetUpdateKind::Delayed) {
+      const TeamHandle keep = delayed_.team();
+      delayed_ = other.delayed_;
+      delayed_.set_team(keep);
+    } else {
+      dirac_ = other.dirac_;
+    }
   }
 
   // checkpoint/restore access (qmc/checkpoint.cpp): the active engine as

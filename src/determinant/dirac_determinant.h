@@ -54,6 +54,9 @@ public:
     ainv_ = std::move(ainv);
     log_det_ = log_det;
     sign_ = sign;
+    // Size the update scratch like build() would: a restored engine may
+    // never have been built (walker resurrected from a snapshot blob).
+    work_.assign(static_cast<std::size_t>(ainv_.rows()), 0.0);
   }
 
 private:

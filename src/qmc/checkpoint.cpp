@@ -118,6 +118,13 @@ std::vector<std::uint8_t> serialize_snapshot(const Snapshot& snap)
   return bytes;
 }
 
+std::string hex16(std::uint64_t v)
+{
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
 LoadResult parse_snapshot(const std::string& path, const std::vector<std::uint8_t>& bytes,
                           std::uint64_t expected_config_hash, Snapshot& out)
 {
@@ -146,7 +153,10 @@ LoadResult parse_snapshot(const std::string& path, const std::vector<std::uint8_
   if (stored_hcrc != crc32(bytes.data(), kHeaderSize - 4))
     return fail(LoadError::Header, "header CRC mismatch");
   if (config_hash != expected_config_hash)
-    return fail(LoadError::ConfigHash, "snapshot was written by a different configuration");
+    return fail(LoadError::ConfigHash,
+                "snapshot was written by a different configuration (config hash " +
+                    hex16(config_hash) + ", this run expects " + hex16(expected_config_hash) +
+                    ")");
 
   out.config_hash = config_hash;
   out.sections.clear();
@@ -530,7 +540,8 @@ bool restore_det(BlobReader& r, DetUpdater& det, int norb)
 }
 
 std::vector<std::uint8_t> serialize_walker(WalkerState& w, const MiniQMCSystem& sys,
-                                           const MiniQMCConfig& cfg, int wid)
+                                           const MiniQMCConfig& cfg, int wid,
+                                           bool include_dets = true)
 {
   BlobWriter out;
   out.u32(static_cast<std::uint32_t>(wid));
@@ -576,13 +587,16 @@ std::vector<std::uint8_t> serialize_walker(WalkerState& w, const MiniQMCSystem& 
     dump(reinterpret_cast<const qmc_real*>(w.ei_aos->state_dr()), 3 * w.ei_aos->state_count());
   }
 
-  serialize_det(out, w.det_up);
-  serialize_det(out, w.det_dn);
+  if (include_dets) {
+    serialize_det(out, w.det_up);
+    serialize_det(out, w.det_dn);
+  }
   return out.take();
 }
 
 bool restore_walker(const std::vector<std::uint8_t>& payload, WalkerState& w,
-                    const MiniQMCSystem& sys, const MiniQMCConfig& cfg, int wid)
+                    const MiniQMCSystem& sys, const MiniQMCConfig& cfg, int wid,
+                    bool include_dets = true)
 {
   BlobReader r(payload);
   if (static_cast<int>(r.u32()) != wid)
@@ -638,7 +652,7 @@ bool restore_walker(const std::vector<std::uint8_t>& payload, WalkerState& w,
   if (!tables_ok)
     return false;
 
-  if (!restore_det(r, w.det_up, sys.norb) || !restore_det(r, w.det_dn, sys.norb))
+  if (include_dets && (!restore_det(r, w.det_up, sys.norb) || !restore_det(r, w.det_dn, sys.norb)))
     return false;
   if (!r.ok() || !r.exhausted())
     return false;
@@ -656,12 +670,18 @@ bool restore_walker(const std::vector<std::uint8_t>& payload, WalkerState& w,
   return true;
 }
 
-std::vector<std::uint8_t> serialize_meta(int step, const MiniQMCSystem& sys,
-                                         const MiniQMCConfig& cfg)
+/// Meta payload: the common prefix (resume reads exactly these fields), then
+/// — for DMC snapshots only — the branching-provenance tail.  @p nw is the
+/// LIVE population at the snapshot point (== sys.nw for the fixed-count VMC
+/// drivers).  A VMC meta stays byte-identical to the PR 7 format; the DMC
+/// tail is purely appended, which the prefix-reading resume tolerates.
+std::vector<std::uint8_t> serialize_meta(int step, int nw, const MiniQMCSystem& sys,
+                                         const MiniQMCConfig& cfg,
+                                         const DmcRunState* dmc = nullptr)
 {
   BlobWriter out;
   out.u32(static_cast<std::uint32_t>(step));
-  out.u32(static_cast<std::uint32_t>(sys.nw));
+  out.u32(static_cast<std::uint32_t>(nw));
   out.u32(static_cast<std::uint32_t>(sys.nel));
   out.u32(static_cast<std::uint32_t>(sys.norb));
   out.u32(static_cast<std::uint32_t>(sizeof(qmc_real)));
@@ -669,6 +689,16 @@ std::vector<std::uint8_t> serialize_meta(int step, const MiniQMCSystem& sys,
   out.i32(cfg.delay_rank);
   out.u8(cfg.optimized_dt_jastrow ? 1 : 0);
   out.u8(static_cast<std::uint8_t>(cfg.spo));
+  if (dmc != nullptr) {
+    out.u8(1); // DMC provenance tail marker
+    out.u32(static_cast<std::uint32_t>(dmc->generation));
+    out.f64(dmc->trial_energy);
+    out.u64(dmc->births);
+    out.u64(dmc->deaths);
+    out.u32(static_cast<std::uint32_t>(dmc->weights.size()));
+    for (const double wgt : dmc->weights)
+      out.f64(wgt);
+  }
   return out.take();
 }
 
@@ -692,9 +722,32 @@ std::uint64_t miniqmc_config_hash(const MiniQMCConfig& cfg, const MiniQMCSystem&
   h.mix(sigma_bits);
   h.mix(cfg.seed);
   h.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(cfg.delay_rank)));
-  // Deliberately excluded: driver mode, crowd_size, tile_size, inner_threads,
-  // pos_block, steps — pure scheduling/budget knobs under the bit-for-bit
-  // invariant, so a snapshot written by one schedule resumes under any other.
+  // Deliberately excluded: crowd_size, tile_size, inner_threads, pos_block,
+  // steps — pure scheduling/budget knobs under the bit-for-bit invariant, so
+  // a snapshot written by one schedule resumes under any other.  Driver mode
+  // is likewise excluded for the fixed-population VMC drivers (per-walker and
+  // crowd trajectories are identical), but DMC branching IS the trajectory:
+  // every branching knob below is mixed in, so VMC and DMC snapshots — or two
+  // different branching setups — never cross-resume silently.
+  if (cfg.driver == DriverMode::DMC) {
+    const auto mixf = [&h](double v) {
+      std::uint64_t bits = 0;
+      static_assert(sizeof bits == sizeof v);
+      std::memcpy(&bits, &v, sizeof bits);
+      h.mix(bits);
+    };
+    h.mix(0x444d4331ULL); // "DMC1" tag
+    h.mix(static_cast<std::uint64_t>(cfg.dmc_gen_steps));
+    mixf(cfg.dmc_tau);
+    mixf(cfg.dmc_weight_min);
+    mixf(cfg.dmc_weight_max);
+    mixf(cfg.dmc_feedback);
+    h.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(cfg.dmc_max_branch)));
+    h.mix(static_cast<std::uint64_t>(
+        cfg.dmc_target_walkers > 0 ? cfg.dmc_target_walkers : sys.nw));
+    h.mix(cfg.dmc_replay ? 1 : 0);
+    // dmc_generations is the step budget, excluded like cfg.steps.
+  }
   return h.h;
 }
 
@@ -734,12 +787,16 @@ int next_epoch_boundary(const CheckpointRuntime& rt, int step, int steps)
   return boundary;
 }
 
-void checkpoint_step_boundary(const CheckpointRuntime& rt, const MiniQMCConfig& cfg,
-                              const MiniQMCSystem& sys, std::vector<WalkerState>& walkers,
-                              int step, int steps, MiniQMCResult& result)
+namespace {
+
+/// Shared step-boundary protocol for the fixed-population drivers and DMC:
+/// write an interval-aligned or final snapshot over the LIVE walker vector
+/// (with the DMC Meta tail when @p dmc is set), apply armed file faults,
+/// and exit the process when the abort fault fires at this boundary.
+void boundary_snapshot(const CheckpointRuntime& rt, const MiniQMCConfig& cfg,
+                       const MiniQMCSystem& sys, std::vector<WalkerState>& walkers,
+                       const DmcRunState* dmc, int step, int steps, MiniQMCResult& result)
 {
-  if (!rt.enabled())
-    return;
 #ifdef MQC_CONTRACTS
   // Snapshot points sit between team regions: no facade evaluation may own
   // any walker's resource here, or the snapshot would capture scratch
@@ -755,13 +812,13 @@ void checkpoint_step_boundary(const CheckpointRuntime& rt, const MiniQMCConfig& 
     snap.config_hash = rt.config_hash;
     Section meta;
     meta.id = SectionId::Meta;
-    meta.payload = serialize_meta(step, sys, cfg);
+    meta.payload = serialize_meta(step, static_cast<int>(walkers.size()), sys, cfg, dmc);
     snap.sections.push_back(std::move(meta));
-    for (int wid = 0; wid < sys.nw; ++wid) {
+    for (std::size_t wid = 0; wid < walkers.size(); ++wid) {
       Section s;
       s.id = SectionId::Walker;
       s.index = static_cast<std::uint32_t>(wid);
-      s.payload = serialize_walker(walkers[static_cast<std::size_t>(wid)], sys, cfg, wid);
+      s.payload = serialize_walker(walkers[wid], sys, cfg, static_cast<int>(wid));
       snap.sections.push_back(std::move(s));
     }
     std::string err;
@@ -776,6 +833,27 @@ void checkpoint_step_boundary(const CheckpointRuntime& rt, const MiniQMCConfig& 
     std::fflush(nullptr);
     std::_Exit(ckpt::kFaultExitCode); // simulated node loss (fault harness)
   }
+}
+
+} // namespace
+
+void checkpoint_step_boundary(const CheckpointRuntime& rt, const MiniQMCConfig& cfg,
+                              const MiniQMCSystem& sys, std::vector<WalkerState>& walkers,
+                              int step, int steps, MiniQMCResult& result)
+{
+  if (!rt.enabled())
+    return;
+  boundary_snapshot(rt, cfg, sys, walkers, nullptr, step, steps, result);
+}
+
+void dmc_checkpoint_boundary(const CheckpointRuntime& rt, const MiniQMCConfig& cfg,
+                             const MiniQMCSystem& sys, std::vector<WalkerState>& walkers,
+                             DmcRunState& dmc, int step, int steps, MiniQMCResult& result)
+{
+  if (!rt.enabled())
+    return;
+  assert(dmc.weights.size() == walkers.size());
+  boundary_snapshot(rt, cfg, sys, walkers, &dmc, step, steps, result);
 }
 
 int resume_from_checkpoint(const CheckpointRuntime& rt, const MiniQMCConfig& cfg,
@@ -816,7 +894,7 @@ int resume_from_checkpoint(const CheckpointRuntime& rt, const MiniQMCConfig& cfg
       break;
     }
     WalkerState probe;
-    init_walker(probe, sys, cfg, wid);
+    init_walker_shell(probe, sys, cfg); // restore validates shapes; no fresh build needed
     if (!restore_walker(s->payload, probe, sys, cfg, wid)) {
       result.resume_error =
           load.path_used + ": walker section " + std::to_string(wid) + " failed layout checks";
@@ -835,6 +913,132 @@ int resume_from_checkpoint(const CheckpointRuntime& rt, const MiniQMCConfig& cfg
     (void)applied;
     assert(applied); // the probe pass above already validated every payload
   }
+  result.resumed_from_step = step;
+  result.resume_fallback_used = load.fallback_used;
+  if (load.fallback_used)
+    result.resume_error = load.detail; // surfaced: recovery path engaged
+  return step;
+}
+
+// --------------------------------------------------------------------------
+// Walker-state blob accessors (shared with the DMC clone path)
+// --------------------------------------------------------------------------
+
+std::vector<std::uint8_t> serialize_walker_state(WalkerState& w, const MiniQMCSystem& sys,
+                                                 const MiniQMCConfig& cfg, int wid)
+{
+  return serialize_walker(w, sys, cfg, wid);
+}
+
+bool restore_walker_state(const std::vector<std::uint8_t>& payload, WalkerState& w,
+                          const MiniQMCSystem& sys, const MiniQMCConfig& cfg, int wid)
+{
+  return restore_walker(payload, w, sys, cfg, wid);
+}
+
+void clone_walker_state(WalkerState& dst, WalkerState& src, const MiniQMCSystem& sys,
+                        const MiniQMCConfig& cfg)
+{
+  // Light state (rng stream incl. the Box–Muller cache, counters, positions,
+  // committed distance tables) rides the Walker-section codec, so a clone is
+  // exactly a snapshot round-trip of its parent; the O(norb^2) determinant
+  // panels skip the byte codec via the direct engine copy.
+  const std::vector<std::uint8_t> blob =
+      serialize_walker(src, sys, cfg, /*wid=*/0, /*include_dets=*/false);
+  const bool applied = restore_walker(blob, dst, sys, cfg, /*wid=*/0, /*include_dets=*/false);
+  (void)applied;
+  assert(applied); // dst shell-initialized for the same (sys, cfg) => same shapes
+  dst.det_up.clone_state_from(src.det_up);
+  dst.det_dn.clone_state_from(src.det_dn);
+}
+
+// --------------------------------------------------------------------------
+// DMC population checkpoint glue
+// --------------------------------------------------------------------------
+
+int dmc_resume_from_checkpoint(const CheckpointRuntime& rt, const MiniQMCConfig& cfg,
+                               const MiniQMCSystem& sys, std::vector<WalkerState>& walkers,
+                               DmcRunState& dmc, MiniQMCResult& result)
+{
+  if (!rt.enabled() || !cfg.resume)
+    return 0;
+  Snapshot snap;
+  const ckpt::LoadResult load = ckpt::read_snapshot_with_fallback(rt.path, rt.config_hash, snap);
+  if (!load.loaded()) {
+    result.resume_error = load.detail;
+    return 0; // fresh start, surfaced — never a crash
+  }
+  const Section* meta = snap.find(SectionId::Meta);
+  if (meta == nullptr) {
+    result.resume_error = load.path_used + ": snapshot has no meta section";
+    return 0;
+  }
+  BlobReader mr(meta->payload);
+  const auto step = static_cast<int>(mr.u32());
+  const auto nw = static_cast<int>(mr.u32());
+  const auto nel = static_cast<int>(mr.u32());
+  const auto norb = static_cast<int>(mr.u32());
+  const auto real_size = static_cast<int>(mr.u32());
+  if (!mr.ok() || nw < 1 || nel != sys.nel || norb != sys.norb ||
+      real_size != static_cast<int>(sizeof(qmc_real)) || step < 0) {
+    result.resume_error = load.path_used + ": meta section disagrees with the live run shape";
+    return 0;
+  }
+  // Skip the common tail (seed, delay_rank, optimized, spo): the config hash
+  // already pinned them; the DMC provenance tail follows.
+  (void)mr.u64();
+  (void)mr.i32();
+  (void)mr.u8();
+  (void)mr.u8();
+  if (mr.u8() != 1 || !mr.ok()) {
+    result.resume_error = load.path_used + ": meta section has no DMC provenance tail";
+    return 0;
+  }
+  DmcRunState staged;
+  staged.generation = static_cast<int>(mr.u32());
+  staged.trial_energy = mr.f64();
+  staged.births = mr.u64();
+  staged.deaths = mr.u64();
+  const auto nweights = static_cast<int>(mr.u32());
+  if (!mr.ok() || staged.generation < 0 || nweights != nw) {
+    result.resume_error = load.path_used + ": DMC provenance tail failed layout checks";
+    return 0;
+  }
+  staged.weights.resize(static_cast<std::size_t>(nweights));
+  for (double& wgt : staged.weights)
+    wgt = mr.f64();
+  if (!mr.ok()) {
+    result.resume_error = load.path_used + ": DMC provenance tail failed layout checks";
+    return 0;
+  }
+  // Probe pass: validate every walker section against the live shapes before
+  // touching the population — a damaged snapshot must never half-apply.
+  for (int wid = 0; wid < nw; ++wid) {
+    const Section* s = snap.find(SectionId::Walker, static_cast<std::uint32_t>(wid));
+    if (s == nullptr) {
+      result.resume_error = load.path_used + ": missing walker section " + std::to_string(wid);
+      return 0;
+    }
+    WalkerState probe;
+    init_walker_shell(probe, sys, cfg);
+    if (!restore_walker(s->payload, probe, sys, cfg, wid)) {
+      result.resume_error =
+          load.path_used + ": walker section " + std::to_string(wid) + " failed layout checks";
+      return 0;
+    }
+  }
+  // Apply: rebuild the population at the snapshot's size (dynamic in DMC).
+  walkers.clear();
+  walkers.resize(static_cast<std::size_t>(nw));
+  for (int wid = 0; wid < nw; ++wid) {
+    const Section* s = snap.find(SectionId::Walker, static_cast<std::uint32_t>(wid));
+    init_walker_shell(walkers[static_cast<std::size_t>(wid)], sys, cfg);
+    const bool applied =
+        restore_walker(s->payload, walkers[static_cast<std::size_t>(wid)], sys, cfg, wid);
+    (void)applied;
+    assert(applied); // the probe pass above already validated every payload
+  }
+  dmc = std::move(staged);
   result.resumed_from_step = step;
   result.resume_fallback_used = load.fallback_used;
   if (load.fallback_used)

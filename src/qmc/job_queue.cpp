@@ -72,6 +72,7 @@ struct JobQueue::Impl
   std::size_t completed = 0;
   std::size_t batches = 0;
   bool stop = false;
+  bool closed = false; ///< set by drain(): later submits are surfaced rejections
 
   std::vector<std::thread> workers;
 
@@ -229,12 +230,28 @@ JobQueue::~JobQueue()
 std::uint64_t JobQueue::submit(const JobSpec& spec)
 {
   std::uint64_t id;
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     id = impl_->next_id++;
-    impl_->pending.push_back(PendingJob{id, spec});
+    if (impl_->closed) {
+      // drain() closed the queue: racing this submit against worker shutdown
+      // could silently drop the job, so it is rejected with a surfaced,
+      // waitable result instead (never enqueued, never silently lost).
+      JobResult r;
+      r.id = id;
+      r.ok = false;
+      r.error = "queue closed by drain(); job rejected";
+      impl_->results.emplace(id, std::move(r));
+      rejected = true;
+    } else {
+      impl_->pending.push_back(PendingJob{id, spec});
+    }
   }
-  impl_->cv_work.notify_one();
+  if (rejected)
+    impl_->cv_done.notify_all();
+  else
+    impl_->cv_work.notify_one();
   return id;
 }
 
@@ -269,6 +286,7 @@ JobResult JobQueue::wait(std::uint64_t id)
 std::vector<JobResult> JobQueue::drain()
 {
   std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->closed = true; // later submits become surfaced rejections (see submit)
   impl_->cv_done.wait(lk, [&] { return impl_->pending.empty() && impl_->in_flight == 0; });
   std::vector<JobResult> out;
   out.reserve(impl_->results.size());

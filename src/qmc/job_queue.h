@@ -86,13 +86,19 @@ public:
   JobQueue& operator=(const JobQueue&) = delete;
 
   /// Enqueue a job; returns its id immediately (workers pick it up async).
+  /// After drain() has closed the queue, the job is NOT enqueued: it gets an
+  /// immediate ok=false "queue closed" result, retrievable via wait()/
+  /// drain() like any other — a defined, surfaced rejection instead of the
+  /// silent drop a submit racing worker shutdown could otherwise suffer.
   std::uint64_t submit(const JobSpec& spec);
   /// Block until job @p id completes and return its result (one-shot: the
   /// result is handed over and released).  An unknown or already-collected
   /// id returns ok=false immediately.
   JobResult wait(std::uint64_t id);
-  /// Block until every submitted job has completed; returns all uncollected
-  /// results in submission order (and releases them).
+  /// Close the queue to new work, block until every submitted job has
+  /// completed, and return all uncollected results in submission order
+  /// (releasing them).  Jobs submitted after drain() are rejected (see
+  /// submit); a later drain() returns any such rejection results.
   std::vector<JobResult> drain();
 
   [[nodiscard]] int num_workers() const noexcept;

@@ -302,13 +302,16 @@ inline Vec3<qmc_real> propose(Xoshiro256& rng, const Vec3<qmc_real>& r, double s
 /// Walker setup (not profiled): rng stream, positions, tables, output
 /// buffers, determinants.  Identical for both drivers — each walker's state
 /// is a function of (config, walker id) only, never of crowd membership.
-inline void init_walker(WalkerState& w, const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
-                        int wid)
+/// Allocate every buffer of @p w for (@p sys, @p cfg) without computing any
+/// physical state: particle sets, distance tables, output/scratch buffers,
+/// and determinant engines sized for cfg.delay_rank.  This is the shared
+/// shell of init_walker and of the restore/clone paths (qmc/checkpoint.cpp,
+/// qmc/dmc_driver.cpp), which overwrite the full committed state anyway and
+/// must not pay the O(norb) orbital evaluations of a fresh build.
+inline void init_walker_shell(WalkerState& w, const MiniQMCSystem& sys, const MiniQMCConfig& cfg)
 {
-  w.rng = Xoshiro256::for_stream(cfg.seed, static_cast<std::uint64_t>(wid));
-  w.elec_soa = random_particles<qmc_real>(sys.nel, sys.crystal.lattice,
-                                          cfg.seed + 1000 + static_cast<std::uint64_t>(wid));
-  w.elec_aos = to_aos(w.elec_soa);
+  w.elec_soa = ParticleSetSoA<qmc_real>(sys.nel);
+  w.elec_aos = ParticleSetAoS<qmc_real>(sys.nel);
   // Fast minimum image for both layouts: identical approximation, so the
   // AoS/SoA comparison isolates the layout (see DESIGN.md).
   w.ee_aos = std::make_unique<DistanceTableAA_AoS<qmc_real>>(sys.crystal.lattice, sys.nel,
@@ -319,13 +322,6 @@ inline void init_walker(WalkerState& w, const MiniQMCSystem& sys, const MiniQMCC
                                                              MinImageMode::Fast);
   w.ei_soa = std::make_unique<DistanceTableAB_SoA<qmc_real>>(sys.crystal.lattice, sys.ions_soa,
                                                              sys.nel, MinImageMode::Fast);
-  if (cfg.optimized_dt_jastrow) {
-    w.ee_soa->evaluate(w.elec_soa);
-    w.ei_soa->evaluate(w.elec_soa);
-  } else {
-    w.ee_aos->evaluate(w.elec_aos);
-    w.ei_aos->evaluate(w.elec_aos);
-  }
   w.out_aos = std::make_unique<WalkerAoS<qmc_real>>(sys.out_pad);
   w.out_soa = std::make_unique<WalkerSoA<qmc_real>>(sys.out_pad);
   w.quad_v.resize(static_cast<std::size_t>(sys.nq) * sys.out_pad);
@@ -338,10 +334,27 @@ inline void init_walker(WalkerState& w, const MiniQMCSystem& sys, const MiniQMCC
   w.phi.resize(static_cast<std::size_t>(sys.norb));
   w.jgrad.resize(static_cast<std::size_t>(sys.nel));
   w.jlap.resize(static_cast<std::size_t>(sys.nel));
-
-  // Determinants from the initial configuration (double precision).
   w.det_up = DetUpdater(cfg.delay_rank);
   w.det_dn = DetUpdater(cfg.delay_rank);
+}
+
+inline void init_walker(WalkerState& w, const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
+                        int wid)
+{
+  init_walker_shell(w, sys, cfg);
+  w.rng = Xoshiro256::for_stream(cfg.seed, static_cast<std::uint64_t>(wid));
+  w.elec_soa = random_particles<qmc_real>(sys.nel, sys.crystal.lattice,
+                                          cfg.seed + 1000 + static_cast<std::uint64_t>(wid));
+  w.elec_aos = to_aos(w.elec_soa);
+  if (cfg.optimized_dt_jastrow) {
+    w.ee_soa->evaluate(w.elec_soa);
+    w.ei_soa->evaluate(w.elec_soa);
+  } else {
+    w.ee_aos->evaluate(w.elec_aos);
+    w.ei_aos->evaluate(w.elec_aos);
+  }
+
+  // Determinants from the initial configuration (double precision).
   {
     Matrix<double> a_up(sys.norb), a_dn(sys.norb);
     for (int e = 0; e < sys.norb; ++e) {
@@ -485,6 +498,9 @@ inline void reduce_result(MiniQMCResult& result, std::vector<WalkerState>& walke
 /// The crowd sweep (crowd_driver.cpp); dispatched to by run_miniqmc.
 MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg);
 
+/// The DMC branching driver (dmc_driver.cpp); dispatched to by run_miniqmc.
+MiniQMCResult run_miniqmc_dmc(const MiniQMCConfig& cfg);
+
 // --------------------------------------------------------------------------
 // Checkpoint glue (implemented in qmc/checkpoint.cpp).
 //
@@ -541,6 +557,72 @@ void checkpoint_step_boundary(const CheckpointRuntime& rt, const MiniQMCConfig& 
                                          const MiniQMCSystem& sys,
                                          std::vector<WalkerState>& walkers,
                                          MiniQMCResult& result);
+
+// --------------------------------------------------------------------------
+// Walker-state blob accessors (implemented in qmc/checkpoint.cpp).
+//
+// The checkpoint Walker-section codec doubles as the DMC walker-clone path:
+// a spawned child is exactly a snapshot round-trip of its parent (positions,
+// rng stream incl. the Box–Muller cache, committed distance tables of the
+// configured layout, determinant engine state), so clone fidelity is pinned
+// by the same code the resume tests already pin bit-for-bit.
+// --------------------------------------------------------------------------
+
+/// Serialize the full resumable state of @p w as a checkpoint Walker-section
+/// payload tagged with slot id @p wid.
+[[nodiscard]] std::vector<std::uint8_t> serialize_walker_state(WalkerState& w,
+                                                               const MiniQMCSystem& sys,
+                                                               const MiniQMCConfig& cfg, int wid);
+
+/// Restore @p w from a Walker-section payload written for slot id @p wid.
+/// @p w must be shell-initialized (init_walker_shell or init_walker) for the
+/// same (sys, cfg) shape.  Validates everything before mutating; returns
+/// false (walker untouched) on any mismatch.
+[[nodiscard]] bool restore_walker_state(const std::vector<std::uint8_t>& payload, WalkerState& w,
+                                        const MiniQMCSystem& sys, const MiniQMCConfig& cfg,
+                                        int wid);
+
+/// Clone the FULL per-walker state of @p src into @p dst (the DMC birth
+/// path): blob round-trip for positions/rng/counters/distance tables plus a
+/// direct determinant-engine copy (DetUpdater::clone_state_from) so the
+/// O(norb^2) matrices skip the byte codec.  @p dst must be shell-initialized
+/// for the same (sys, cfg); its rng stream is the parent's — callers give
+/// the child its own stream (Xoshiro256::split) afterwards.
+void clone_walker_state(WalkerState& dst, WalkerState& src, const MiniQMCSystem& sys,
+                        const MiniQMCConfig& cfg);
+
+// --------------------------------------------------------------------------
+// DMC population checkpoint glue (implemented in qmc/checkpoint.cpp).
+// --------------------------------------------------------------------------
+
+/// Branching-run provenance that must survive a checkpoint: the Meta section
+/// of a DMC snapshot appends these after the common prefix (the PR 7 format
+/// already supports a variable walker-section count, so dynamic populations
+/// reuse the container unchanged).
+struct DmcRunState
+{
+  int generation = 0;         ///< completed branch generations
+  double trial_energy = 0.0;  ///< E_T after the last feedback update
+  std::uint64_t births = 0;   ///< cumulative walkers spawned by branching
+  std::uint64_t deaths = 0;   ///< cumulative walkers killed by branching
+  std::vector<double> weights; ///< per-walker branching weights (parallel to the walker vector)
+};
+
+/// DMC flavour of checkpoint_step_boundary: identical protocol (interval or
+/// final snapshot, file faults, abort fault), but the snapshot carries the
+/// live population (walkers.size() walker sections) and the DMC Meta tail.
+void dmc_checkpoint_boundary(const CheckpointRuntime& rt, const MiniQMCConfig& cfg,
+                             const MiniQMCSystem& sys, std::vector<WalkerState>& walkers,
+                             DmcRunState& dmc, int step, int steps, MiniQMCResult& result);
+
+/// DMC flavour of resume_from_checkpoint: resizes @p walkers to the
+/// snapshot's population (shell-init + restore per walker), restores the
+/// branching provenance into @p dmc, and returns the step to continue from
+/// (0 = fresh start).  Same never-crash / never-half-apply contract.
+[[nodiscard]] int dmc_resume_from_checkpoint(const CheckpointRuntime& rt,
+                                             const MiniQMCConfig& cfg, const MiniQMCSystem& sys,
+                                             std::vector<WalkerState>& walkers, DmcRunState& dmc,
+                                             MiniQMCResult& result);
 
 } // namespace mqc::detail
 

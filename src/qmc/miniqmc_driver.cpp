@@ -14,6 +14,8 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
 {
   if (cfg.driver == DriverMode::Crowd)
     return detail::run_miniqmc_crowd(cfg);
+  if (cfg.driver == DriverMode::DMC)
+    return detail::run_miniqmc_dmc(cfg);
 
   const MiniQMCSystem sys(cfg);
   std::vector<WalkerState> walkers(static_cast<std::size_t>(sys.nw));

@@ -41,7 +41,8 @@ enum class SpoLayout
 enum class DriverMode
 {
   PerWalker, ///< one walker per thread, single-position kernels (paper Fig. 3)
-  Crowd      ///< lock-step crowds, multi-position kernels (qmc/crowd_driver.h)
+  Crowd,     ///< lock-step crowds, multi-position kernels (qmc/crowd_driver.h)
+  DMC        ///< branching driver: dynamic population, birth/death (qmc/dmc_driver.h)
 };
 
 /// Timed section keys used by the driver's profile.
@@ -101,6 +102,26 @@ struct MiniQMCConfig
   /// Fault-injection spec (see qmc/checkpoint.h FaultPlan); overrides the
   /// MQC_FAULT_INJECT env var when non-empty.  Testing machinery only.
   std::string fault_inject;
+  // ---- DMC branching driver (driver == DriverMode::DMC; qmc/dmc_driver.h).
+  // A run is dmc_generations branch generations of dmc_gen_steps VMC-style
+  // sweeps each (cfg.steps is ignored by the DMC driver).  All knobs below
+  // except dmc_generations determine the trajectory and are therefore part
+  // of the checkpoint config hash in DMC mode.
+  int dmc_generations = 0;  ///< branch generations to run (the DMC step budget)
+  int dmc_gen_steps = 1;    ///< sweeps between branch steps (generation length)
+  double dmc_tau = 0.05;    ///< imaginary time step: drift scale + weight exponent
+  /// Weight window [min, max]: per-walker branching weights are clamped here
+  /// after every generation's multiplicative update, bounding how fast any
+  /// lineage can proliferate or starve between feedback corrections.
+  double dmc_weight_min = 0.3;
+  double dmc_weight_max = 3.0;
+  double dmc_feedback = 1.0; ///< trial-energy gain: E_T -= g*log(N/N_target)
+  int dmc_max_branch = 3;    ///< cap on copies of one walker per branch step
+  int dmc_target_walkers = 0; ///< population the feedback steers to (0 => initial)
+  /// Fixed-population replay oracle: drift, weights and branching are fully
+  /// disabled (multiplicity pinned to 1), so the run is bit-for-bit a VMC
+  /// crowd run of dmc_generations*dmc_gen_steps steps (tests/test_dmc.cpp).
+  bool dmc_replay = false;
   /// Optional tuning wisdom (core/tuner.h, non-owning; see tune_miniqmc):
   /// the entry under miniqmc_wisdom_key(norb, grid_size, num_walkers)
   /// supplies the OrbitalSet facade's position block, and — with
@@ -157,6 +178,16 @@ struct MiniQMCResult
   std::string resume_error;
   /// Snapshots this run wrote (interval-aligned + final).
   int checkpoints_written = 0;
+  // ---- DMC provenance (driver == DriverMode::DMC; qmc/dmc_driver.cpp).
+  // Population dynamics are part of the trajectory contract: two runs are
+  // "the same run" only if these match exactly, so they are surfaced rather
+  // than reduced away.  walker_accepts / walker_log_det above fingerprint
+  // the FINAL population (children inherit their parent's counters).
+  std::vector<int> dmc_population; ///< walker count after each branch step
+  std::uint64_t dmc_births = 0;    ///< total walkers spawned by branching
+  std::uint64_t dmc_deaths = 0;    ///< total walkers killed by branching
+  double dmc_trial_energy = 0.0;   ///< final E_T after feedback
+  int dmc_shards_used = 0;         ///< shards the population was re-blocked across
 };
 
 MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg);

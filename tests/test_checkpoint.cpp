@@ -449,6 +449,10 @@ TEST(CheckpointFormat, VersionSkewIsRejectedEvenWithValidCrc)
   const ckpt::LoadResult r = ckpt::read_snapshot(ck.path, 7, out);
   EXPECT_EQ(r.error, ckpt::LoadError::Version);
   EXPECT_FALSE(r.loaded());
+  // The rejection must say WHICH versions disagreed — found vs expected —
+  // not just that "something" was wrong (operators debug skew from logs).
+  EXPECT_NE(r.detail.find("format version 2"), std::string::npos) << r.detail;
+  EXPECT_NE(r.detail.find("this build reads 1"), std::string::npos) << r.detail;
 }
 
 TEST(CheckpointFormat, ConfigHashMismatchIsRejected)
@@ -459,6 +463,10 @@ TEST(CheckpointFormat, ConfigHashMismatchIsRejected)
   ckpt::Snapshot out;
   const ckpt::LoadResult r = ckpt::read_snapshot(ck.path, 8, out);
   EXPECT_EQ(r.error, ckpt::LoadError::ConfigHash);
+  // Both hashes — the snapshot's and this run's — must be surfaced in the
+  // detail so a mismatched resume is diagnosable without a hex dump.
+  EXPECT_NE(r.detail.find("0x0000000000000007"), std::string::npos) << r.detail;
+  EXPECT_NE(r.detail.find("0x0000000000000008"), std::string::npos) << r.detail;
 }
 
 TEST(CheckpointFormat, GarbageFileIsRejectedOnMagic)

@@ -28,6 +28,14 @@ detected or a resumed trajectory diverges from the uninterrupted reference:
   population resume     a resident WalkerPopulation (--shards) killed under
                         one shard count must resume under a DIFFERENT shard
                         count bit-for-bit.
+  dmc kill -> resume    a DMC branching run (dynamic population, birth/death)
+                        killed at a generation boundary must resume
+                        bit-for-bit: per-walker fingerprints AND the
+                        branching provenance (population trace tail,
+                        cumulative birth/death counters, trial-energy bits);
+  dmc corrupt -> prev   same, with the newest snapshot's Meta section (which
+                        carries the DMC tail) corrupted: detect, fall back to
+                        .prev, still land on the reference.
 
 Scenarios run for both drivers under two MQC_PARTITION shapes so the resume
 invariant is exercised across schedules, not just one thread layout.  Every
@@ -243,6 +251,60 @@ def scenario_malformed_spec(binary, workdir, base_args, env, tag, ref):
     expect_fingerprints_equal(ref, got, tag)
 
 
+def expect_dmc_provenance_equal(ref, got, tag):
+    """The branching provenance must survive resume exactly: counters and
+    trial energy are cumulative (restored from the Meta tail), and the
+    resumed population trace is the tail of the uninterrupted one."""
+    for key in ("dmc_births", "dmc_deaths", "dmc_trial_energy"):
+        expect(got[key] == ref[key],
+               f"{tag}: {key} diverged (reference {ref[key]}, resumed {got[key]})")
+    ref_trace = ref["dmc_population"].split(",")
+    got_trace = got["dmc_population"].split(",")
+    expect(got_trace == ref_trace[-len(got_trace):],
+           f"{tag}: population trace diverged\n"
+           f"  reference: {ref['dmc_population']}\n"
+           f"  resumed:   {got['dmc_population']}")
+
+
+def scenario_dmc_kill_resume(binary, workdir, base_args, env, tag):
+    """Kill a branching DMC run at generation 3 of 6 (gen_steps=1, so steps
+    ARE generations): the resume must restore the dynamic population from the
+    newest snapshot and land bit-for-bit on the uninterrupted reference —
+    fingerprints of the FINAL (fluctuated) population plus all provenance."""
+    ckpt = str(workdir / f"{tag}.ckpt")
+    ref = parse_run(run_binary(binary, base_args, env).stdout)
+    expect(int(ref["dmc_births"]) + int(ref["dmc_deaths"]) > 0,
+           f"{tag}: reference run never branched — the scenario would prove "
+           f"nothing (population trace {ref['dmc_population']})")
+    run_binary(binary, base_args + ["--ckpt", ckpt, "--interval", "1",
+                                    "--fault", "abort@3"], env, expect_exit=FAULT_EXIT_CODE)
+    got = parse_run(run_binary(binary, base_args + ["--ckpt", ckpt, "--resume"], env).stdout)
+    expect(got["resumed_from_step"] == "3", f"{tag}: resumed_from_step="
+           f"{got['resumed_from_step']}, expected 3 (newest generation boundary)")
+    expect_fingerprints_equal(ref, got, tag)
+    expect_dmc_provenance_equal(ref, got, tag)
+    return ref
+
+
+def scenario_dmc_corrupt_meta(binary, workdir, base_args, env, tag, ref):
+    """Corrupt the newest snapshot's Meta section — the one carrying the DMC
+    provenance tail — before the kill: the resume must detect it (CRC), fall
+    back to the generation-2 .prev snapshot, and still match the reference."""
+    ckpt = str(workdir / f"{tag}.ckpt")
+    kill = run_binary(binary, base_args + ["--ckpt", ckpt, "--interval", "1",
+                                           "--fault", "abort@3,corrupt@meta"], env,
+                      expect_exit=FAULT_EXIT_CODE)
+    expect_injection_confirmed(kill, tag)
+    got = parse_run(run_binary(binary, base_args + ["--ckpt", ckpt, "--resume"], env).stdout)
+    expect(got["resume_fallback"] == "1",
+           f"{tag}: Meta corruption NOT detected (no fallback to .prev; "
+           f"resume_error='{got['resume_error']}')")
+    expect(got["resumed_from_step"] == "2",
+           f"{tag}: fell back to step {got['resumed_from_step']}, expected 2")
+    expect_fingerprints_equal(ref, got, tag)
+    expect_dmc_provenance_equal(ref, got, tag)
+
+
 def scenario_population_resume(binary, workdir, base_args, env, tag, ref):
     """Kill a resident WalkerPopulation under 2 shards, resume it under 3:
     shard assignment is derived machine layout, not trajectory state, so the
@@ -307,6 +369,35 @@ def main(argv=None):
                 except Failure as e:
                     print(f"FAIL {name} [{label}]: {e}")
                     failures += 1
+
+    # DMC branching scenarios: dynamic populations have their own driver and
+    # their own provenance to protect, so they get their own loop (the shared
+    # scenarios above assume a fixed walker count).  --dmc-tau 1.2 makes the
+    # 6-generation run actually branch (asserted inside the scenario).
+    dmc_scenarios = [
+        ("dmc-kill-resume", None),
+        ("dmc-corrupt-meta", scenario_dmc_corrupt_meta),
+    ]
+    for partition in ("1x2", "2x1"):
+        env = {"MQC_PARTITION": partition}
+        base_args = ["--driver", "dmc", "--walkers", "4", "--delay", "4",
+                     "--dmc", "6", "--dmc-tau", "1.2"]
+        label = f"driver=dmc partition={partition}"
+        ref = None
+        for name, fn in dmc_scenarios:
+            tag = f"dmc-{partition.replace('x', '_')}-{name}"
+            ran += 1
+            try:
+                if name == "dmc-kill-resume":
+                    ref = scenario_dmc_kill_resume(args.binary, workdir, base_args, env, tag)
+                else:
+                    if ref is None:
+                        raise Failure("no reference trajectory (dmc-kill-resume failed)")
+                    fn(args.binary, workdir, base_args, env, tag, ref)
+                print(f"PASS {name} [{label}]")
+            except Failure as e:
+                print(f"FAIL {name} [{label}]: {e}")
+                failures += 1
 
     if cleanup and failures == 0:
         shutil.rmtree(workdir, ignore_errors=True)
