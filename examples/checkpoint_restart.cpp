@@ -27,6 +27,8 @@ void usage(const char* prog)
       "usage: %s [options]\n"
       "  --driver per-walker|crowd|dmc  sweep driver (default per-walker)\n"
       "  --layout aos|soa|aosoa      spline layout (default soa, optimized tables)\n"
+      "  --precision native|mixed    coefficient precision path (default native;\n"
+      "                              mixed = SP tables, DP accumulation)\n"
       "  --walkers N                 walker count (default 4)\n"
       "  --steps N                   Monte Carlo sweeps (default 6)\n"
       "  --delay K                   determinant delay rank (default 1)\n"
@@ -91,6 +93,9 @@ int main(int argc, char** argv)
         cfg.spo = SpoLayout::SoA;
         cfg.optimized_dt_jastrow = true;
       }
+    } else if (arg == "--precision") {
+      const std::string v = next();
+      cfg.precision_path = v == "mixed" ? PrecisionPath::Mixed : PrecisionPath::Native;
     } else if (arg == "--walkers") {
       cfg.num_walkers = std::atoi(next());
     } else if (arg == "--steps") {

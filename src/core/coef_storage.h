@@ -24,6 +24,29 @@
 
 namespace mqc {
 
+/// Precision family of an orbital evaluation path — an accuracy-affecting,
+/// explicitly surfaced decision (never silent; same discipline as
+/// EvalPath/TeamPath).
+///
+///   Native: storage and compute share one element type (today's SP or DP
+///           engines) — the default, bit-for-bit identical to the historical
+///           behaviour.
+///   Mixed:  coefficient tables stored in float (half the streamed bytes of
+///           a DP table), all weight products and V/VGL/VGH accumulation
+///           carried in double, outputs narrowed once at the final store.
+///           Opt-in and deterministic (same seed -> same trajectory), but
+///           NOT bit-for-bit with the Native path (different rounding).
+enum class PrecisionPath
+{
+  Native,
+  Mixed
+};
+
+[[nodiscard]] inline const char* precision_path_name(PrecisionPath p) noexcept
+{
+  return p == PrecisionPath::Mixed ? "mixed" : "native";
+}
+
 template <typename T>
 class CoefStorage
 {
@@ -137,6 +160,46 @@ private:
   aligned_vector<T> data_;
 };
 
+/// Convert a grid between element types, recomputing delta/delta_inv in the
+/// destination precision (never round-tripping the derived members through
+/// the source type).
+template <typename TDst, typename TSrc>
+[[nodiscard]] inline Grid3D<TDst> convert_grid(const Grid3D<TSrc>& g)
+{
+  return Grid3D<TDst>(Grid1D<TDst>(static_cast<TDst>(g.x.start), static_cast<TDst>(g.x.end), g.x.num),
+                      Grid1D<TDst>(static_cast<TDst>(g.y.start), static_cast<TDst>(g.y.end), g.y.num),
+                      Grid1D<TDst>(static_cast<TDst>(g.z.start), static_cast<TDst>(g.z.end), g.z.num));
+}
+
+/// THE precision-conversion seam (lint rule `precision-cast`): materialize an
+/// element-wise converted copy of @p src in the calling thread (the
+/// first-touch point — under Linux's default policy the copy's pages land on
+/// the caller's socket).  Narrowing a DP build to SP here is the mixed-
+/// precision path's table construction; because the synthetic builders fill
+/// coefficients from double-valued sources, `convert_storage<float>(dp_build)`
+/// is bit-identical to building the float table directly.  Code anywhere
+/// else must not narrow coefficient data — route it through this function so
+/// the accuracy decision has one audited owner.
+template <typename TDst, typename TSrc>
+[[nodiscard]] std::shared_ptr<CoefStorage<TDst>> convert_storage(const CoefStorage<TSrc>& src)
+{
+  auto dst = std::make_shared<CoefStorage<TDst>>(convert_grid<TDst>(src.grid()),
+                                                 src.num_splines());
+  // Only the logical splines are converted; the per-type padding tail (the
+  // lane counts of TSrc and TDst differ) stays at the constructor's zeros.
+  const int nx = src.grid().x.num + 3, ny = src.grid().y.num + 3, nz = src.grid().z.num + 3;
+  const int count = src.num_splines();
+  for (int i = 0; i < nx; ++i)
+    for (int j = 0; j < ny; ++j)
+      for (int k = 0; k < nz; ++k) {
+        const TSrc* s = src.row(i, j, k);
+        TDst* d = dst->row(i, j, k);
+        for (int n = 0; n < count; ++n)
+          d[n] = static_cast<TDst>(s[n]);
+      }
+  return dst;
+}
+
 /// Per-shard (per-socket) replicas of one read-only coefficient table.
 ///
 /// On a NUMA host the table is the bandwidth wall (paper §IV; Luo et al.,
@@ -167,30 +230,69 @@ public:
     replicas_[0] = std::move(master);
   }
 
+  /// Wide-master (mixed-precision) mode: the authoritative table is a DP
+  /// build and EVERY shard — including shard 0 — materializes its replica by
+  /// narrowing it through convert_storage<T>() at replicate() time, on the
+  /// shard's own thread (conversion and first-touch happen in one pass over
+  /// the pages).  The wide master itself is never handed to an engine.
+  CoefReplicaSet(std::shared_ptr<const CoefStorage<double>> wide_master, int num_shards)
+      : replicas_(static_cast<std::size_t>(num_shards < 1 ? 1 : num_shards)),
+        wide_master_(std::move(wide_master))
+  {
+    assert(wide_master_ != nullptr);
+  }
+
   [[nodiscard]] int num_shards() const noexcept { return static_cast<int>(replicas_.size()); }
 
-  /// Materialize shard @p s's replica as a copy of the master, allocated and
-  /// written by the CALLING thread (the first-touch point — call it from the
-  /// shard's own team).  Idempotent: an existing replica is returned as-is,
-  /// and shard 0 always gets the master.  Distinct shards may replicate
-  /// concurrently (each writes only its own pre-sized slot).
+  /// True when this set narrows a wide (DP) master at replicate() time.
+  [[nodiscard]] bool narrows() const noexcept { return wide_master_ != nullptr; }
+
+  /// Materialize shard @p s's replica, allocated and written by the CALLING
+  /// thread (the first-touch point — call it from the shard's own team): a
+  /// copy of the master in same-type mode, a convert_storage<T>() narrowing
+  /// of the wide master in wide-master mode (where shard 0 narrows too).
+  /// Idempotent: an existing replica is returned as-is.  Distinct shards may
+  /// replicate concurrently (each writes only its own pre-sized slot).
   std::shared_ptr<CoefStorage<T>> replicate(int s)
   {
     auto& slot = replicas_[static_cast<std::size_t>(s)];
     if (!slot)
-      slot = std::make_shared<CoefStorage<T>>(*replicas_[0]);
+      slot = wide_master_ ? convert_storage<T>(*wide_master_)
+                          : std::make_shared<CoefStorage<T>>(*replicas_[0]);
     return slot;
   }
 
   /// The shard-local table: its replica when materialized, else the master.
+  /// In wide-master mode shard 0 has no implicit table — replicate(0) must
+  /// run (on shard 0's thread) before local() resolves for any shard.
   [[nodiscard]] std::shared_ptr<CoefStorage<T>> local(int s) const
   {
     const auto& slot = replicas_[static_cast<std::size_t>(s)];
     return slot ? slot : replicas_[0];
   }
 
+  /// Bytes held by shard @p s's materialized replica (0 until replicate(s);
+  /// shard 0 reports the master it adopted in same-type mode).
+  [[nodiscard]] std::size_t replica_bytes(int s) const noexcept
+  {
+    const auto& slot = replicas_[static_cast<std::size_t>(s)];
+    return slot ? slot->size_bytes() : 0;
+  }
+
+  /// Total bytes across all materialized replicas — what the population
+  /// actually pinned across sockets for this table.
+  [[nodiscard]] std::size_t total_replica_bytes() const noexcept
+  {
+    std::size_t total = 0;
+    for (const auto& r : replicas_)
+      if (r)
+        total += r->size_bytes();
+    return total;
+  }
+
 private:
   std::vector<std::shared_ptr<CoefStorage<T>>> replicas_;
+  std::shared_ptr<const CoefStorage<double>> wide_master_;
 };
 
 } // namespace mqc

@@ -11,6 +11,13 @@
 // where offset(t) is the sum of padded sizes of tiles < t.  Because every
 // tile except possibly the last has Nb % simd_lanes == 0, each slice is
 // 64-byte aligned and the union of slices is exactly the padded full set.
+//
+// Precision split: like BsplineSoA, the element type is two parameters
+// `MultiBspline<TStore, TCompute>` (storage/interface type vs internal
+// weight/accumulation type); the historical `MultiBspline<T>` is the
+// TCompute = TStore default and is bit-for-bit unchanged.  All tiles share
+// one TCompute evaluation grid, so one weight set per position still serves
+// every tile on the mixed path.
 #ifndef MQC_CORE_MULTI_BSPLINE_H
 #define MQC_CORE_MULTI_BSPLINE_H
 
@@ -25,23 +32,28 @@
 
 namespace mqc {
 
-template <typename T>
+template <typename TStore, typename TCompute = TStore>
 class MultiBspline
 {
 public:
+  using store_type = TStore;
+  using compute_type = TCompute;
+  using tile_type = BsplineSoA<TStore, TCompute>;
+  using weights_type = typename tile_type::weights_type;
+
   /// Split an existing full coefficient table into tiles of @p tile_size.
   /// tile_size must be a multiple of the SIMD lane count; the last tile
   /// absorbs any remainder of num_splines.
-  MultiBspline(const CoefStorage<T>& full, int tile_size)
+  MultiBspline(const CoefStorage<TStore>& full, int tile_size)
       : num_splines_(full.num_splines()), tile_size_(tile_size)
   {
     assert(tile_size > 0);
-    assert(static_cast<std::size_t>(tile_size) % simd_lanes<T> == 0);
+    assert(static_cast<std::size_t>(tile_size) % simd_lanes<TStore> == 0);
     const int n = full.num_splines();
     std::size_t offset = 0;
     for (int first = 0; first < n; first += tile_size) {
       const int count = std::min(tile_size, n - first);
-      auto tile_coefs = std::make_shared<CoefStorage<T>>(full.grid(), count);
+      auto tile_coefs = std::make_shared<CoefStorage<TStore>>(full.grid(), count);
       tile_coefs->assign_spline_range(full, first, count);
       offsets_.push_back(offset);
       offset += tile_coefs->padded_splines();
@@ -53,9 +65,17 @@ public:
   [[nodiscard]] int num_splines() const noexcept { return num_splines_; }
   [[nodiscard]] int tile_size() const noexcept { return tile_size_; }
   [[nodiscard]] int num_tiles() const noexcept { return static_cast<int>(tiles_.size()); }
-  /// Shared evaluation grid (identical across tiles), so one weight set per
-  /// position serves every tile — the basis of the multi-position layer.
-  [[nodiscard]] const Grid3D<T>& grid() const noexcept { return tiles_.front().coefs().grid(); }
+  /// Shared storage grid (identical across tiles).
+  [[nodiscard]] const Grid3D<TStore>& grid() const noexcept
+  {
+    return tiles_.front().coefs().grid();
+  }
+  /// Shared TCompute evaluation grid: one weight set per position serves
+  /// every tile — the basis of the multi-position layer.
+  [[nodiscard]] const Grid3D<TCompute>& eval_grid() const noexcept
+  {
+    return tiles_.front().eval_grid();
+  }
   /// Total slice length of one output component (also the natural stride).
   [[nodiscard]] std::size_t padded_splines() const noexcept { return padded_splines_; }
   [[nodiscard]] std::size_t out_stride() const noexcept { return padded_splines_; }
@@ -63,7 +83,7 @@ public:
   {
     return offsets_[static_cast<std::size_t>(t)];
   }
-  [[nodiscard]] const BsplineSoA<T>& tile(int t) const noexcept
+  [[nodiscard]] const tile_type& tile(int t) const noexcept
   {
     return tiles_[static_cast<std::size_t>(t)];
   }
@@ -73,21 +93,31 @@ public:
   {
     return tiles_[static_cast<std::size_t>(t)].coefs().size_bytes();
   }
+  /// Total coefficient bytes across all tiles — what a full-set sweep streams.
+  [[nodiscard]] std::size_t coef_bytes() const noexcept
+  {
+    std::size_t total = 0;
+    for (const auto& t : tiles_)
+      total += t.coef_bytes();
+    return total;
+  }
 
   // -- per-tile kernels (the unit of nested-threading work) ---------------
 
-  void evaluate_v_tile(int t, T x, T y, T z, T* v) const
+  void evaluate_v_tile(int t, TStore x, TStore y, TStore z, TStore* v) const
   {
     tiles_[static_cast<std::size_t>(t)].evaluate_v(x, y, z, v + offsets_[static_cast<std::size_t>(t)]);
   }
 
-  void evaluate_vgl_tile(int t, T x, T y, T z, T* v, T* g, T* l, std::size_t stride) const
+  void evaluate_vgl_tile(int t, TStore x, TStore y, TStore z, TStore* v, TStore* g, TStore* l,
+                         std::size_t stride) const
   {
     const std::size_t off = offsets_[static_cast<std::size_t>(t)];
     tiles_[static_cast<std::size_t>(t)].evaluate_vgl(x, y, z, v + off, g + off, l + off, stride);
   }
 
-  void evaluate_vgh_tile(int t, T x, T y, T z, T* v, T* g, T* h, std::size_t stride) const
+  void evaluate_vgh_tile(int t, TStore x, TStore y, TStore z, TStore* v, TStore* g, TStore* h,
+                         std::size_t stride) const
   {
     const std::size_t off = offsets_[static_cast<std::size_t>(t)];
     tiles_[static_cast<std::size_t>(t)].evaluate_vgh(x, y, z, v + off, g + off, h + off, stride);
@@ -100,28 +130,28 @@ public:
   // streamed from memory once and stays cache-resident for all `count`
   // positions.  Position p writes into the tile's slice of v[p] (g[p], ...).
 
-  void evaluate_v_tile_multi(int t, const BsplineWeights3D<T>* w, int count, T* const* v) const
+  void evaluate_v_tile_multi(int t, const weights_type* w, int count, TStore* const* v) const
   {
     const std::size_t off = offsets_[static_cast<std::size_t>(t)];
-    const BsplineSoA<T>& tile = tiles_[static_cast<std::size_t>(t)];
+    const tile_type& tile = tiles_[static_cast<std::size_t>(t)];
     for (int p = 0; p < count; ++p)
       tile.evaluate_v_w(w[p], v[p] + off);
   }
 
-  void evaluate_vgl_tile_multi(int t, const BsplineWeights3D<T>* w, int count, T* const* v,
-                               T* const* g, T* const* l, std::size_t stride) const
+  void evaluate_vgl_tile_multi(int t, const weights_type* w, int count, TStore* const* v,
+                               TStore* const* g, TStore* const* l, std::size_t stride) const
   {
     const std::size_t off = offsets_[static_cast<std::size_t>(t)];
-    const BsplineSoA<T>& tile = tiles_[static_cast<std::size_t>(t)];
+    const tile_type& tile = tiles_[static_cast<std::size_t>(t)];
     for (int p = 0; p < count; ++p)
       tile.evaluate_vgl_w(w[p], v[p] + off, g[p] + off, l[p] + off, stride);
   }
 
-  void evaluate_vgh_tile_multi(int t, const BsplineWeights3D<T>* w, int count, T* const* v,
-                               T* const* g, T* const* h, std::size_t stride) const
+  void evaluate_vgh_tile_multi(int t, const weights_type* w, int count, TStore* const* v,
+                               TStore* const* g, TStore* const* h, std::size_t stride) const
   {
     const std::size_t off = offsets_[static_cast<std::size_t>(t)];
-    const BsplineSoA<T>& tile = tiles_[static_cast<std::size_t>(t)];
+    const tile_type& tile = tiles_[static_cast<std::size_t>(t)];
     for (int p = 0; p < count; ++p)
       tile.evaluate_vgh_w(w[p], v[p] + off, g[p] + off, h[p] + off, stride);
   }
@@ -133,47 +163,49 @@ public:
   // whole block.  Compare the single-position whole-set kernels below,
   // which stream the entire table once *per position*.
 
-  void evaluate_v_multi(const Vec3<T>* pos, int count, T* const* v) const
+  void evaluate_v_multi(const Vec3<TStore>* pos, int count, TStore* const* v) const
   {
-    std::vector<BsplineWeights3D<T>> w(static_cast<std::size_t>(count));
-    compute_weights_v_batch(grid(), pos, count, w.data());
+    std::vector<weights_type> w(static_cast<std::size_t>(count));
+    compute_weights_v_batch(eval_grid(), pos, count, w.data());
     for (int t = 0; t < num_tiles(); ++t)
       evaluate_v_tile_multi(t, w.data(), count, v);
   }
 
-  void evaluate_vgl_multi(const Vec3<T>* pos, int count, T* const* v, T* const* g, T* const* l,
-                          std::size_t stride) const
+  void evaluate_vgl_multi(const Vec3<TStore>* pos, int count, TStore* const* v, TStore* const* g,
+                          TStore* const* l, std::size_t stride) const
   {
-    std::vector<BsplineWeights3D<T>> w(static_cast<std::size_t>(count));
-    compute_weights_vgh_batch(grid(), pos, count, w.data());
+    std::vector<weights_type> w(static_cast<std::size_t>(count));
+    compute_weights_vgh_batch(eval_grid(), pos, count, w.data());
     for (int t = 0; t < num_tiles(); ++t)
       evaluate_vgl_tile_multi(t, w.data(), count, v, g, l, stride);
   }
 
-  void evaluate_vgh_multi(const Vec3<T>* pos, int count, T* const* v, T* const* g, T* const* h,
-                          std::size_t stride) const
+  void evaluate_vgh_multi(const Vec3<TStore>* pos, int count, TStore* const* v, TStore* const* g,
+                          TStore* const* h, std::size_t stride) const
   {
-    std::vector<BsplineWeights3D<T>> w(static_cast<std::size_t>(count));
-    compute_weights_vgh_batch(grid(), pos, count, w.data());
+    std::vector<weights_type> w(static_cast<std::size_t>(count));
+    compute_weights_vgh_batch(eval_grid(), pos, count, w.data());
     for (int t = 0; t < num_tiles(); ++t)
       evaluate_vgh_tile_multi(t, w.data(), count, v, g, h, stride);
   }
 
   // -- whole-set kernels (serial tile loop; Fig. 6 with one thread) -------
 
-  void evaluate_v(T x, T y, T z, T* v) const
+  void evaluate_v(TStore x, TStore y, TStore z, TStore* v) const
   {
     for (int t = 0; t < num_tiles(); ++t)
       evaluate_v_tile(t, x, y, z, v);
   }
 
-  void evaluate_vgl(T x, T y, T z, T* v, T* g, T* l, std::size_t stride) const
+  void evaluate_vgl(TStore x, TStore y, TStore z, TStore* v, TStore* g, TStore* l,
+                    std::size_t stride) const
   {
     for (int t = 0; t < num_tiles(); ++t)
       evaluate_vgl_tile(t, x, y, z, v, g, l, stride);
   }
 
-  void evaluate_vgh(T x, T y, T z, T* v, T* g, T* h, std::size_t stride) const
+  void evaluate_vgh(TStore x, TStore y, TStore z, TStore* v, TStore* g, TStore* h,
+                    std::size_t stride) const
   {
     for (int t = 0; t < num_tiles(); ++t)
       evaluate_vgh_tile(t, x, y, z, v, g, h, stride);
@@ -184,7 +216,7 @@ private:
   int tile_size_;
   std::size_t padded_splines_ = 0;
   std::vector<std::size_t> offsets_;
-  std::vector<BsplineSoA<T>> tiles_;
+  std::vector<tile_type> tiles_;
 };
 
 } // namespace mqc

@@ -35,6 +35,7 @@
 #include <cassert>
 #include <cstddef>
 #include <memory>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -44,10 +45,30 @@
 #include "common/vec3.h"
 #include "core/bspline_aos.h"
 #include "core/bspline_soa.h"
+#include "core/coef_storage.h"
 #include "core/multi_bspline.h"
 #include "core/weights.h"
 
 namespace mqc {
+
+/// Which mixed-precision engine pairing exists for an interface type T.
+/// Mixed means: TStore = T coefficient tables, compute_type accumulation
+/// (core/bspline_soa.h).  Only float has a wider compute partner today;
+/// double-interface sets have no mixed variant (their native path IS the
+/// full-precision reference).
+template <typename T>
+struct MixedPrecisionFor
+{
+  static constexpr bool available = false;
+  using compute_type = T;
+};
+
+template <>
+struct MixedPrecisionFor<float>
+{
+  static constexpr bool available = true;
+  using compute_type = double;
+};
 
 /// Derivative level of an evaluation request.
 enum class DerivLevel
@@ -84,6 +105,13 @@ struct OrbitalCapabilities
   int num_splines = 0;
   std::size_t padded_splines = 0;
   std::size_t out_stride = 0;     ///< natural component stride of the outputs
+  /// Precision family of the wrapped engine (core/coef_storage.h): Native =
+  /// storage and compute share the interface type; Mixed = narrow tables,
+  /// wide accumulation.
+  PrecisionPath precision = PrecisionPath::Native;
+  /// Total coefficient-table bytes this engine streams per full-set sweep —
+  /// the per-replica memory footprint a shard pins on its socket.
+  std::size_t coef_table_bytes = 0;
 };
 
 /// Caller-owned scratch for batched evaluation: the batch's weight sets plus
@@ -94,6 +122,10 @@ template <typename T>
 struct OrbitalResource
 {
   std::vector<BsplineWeights3D<T>> weights;
+  /// Wide weight sets for the mixed path (TCompute = double batches); kept
+  /// separate so native and mixed engines sharing one resource never
+  /// reinterpret each other's scratch.  Empty unless a mixed engine is used.
+  std::vector<BsplineWeights3D<double>> weights_wide;
   std::vector<T*> v, g, lh; ///< consumer pointer tables (gather helpers below)
 #ifdef MQC_CONTRACTS
   /// Contract state: true while an OrbitalSet::evaluate call owns this
@@ -110,6 +142,20 @@ struct OrbitalResource
     if (weights.size() < static_cast<std::size_t>(count))
       weights.resize(static_cast<std::size_t>(count));
     return weights.data();
+  }
+
+  /// Weight-type-generic variant: the engine's compute type selects the
+  /// native batch or the wide (mixed-path) batch.
+  template <typename WT>
+  BsplineWeights3D<WT>* weights_buffer(int count)
+  {
+    if constexpr (std::is_same_v<WT, T>) {
+      return weights_for(count);
+    } else {
+      if (weights_wide.size() < static_cast<std::size_t>(count))
+        weights_wide.resize(static_cast<std::size_t>(count));
+      return weights_wide.data();
+    }
   }
 
   void resize_tables(int count)
@@ -201,6 +247,21 @@ public:
   OrbitalSet(const BsplineSoA<T>& engine) : engine_(&engine) {}
   OrbitalSet(const MultiBspline<T>& engine) : engine_(&engine) {}
 
+  /// Mixed-precision engines (narrow tables, wide accumulation) — only
+  /// where a wider compute partner exists for T (MixedPrecisionFor).
+  template <typename U = T>
+    requires MixedPrecisionFor<U>::available
+  OrbitalSet(const BsplineSoA<U, typename MixedPrecisionFor<U>::compute_type>& engine)
+      : engine_(&engine)
+  {
+  }
+  template <typename U = T>
+    requires MixedPrecisionFor<U>::available
+  OrbitalSet(const MultiBspline<U, typename MixedPrecisionFor<U>::compute_type>& engine)
+      : engine_(&engine)
+  {
+  }
+
   [[nodiscard]] bool valid() const noexcept
   {
     return !std::holds_alternative<std::monostate>(engine_);
@@ -221,12 +282,14 @@ public:
       caps.num_splines = (*e)->num_splines();
       caps.padded_splines = (*e)->padded_splines();
       caps.out_stride = (*e)->padded_splines();
+      caps.coef_table_bytes = (*e)->coefs().size_bytes();
     } else if (const auto* e = soa()) {
       caps.layout = OrbitalLayout::SoA;
       caps.native_multi_eval = true;
       caps.num_splines = (*e)->num_splines();
       caps.padded_splines = (*e)->padded_splines();
       caps.out_stride = (*e)->out_stride();
+      caps.coef_table_bytes = (*e)->coef_bytes();
     } else if (const auto* e = aosoa()) {
       caps.layout = OrbitalLayout::AoSoA;
       caps.native_multi_eval = true;
@@ -234,6 +297,26 @@ public:
       caps.num_splines = (*e)->num_splines();
       caps.padded_splines = (*e)->padded_splines();
       caps.out_stride = (*e)->out_stride();
+      caps.coef_table_bytes = (*e)->coef_bytes();
+    } else if constexpr (MixedPrecisionFor<T>::available) {
+      if (const auto* e = soa_mixed()) {
+        caps.layout = OrbitalLayout::SoA;
+        caps.native_multi_eval = true;
+        caps.num_splines = (*e)->num_splines();
+        caps.padded_splines = (*e)->padded_splines();
+        caps.out_stride = (*e)->out_stride();
+        caps.precision = PrecisionPath::Mixed;
+        caps.coef_table_bytes = (*e)->coef_bytes();
+      } else if (const auto* e = aosoa_mixed()) {
+        caps.layout = OrbitalLayout::AoSoA;
+        caps.native_multi_eval = true;
+        caps.num_tiles = (*e)->num_tiles();
+        caps.num_splines = (*e)->num_splines();
+        caps.padded_splines = (*e)->padded_splines();
+        caps.out_stride = (*e)->out_stride();
+        caps.precision = PrecisionPath::Mixed;
+        caps.coef_table_bytes = (*e)->coef_bytes();
+      }
     }
     return caps;
   }
@@ -245,7 +328,15 @@ public:
       return (*e)->coefs().grid();
     if (const auto* e = soa())
       return (*e)->coefs().grid();
-    return (*aosoa())->grid();
+    if (const auto* e = aosoa())
+      return (*e)->grid();
+    if constexpr (MixedPrecisionFor<T>::available) {
+      if (const auto* e = soa_mixed())
+        return (*e)->coefs().grid();
+      return (*aosoa_mixed())->grid();
+    } else {
+      return (*aosoa())->grid(); // unreachable: valid() excludes this
+    }
   }
 
   /// The batched entry point: evaluate all positions of @p rq at the
@@ -279,8 +370,14 @@ public:
       evaluate_aos(**e, rq);
     else if (const auto* e = soa())
       evaluate_soa(**e, rq, res);
-    else
-      evaluate_aosoa(**aosoa(), rq, res);
+    else if (const auto* e = aosoa())
+      evaluate_aosoa(**e, rq, res);
+    else if constexpr (MixedPrecisionFor<T>::available) {
+      if (const auto* e = soa_mixed())
+        evaluate_soa(**e, rq, res);
+      else
+        evaluate_aosoa(**aosoa_mixed(), rq, res);
+    }
   }
 
   /// Single-position sugar: the P = 1 case of evaluate(), with no resource
@@ -304,37 +401,37 @@ public:
         return;
       }
     } else if (const auto* pe = soa()) {
-      const auto& e = **pe;
-      switch (deriv) {
-      case DerivLevel::V:
-        e.evaluate_v(r.x, r.y, r.z, v);
-        return;
-      case DerivLevel::VGL:
-        e.evaluate_vgl(r.x, r.y, r.z, v, g, lh, stride);
-        return;
-      case DerivLevel::VGH:
-        e.evaluate_vgh(r.x, r.y, r.z, v, g, lh, stride);
-        return;
-      }
-    } else {
-      const auto& e = **aosoa();
-      switch (deriv) {
-      case DerivLevel::V:
-        e.evaluate_v(r.x, r.y, r.z, v);
-        return;
-      case DerivLevel::VGL:
-        e.evaluate_vgl(r.x, r.y, r.z, v, g, lh, stride);
-        return;
-      case DerivLevel::VGH:
-        e.evaluate_vgh(r.x, r.y, r.z, v, g, lh, stride);
-        return;
-      }
+      evaluate_one_strided(**pe, deriv, r, v, g, lh, stride);
+    } else if (const auto* pe = aosoa()) {
+      evaluate_one_strided(**pe, deriv, r, v, g, lh, stride);
+    } else if constexpr (MixedPrecisionFor<T>::available) {
+      if (const auto* e = soa_mixed())
+        evaluate_one_strided(**e, deriv, r, v, g, lh, stride);
+      else
+        evaluate_one_strided(**aosoa_mixed(), deriv, r, v, g, lh, stride);
     }
   }
 
 private:
+  using MixedCompute = typename MixedPrecisionFor<T>::compute_type;
+  using MixedSoAEngine = BsplineSoA<T, MixedCompute>;
+  using MixedAoSoAEngine = MultiBspline<T, MixedCompute>;
+  /// Distinct empty tags stand in for the mixed alternatives when T has no
+  /// mixed pairing — they keep the variant's alternative list unique (for
+  /// T = double the "mixed" engine types would collapse onto the native
+  /// ones) while never being constructed.
+  struct NoMixedSoATag
+  {
+  };
+  struct NoMixedAoSoATag
+  {
+  };
+  using MixedSoAAlt = std::conditional_t<MixedPrecisionFor<T>::available, const MixedSoAEngine*,
+                                         NoMixedSoATag>;
+  using MixedAoSoAAlt = std::conditional_t<MixedPrecisionFor<T>::available,
+                                           const MixedAoSoAEngine*, NoMixedAoSoATag>;
   using EngineRef = std::variant<std::monostate, const BsplineAoS<T>*, const BsplineSoA<T>*,
-                                 const MultiBspline<T>*>;
+                                 const MultiBspline<T>*, MixedSoAAlt, MixedAoSoAAlt>;
 
   [[nodiscard]] const BsplineAoS<T>* const* aos() const noexcept
   {
@@ -347,6 +444,35 @@ private:
   [[nodiscard]] const MultiBspline<T>* const* aosoa() const noexcept
   {
     return std::get_if<const MultiBspline<T>*>(&engine_);
+  }
+  // Only instantiated (from if-constexpr-guarded call sites) when T has a
+  // mixed pairing, i.e. when the mixed pointer types are real alternatives.
+  [[nodiscard]] const MixedSoAEngine* const* soa_mixed() const noexcept
+  {
+    return std::get_if<const MixedSoAEngine*>(&engine_);
+  }
+  [[nodiscard]] const MixedAoSoAEngine* const* aosoa_mixed() const noexcept
+  {
+    return std::get_if<const MixedAoSoAEngine*>(&engine_);
+  }
+
+  /// Single-position dispatch shared by every strided-output engine (native
+  /// and mixed SoA/AoSoA — identical TStore signatures).
+  template <typename Engine>
+  void evaluate_one_strided(const Engine& e, DerivLevel deriv, const Vec3<T>& r, T* v, T* g,
+                            T* lh, std::size_t stride) const
+  {
+    switch (deriv) {
+    case DerivLevel::V:
+      e.evaluate_v(r.x, r.y, r.z, v);
+      return;
+    case DerivLevel::VGL:
+      e.evaluate_vgl(r.x, r.y, r.z, v, g, lh, stride);
+      return;
+    case DerivLevel::VGH:
+      e.evaluate_vgh(r.x, r.y, r.z, v, g, lh, stride);
+      return;
+    }
   }
 
 #ifdef MQC_CONTRACTS
@@ -430,14 +556,16 @@ private:
     }
   }
 
-  void evaluate_soa(const BsplineSoA<T>& e, const OrbitalEvalRequest<T>& rq,
+  template <typename Engine>
+  void evaluate_soa(const Engine& e, const OrbitalEvalRequest<T>& rq,
                     OrbitalResource<T>& res) const
   {
-    BsplineWeights3D<T>* w = res.weights_for(rq.count);
+    using WT = typename Engine::compute_type;
+    BsplineWeights3D<WT>* w = res.template weights_buffer<WT>(rq.count);
     if (rq.deriv == DerivLevel::V)
-      compute_weights_v_batch(e.coefs().grid(), rq.positions, rq.count, w);
+      compute_weights_v_batch(e.eval_grid(), rq.positions, rq.count, w);
     else
-      compute_weights_vgh_batch(e.coefs().grid(), rq.positions, rq.count, w);
+      compute_weights_vgh_batch(e.eval_grid(), rq.positions, rq.count, w);
     const int nth = rq.parallel ? rq.team.resolve() : 1;
     if (nth <= 1) {
       switch (rq.deriv) {
@@ -474,14 +602,16 @@ private:
   /// slice is streamed from memory once per block of P positions and reused
   /// from cache (the core of the paper's AoSoA analysis, extended across
   /// positions).  `parallel` distributes (tile, block) work items.
-  void evaluate_aosoa(const MultiBspline<T>& e, const OrbitalEvalRequest<T>& rq,
+  template <typename Engine>
+  void evaluate_aosoa(const Engine& e, const OrbitalEvalRequest<T>& rq,
                       OrbitalResource<T>& res) const
   {
-    BsplineWeights3D<T>* w = res.weights_for(rq.count);
+    using WT = typename Engine::compute_type;
+    BsplineWeights3D<WT>* w = res.template weights_buffer<WT>(rq.count);
     if (rq.deriv == DerivLevel::V)
-      compute_weights_v_batch(e.grid(), rq.positions, rq.count, w);
+      compute_weights_v_batch(e.eval_grid(), rq.positions, rq.count, w);
     else
-      compute_weights_vgh_batch(e.grid(), rq.positions, rq.count, w);
+      compute_weights_vgh_batch(e.eval_grid(), rq.positions, rq.count, w);
     const int pb = resolve_pos_block(rq.pos_block != 0 ? rq.pos_block : pos_block_, rq.count);
     const int nblocks = (rq.count + pb - 1) / pb;
     const int nt = e.num_tiles();

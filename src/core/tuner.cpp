@@ -38,10 +38,12 @@ bool Wisdom::save(const std::string& path) const
   std::ofstream out(path);
   if (!out)
     return false;
-  out << "# miniqmcpp wisdom v4: key tile_size pos_block crowd_size inner_threads throughput\n";
+  out << "# miniqmcpp wisdom v5: key tile_size pos_block crowd_size inner_threads precision "
+         "throughput\n";
   for (const auto& [key, entry] : entries_)
     out << key << ' ' << entry.tile_size << ' ' << entry.pos_block << ' ' << entry.crowd_size
-        << ' ' << entry.inner_threads << ' ' << entry.throughput << '\n';
+        << ' ' << entry.inner_threads << ' ' << entry.precision << ' ' << entry.throughput
+        << '\n';
   return static_cast<bool>(out);
 }
 
@@ -89,10 +91,11 @@ bool Wisdom::load(const std::string& path)
     //   2 -> v1: tile throughput                            (pos_block := 1)
     //   3 -> v2: tile pos_block throughput                  (crowd_size := 0)
     //   4 -> v3: tile pos_block crowd_size throughput       (inner_threads := 0)
-    //   5 -> v4: tile pos_block crowd_size inner_threads throughput
-    double num[5] = {};
+    //   5 -> v4: tile pos_block crowd_size inner_threads throughput (precision := 0)
+    //   6 -> v5: tile pos_block crowd_size inner_threads precision throughput
+    double num[6] = {};
     int n = 0;
-    while (n < 5 && (ls >> num[n]))
+    while (n < 6 && (ls >> num[n]))
       ++n;
     ls.clear(); // a failed extraction above must not mask trailing garbage
     std::string trailing;
@@ -120,6 +123,12 @@ bool Wisdom::load(const std::string& path)
     if (n >= 5) {
       knobs_ok = knobs_ok && integral_knob(num[3]);
       entry.inner_threads = static_cast<int>(num[3]);
+    }
+    if (n >= 6) {
+      // precision is an enum ordinal, not a free knob: only 0 (native) and
+      // 1 (mixed) exist.
+      knobs_ok = knobs_ok && integral_knob(num[4]) && num[4] <= 1.0;
+      entry.precision = static_cast<int>(num[4]);
     }
     if (!knobs_ok) {
       reject("knob fields must be non-negative integers");

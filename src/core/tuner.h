@@ -42,6 +42,11 @@ public:
     int pos_block = 1;       ///< walkers per tile pass (1 == single-position path)
     int crowd_size = 0;      ///< tuned crowd size for run_miniqmc (0 = not tuned)
     int inner_threads = 0;   ///< tuned inner team size per crowd (0 = not tuned)
+    /// Precision family the knobs were tuned under: 0 = native, 1 = mixed
+    /// (PrecisionPath).  Consumers only apply an entry tuned for their own
+    /// resolved precision — a pos_block tuned against DP-table bandwidth is
+    /// the wrong knob for a half-size mixed table.
+    int precision = 0;
   };
 
   /// Legacy (v1) key: single-position tile tuning.
@@ -74,7 +79,8 @@ public:
   [[nodiscard]] const LoadStatus& load_status() const noexcept { return load_status_; }
 
   /// Plain-text persistence, one entry per line:
-  ///   v4 format (written): "key tile_size pos_block crowd_size inner_threads throughput"
+  ///   v5 format (written): "key tile_size pos_block crowd_size inner_threads precision throughput"
+  ///   v4 format (still read): "key tile_size pos_block crowd_size inner_threads throughput" (precision := 0)
   ///   v3 format (still read): "key tile_size pos_block crowd_size throughput" (inner_threads := 0)
   ///   v2 format (still read): "key tile_size pos_block throughput" (crowd_size := 0)
   ///   v1 format (still read): "key tile_size throughput" (pos_block := 1, crowd_size := 0)

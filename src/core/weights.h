@@ -60,22 +60,27 @@ inline void compute_weights_vgh(const Grid3D<T>& g, T x, T y, T z, BsplineWeight
 // replaces the per-(tile, position) weight recomputation of the per-pair
 // batched path.
 
-/// Value-only weights for @p count positions.
-template <typename T>
-inline void compute_weights_v_batch(const Grid3D<T>& g, const Vec3<T>* pos, int count,
+/// Value-only weights for @p count positions.  The position element type @p U
+/// may differ from the weight/grid type @p T (mixed precision: SP positions
+/// widened exactly into DP weights); components are converted before the
+/// periodic reduction so the whole weight chain runs in T.
+template <typename T, typename U = T>
+inline void compute_weights_v_batch(const Grid3D<T>& g, const Vec3<U>* pos, int count,
                                     BsplineWeights3D<T>* w) noexcept
 {
   for (int p = 0; p < count; ++p)
-    compute_weights_v(g, pos[p].x, pos[p].y, pos[p].z, w[p]);
+    compute_weights_v(g, static_cast<T>(pos[p].x), static_cast<T>(pos[p].y),
+                      static_cast<T>(pos[p].z), w[p]);
 }
 
 /// Full derivative weights for @p count positions (kernels VGL and VGH).
-template <typename T>
-inline void compute_weights_vgh_batch(const Grid3D<T>& g, const Vec3<T>* pos, int count,
+template <typename T, typename U = T>
+inline void compute_weights_vgh_batch(const Grid3D<T>& g, const Vec3<U>* pos, int count,
                                       BsplineWeights3D<T>* w) noexcept
 {
   for (int p = 0; p < count; ++p)
-    compute_weights_vgh(g, pos[p].x, pos[p].y, pos[p].z, w[p]);
+    compute_weights_vgh(g, static_cast<T>(pos[p].x), static_cast<T>(pos[p].y),
+                        static_cast<T>(pos[p].z), w[p]);
 }
 
 } // namespace mqc

@@ -722,6 +722,13 @@ std::uint64_t miniqmc_config_hash(const MiniQMCConfig& cfg, const MiniQMCSystem&
   h.mix(sigma_bits);
   h.mix(cfg.seed);
   h.mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(cfg.delay_rank)));
+  // The RESOLVED precision path (after the AoS-has-no-mixed-variant
+  // fallback) changes every accepted move, so mixed and native snapshots
+  // must refuse to cross-resume.  Tagged-on-mixed-only so every Native hash
+  // — including those of snapshots written before the knob existed — is
+  // unchanged.
+  if (sys.precision == PrecisionPath::Mixed)
+    h.mix(0x4d495845ULL); // "MIXE" tag
   // Deliberately excluded: crowd_size, tile_size, inner_threads, pos_block,
   // steps — pure scheduling/budget knobs under the bit-for-bit invariant, so
   // a snapshot written by one schedule resumes under any other.  Driver mode

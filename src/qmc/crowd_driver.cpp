@@ -58,6 +58,7 @@ MiniQMCResult run_miniqmc_crowd(const MiniQMCConfig& cfg)
   // path (partition + the runtime's nesting capability).
   result.spline_path = sys.spo.capabilities().native_multi_eval ? EvalPath::MultiPosition
                                                                 : EvalPath::SinglePosition;
+  result.precision_path = sys.precision;
   result.team_path = classify_team_path(part.outer, part.inner);
   result.outer_threads_used = part.outer;
   result.inner_threads_used = part.inner;

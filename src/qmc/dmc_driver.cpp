@@ -196,6 +196,7 @@ MiniQMCResult run_miniqmc_dmc(const MiniQMCConfig& cfg)
   result.crowd_size_used = crowd_cap > 0 ? std::min(crowd_cap, nw0) : nw0;
   result.spline_path = sys0.spo.capabilities().native_multi_eval ? EvalPath::MultiPosition
                                                                  : EvalPath::SinglePosition;
+  result.precision_path = sys0.precision;
   result.team_path = classify_team_path(part.outer, part.inner);
   result.outer_threads_used = part.outer;
   result.inner_threads_used = part.inner;

@@ -81,6 +81,17 @@ struct MiniQMCSystem
       coefs = make_random_storage<qmc_real>(grid, norb, cfg.seed);
     }
 
+    // Precision resolution BEFORE wisdom consumption: the AoS baseline has
+    // no mixed variant (it predates the SoA stream kernels the wide
+    // accumulation tile is built on), so Mixed + AoS resolves to Native —
+    // surfaced through MiniQMCResult::precision_path, never silent.  The
+    // wisdom entry is only consumed when it was tuned for the same resolved
+    // precision: a pos_block tuned against DP-table bandwidth is the wrong
+    // knob for a half-size mixed table.
+    precision = cfg.precision_path;
+    if (precision == PrecisionPath::Mixed && cfg.spo == SpoLayout::AoS)
+      precision = PrecisionPath::Native;
+
     // Tuned dispatch knobs from the wisdom entry tune_miniqmc recorded
     // (never trajectory-affecting: tile size regroups the same per-orbital
     // arithmetic, pos_block and crowd_size reorder independent sweeps):
@@ -90,6 +101,8 @@ struct MiniQMCSystem
     std::optional<Wisdom::Entry> tuned;
     if (cfg.wisdom)
       tuned = cfg.wisdom->lookup(miniqmc_wisdom_key(norb, cfg.grid_size, nw));
+    if (tuned && tuned->precision != (precision == PrecisionPath::Mixed ? 1 : 0))
+      tuned.reset();
     if (tuned) {
       if (cfg.spo == SpoLayout::AoSoA && tuned->tile_size > 0)
         tile_size = tuned->tile_size;
@@ -100,7 +113,11 @@ struct MiniQMCSystem
     // Engines: only the configured layout is exercised in the sweep.  The
     // OrbitalSet facade over the configured engine is THE evaluation entry
     // point for both drivers; the raw engine members stay for tests that
-    // cross-check against direct kernel calls.
+    // cross-check against direct kernel calls.  The mixed engines read the
+    // SAME float coefficient table (mixed changes how it is accumulated,
+    // not what is stored — and a direct qmc_real build is bit-identical to
+    // a convert_storage-narrowed DP build, since the synthetic builders
+    // fill from double-valued sources).
     out_pad = coefs->padded_splines();
     switch (cfg.spo) {
     case SpoLayout::AoS:
@@ -108,13 +125,24 @@ struct MiniQMCSystem
       spo = OrbitalSet<qmc_real>(*spo_aos);
       break;
     case SpoLayout::SoA:
-      spo_soa = std::make_unique<BsplineSoA<qmc_real>>(coefs);
-      spo = OrbitalSet<qmc_real>(*spo_soa);
+      if (precision == PrecisionPath::Mixed) {
+        spo_soa_mixed = std::make_unique<BsplineSoA<qmc_real, double>>(coefs);
+        spo = OrbitalSet<qmc_real>(*spo_soa_mixed);
+      } else {
+        spo_soa = std::make_unique<BsplineSoA<qmc_real>>(coefs);
+        spo = OrbitalSet<qmc_real>(*spo_soa);
+      }
       break;
     case SpoLayout::AoSoA:
-      spo_aosoa = std::make_unique<MultiBspline<qmc_real>>(*coefs, tile_size);
-      out_pad = spo_aosoa->padded_splines();
-      spo = OrbitalSet<qmc_real>(*spo_aosoa);
+      if (precision == PrecisionPath::Mixed) {
+        spo_aosoa_mixed = std::make_unique<MultiBspline<qmc_real, double>>(*coefs, tile_size);
+        out_pad = spo_aosoa_mixed->padded_splines();
+        spo = OrbitalSet<qmc_real>(*spo_aosoa_mixed);
+      } else {
+        spo_aosoa = std::make_unique<MultiBspline<qmc_real>>(*coefs, tile_size);
+        out_pad = spo_aosoa->padded_splines();
+        spo = OrbitalSet<qmc_real>(*spo_aosoa);
+      }
       break;
     }
     if (tuned)
@@ -149,7 +177,15 @@ struct MiniQMCSystem
   std::unique_ptr<BsplineAoS<qmc_real>> spo_aos;
   std::unique_ptr<BsplineSoA<qmc_real>> spo_soa;
   std::unique_ptr<MultiBspline<qmc_real>> spo_aosoa;
+  /// Mixed-precision engines (float tables, double accumulation); built —
+  /// over the same shared table — only when the resolved precision is Mixed.
+  std::unique_ptr<BsplineSoA<qmc_real, double>> spo_soa_mixed;
+  std::unique_ptr<MultiBspline<qmc_real, double>> spo_aosoa_mixed;
   OrbitalSet<qmc_real> spo;  ///< the one evaluation seam both drivers use
+  /// The precision family the engines actually run (cfg.precision_path
+  /// after the AoS resolution) — surfaced as MiniQMCResult::precision_path
+  /// and mixed into the checkpoint config hash.
+  PrecisionPath precision = PrecisionPath::Native;
   bool aos_outputs = false;  ///< walkers fill their AoS-shaped output buffers
   int tuned_crowd_size = 0;  ///< from cfg.wisdom (0 = none; see crowd driver)
   int tuned_inner_threads = 0; ///< from cfg.wisdom (0 = none; see drivers)

@@ -32,6 +32,7 @@ MiniQMCResult run_miniqmc(const MiniQMCConfig& cfg)
   result.num_walkers = sys.nw;
   result.num_electrons = sys.nel;
   result.num_orbitals = sys.norb;
+  result.precision_path = sys.precision;
   result.team_path = classify_team_path(part.outer, part.inner);
   result.outer_threads_used = part.outer;
   result.inner_threads_used = part.inner;

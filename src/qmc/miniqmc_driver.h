@@ -58,6 +58,18 @@ struct MiniQMCConfig
   int num_splines = 0;                   ///< 0 => orbital count of the crystal
   int tile_size = 128;                   ///< AoSoA tile size Nb
   SpoLayout spo = SpoLayout::AoS;
+  /// Precision family of the orbital engine (core/coef_storage.h).  Native
+  /// (default) keeps storage and compute in qmc_real — bit-for-bit the
+  /// historical trajectories.  Mixed stores the coefficient table in float
+  /// and carries all weight products and V/VGL/VGH accumulation in double;
+  /// it is opt-in, deterministic (same seed -> same trajectory) and
+  /// decomposition-neutral, but NOT bit-for-bit with Native.  The AoS
+  /// baseline has no mixed variant: requesting Mixed with SpoLayout::AoS
+  /// resolves to Native, surfaced via MiniQMCResult::precision_path (the
+  /// spline_path/team_path discipline — accuracy decisions are never
+  /// silent).  Affects the trajectory, so it is part of the checkpoint
+  /// config hash: mixed and native snapshots refuse to cross-resume.
+  PrecisionPath precision_path = PrecisionPath::Native;
   bool optimized_dt_jastrow = false;     ///< SoA distance tables + Jastrow paths
   int num_walkers = 0;                   ///< 0 => one per OpenMP thread
   int steps = 1;                         ///< Monte Carlo sweeps
@@ -152,6 +164,10 @@ struct MiniQMCResult
   /// multi-position path, so a crowd sweep over it degrades to lock-step
   /// single-position calls).
   EvalPath spline_path = EvalPath::SinglePosition;
+  /// The precision family the engines actually ran — cfg.precision_path
+  /// after the AoS-has-no-mixed-variant resolution (explicit, surfaced,
+  /// tested; never a silent fallback).
+  PrecisionPath precision_path = PrecisionPath::Native;
   /// Resolved crowd size the sweep actually used (1 for the per-walker
   /// driver; for the crowd driver: cfg.crowd_size after the 0 = whole
   /// population / -1 = tuned-from-wisdom resolution and clamping).

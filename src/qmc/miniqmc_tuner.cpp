@@ -109,6 +109,10 @@ Wisdom::Entry tune_miniqmc(Wisdom& wisdom, const MiniQMCConfig& cfg, double min_
   const detail::MiniQMCSystem sys(cfg);
 
   Wisdom::Entry entry;
+  // Stamp the precision family the knobs are measured under (the system's
+  // RESOLVED path, after the AoS-has-no-mixed-variant fallback) — consumers
+  // refuse to apply an entry tuned for the other family.
+  entry.precision = sys.precision == PrecisionPath::Mixed ? 1 : 0;
   const auto tiles = default_tile_candidates(sys.norb, static_cast<int>(simd_lanes<float>));
   const auto blocks = default_block_candidates(sys.nw);
   const auto joint = tune_tile_block_vgh(*sys.coefs, tiles, blocks, sys.nw, min_seconds);

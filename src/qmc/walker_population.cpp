@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "qmc/crowd_sweep.h"
@@ -80,6 +82,18 @@ WalkerPopulation::WalkerPopulation(const PopulationConfig& pcfg) : impl_(std::ma
       im.shard_sys[static_cast<std::size_t>(s)] =
           std::make_unique<MiniQMCSystem>(im.cfg, im.replicas.replicate(s));
   });
+  // Memory-footprint provenance (opt-in, stderr like the checkpoint
+  // diagnostics): the coefficient table is the dominant resident allocation,
+  // and the replica bytes are what the precision path halves — surface them
+  // per shard so a mixed-vs-native footprint claim is checkable from a run
+  // log instead of a heap profiler.
+  if (std::getenv("MQC_VERBOSE") != nullptr) {
+    for (int s = 0; s < im.num_shards; ++s)
+      std::fprintf(stderr, "miniqmc: shard %d coef replica: %zu bytes\n", s,
+                   im.replicas.replica_bytes(s));
+    std::fprintf(stderr, "miniqmc: coef replicas total: %zu bytes across %d shard(s)\n",
+                 im.replicas.total_replica_bytes(), im.num_shards);
+  }
 
   // ---- walker -> shard -> crowd decomposition ----------------------------
   im.shard_walkers.resize(static_cast<std::size_t>(im.num_shards));
@@ -113,6 +127,7 @@ WalkerPopulation::WalkerPopulation(const PopulationConfig& pcfg) : impl_(std::ma
   im.status.crowd_size_used = requested > 0 ? std::min(requested, nw) : nw;
   im.status.spline_path = sys0.spo.capabilities().native_multi_eval ? EvalPath::MultiPosition
                                                                     : EvalPath::SinglePosition;
+  im.status.precision_path = sys0.precision;
   im.status.team_path = classify_team_path(im.part.outer, im.part.inner);
   im.status.outer_threads_used = im.part.outer;
   im.status.inner_threads_used = im.part.inner;

@@ -241,6 +241,47 @@ TEST(CheckpointRoundTrip, SnapshotCadenceIsTrajectoryNeutral)
   round_trip_case(make_cfg(DriverMode::PerWalker, SpoLayout::SoA, true, 4), "interval3", 3);
 }
 
+TEST(CheckpointRoundTrip, MixedPathRoundTripsAndRefusesCrossPrecisionResume)
+{
+  // A Mixed run snapshots and resumes bit-for-bit like any other config...
+  {
+    MiniQMCConfig cfg = make_cfg(DriverMode::Crowd, SpoLayout::SoA, true, 4);
+    cfg.precision_path = PrecisionPath::Mixed;
+    round_trip_case(cfg, "mixed_soa");
+  }
+  // ...but the RESOLVED precision path is part of the config hash: a
+  // snapshot written under Mixed must not resume a Native run (the
+  // trajectories diverge from the first accepted move), and vice versa.
+  // The refusal is the ordinary config-hash rejection — surfaced in
+  // resume_error with both hashes — followed by a clean fresh start.
+  const auto cross_resume = [](PrecisionPath write_as, PrecisionPath resume_as,
+                               const std::string& tag) {
+    ScopedCkpt ck(tag);
+    MiniQMCConfig wcfg = make_cfg(DriverMode::Crowd, SpoLayout::SoA, true, 4);
+    wcfg.precision_path = write_as;
+    wcfg.steps = 4;
+    wcfg.checkpoint_path = ck.path;
+    wcfg.checkpoint_interval = 2;
+    EXPECT_GE(run_miniqmc(wcfg).checkpoints_written, 1) << tag;
+
+    MiniQMCConfig rcfg = make_cfg(DriverMode::Crowd, SpoLayout::SoA, true, 4);
+    rcfg.precision_path = resume_as;
+    rcfg.checkpoint_path = ck.path;
+    rcfg.resume = true;
+    const MiniQMCResult ref = [&] {
+      MiniQMCConfig fresh = make_cfg(DriverMode::Crowd, SpoLayout::SoA, true, 4);
+      fresh.precision_path = resume_as;
+      return run_miniqmc(fresh);
+    }();
+    const MiniQMCResult got = run_miniqmc(rcfg);
+    EXPECT_EQ(got.resumed_from_step, -1) << tag;
+    EXPECT_FALSE(got.resume_error.empty()) << tag;
+    expect_same_trajectory(ref, got, tag + ": fresh-start after refusal");
+  };
+  cross_resume(PrecisionPath::Mixed, PrecisionPath::Native, "mixed_to_native");
+  cross_resume(PrecisionPath::Native, PrecisionPath::Mixed, "native_to_mixed");
+}
+
 TEST(CheckpointRoundTrip, MissingSnapshotFallsBackToFreshStart)
 {
   MiniQMCConfig cfg = make_cfg(DriverMode::PerWalker, SpoLayout::SoA, true, 1);

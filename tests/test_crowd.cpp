@@ -370,6 +370,111 @@ TEST(CrowdDriver, SeedDeterminismAcrossRepeatedRuns)
   }
 }
 
+// ---------------------------------------------------------------------------
+// Mixed precision through the drivers: cfg.precision_path = Mixed swaps the
+// SoA / AoSoA engines for their <float, double> variants — a different (more
+// accurate) trajectory, but still a deterministic function of (config, seed)
+// and still decomposition-neutral.  AoS has no mixed variant: the request
+// resolves to Native and says so in the result.
+// ---------------------------------------------------------------------------
+
+TEST(CrowdDriver, MixedPathIsSurfacedAndSeedDeterministic)
+{
+  for (SpoLayout spo : {SpoLayout::SoA, SpoLayout::AoSoA}) {
+    for (DriverMode mode : {DriverMode::PerWalker, DriverMode::Crowd}) {
+      auto cfg = crowd_test_config();
+      cfg.spo = spo;
+      cfg.tile_size = 16;
+      cfg.optimized_dt_jastrow = true;
+      cfg.driver = mode;
+      cfg.crowd_size = 3;
+      cfg.precision_path = PrecisionPath::Mixed;
+      const auto r1 = run_miniqmc(cfg);
+      const auto r2 = run_miniqmc(cfg);
+      EXPECT_EQ(r1.precision_path, PrecisionPath::Mixed)
+          << "layout " << static_cast<int>(spo) << " mode " << static_cast<int>(mode);
+      expect_identical_trajectories(r1, r2, "mixed rerun");
+    }
+  }
+}
+
+TEST(CrowdDriver, MixedPathIsDecompositionNeutral)
+{
+  // The same crowd-size sweep the Native bit-for-bit test runs, under
+  // Mixed: every decomposition must reproduce the per-walker trajectory.
+  for (SpoLayout spo : {SpoLayout::SoA, SpoLayout::AoSoA}) {
+    auto cfg = crowd_test_config();
+    cfg.spo = spo;
+    cfg.tile_size = 16;
+    cfg.optimized_dt_jastrow = true;
+    cfg.precision_path = PrecisionPath::Mixed;
+    const auto per_walker = run_miniqmc(cfg);
+    for (int cs : {1, 2, 3, 0}) {
+      auto ccfg = cfg;
+      ccfg.driver = DriverMode::Crowd;
+      ccfg.crowd_size = cs;
+      const auto crowd = run_miniqmc(ccfg);
+      EXPECT_EQ(crowd.precision_path, PrecisionPath::Mixed);
+      expect_identical_trajectories(per_walker, crowd,
+                                    spo == SpoLayout::SoA ? "mixed SoA" : "mixed AoSoA");
+    }
+  }
+}
+
+TEST(CrowdDriver, MixedActuallyChangesTheKernelsAndAoSFallsBack)
+{
+  // (a) Mixed is not a no-op: on the SoA layout the narrowed tables +
+  // DP accumulation produce a different trajectory than the SP-native
+  // engines (if these matched bit-for-bit the knob would be dead wiring).
+  auto cfg = crowd_test_config();
+  cfg.spo = SpoLayout::SoA;
+  cfg.optimized_dt_jastrow = true;
+  const auto native = run_miniqmc(cfg);
+  EXPECT_EQ(native.precision_path, PrecisionPath::Native);
+  auto mcfg = cfg;
+  mcfg.precision_path = PrecisionPath::Mixed;
+  const auto mixed = run_miniqmc(mcfg);
+  bool any_differ = false;
+  ASSERT_EQ(native.walker_log_det.size(), mixed.walker_log_det.size());
+  for (std::size_t i = 0; i < native.walker_log_det.size(); ++i)
+    any_differ = any_differ || native.walker_log_det[i] != mixed.walker_log_det[i];
+  EXPECT_TRUE(any_differ) << "mixed trajectory is bit-identical to native: knob not wired";
+
+  // (b) AoS has no mixed variant: the request resolves to Native, runs the
+  // EXACT native trajectory, and the result says Native — never a silent
+  // half-engaged state.
+  auto acfg = crowd_test_config();
+  acfg.spo = SpoLayout::AoS;
+  acfg.optimized_dt_jastrow = false;
+  const auto aos_native = run_miniqmc(acfg);
+  auto amcfg = acfg;
+  amcfg.precision_path = PrecisionPath::Mixed;
+  const auto aos_mixed = run_miniqmc(amcfg);
+  EXPECT_EQ(aos_mixed.precision_path, PrecisionPath::Native);
+  expect_identical_trajectories(aos_native, aos_mixed, "AoS fallback");
+}
+
+TEST(CrowdDriver, DefaultConfigIsBitForBitTheExplicitNativePath)
+{
+  // Regression guard for every pre-knob trajectory: a config that never
+  // mentions precision_path must be the same run as one that asks for
+  // Native explicitly, on every layout.
+  for (SpoLayout spo : {SpoLayout::AoS, SpoLayout::SoA, SpoLayout::AoSoA}) {
+    auto cfg = crowd_test_config();
+    cfg.spo = spo;
+    cfg.tile_size = 16;
+    cfg.optimized_dt_jastrow = spo != SpoLayout::AoS;
+    cfg.driver = DriverMode::Crowd;
+    cfg.crowd_size = 2;
+    const auto implicit = run_miniqmc(cfg);
+    auto ecfg = cfg;
+    ecfg.precision_path = PrecisionPath::Native;
+    const auto explicit_native = run_miniqmc(ecfg);
+    EXPECT_EQ(implicit.precision_path, PrecisionPath::Native);
+    expect_identical_trajectories(implicit, explicit_native, "default vs explicit Native");
+  }
+}
+
 TEST(CrowdDriver, MoveCountScalesExactlyWithSteps)
 {
   // The `steps` split changes only how long the chain runs: the attempted

@@ -246,6 +246,57 @@ TEST(DmcDriver, FullDmcIsDecompositionNeutral)
   }
 }
 
+// Mixed precision under branching: a Mixed full-DMC run is still a
+// deterministic function of (config, seed) — population trace, counters,
+// trial energy bits, fingerprints — and still invariant under every
+// crowd/shard/partition decomposition, because the mixed engines are
+// deterministic per evaluation and everything downstream is unchanged.
+TEST(DmcDriver, MixedFullDmcIsSeedDeterministicAndSurfaced)
+{
+  for (SpoLayout spo : {SpoLayout::SoA, SpoLayout::AoSoA}) {
+    MiniQMCConfig cfg = dmc_cfg(spo, true, 4);
+    cfg.precision_path = PrecisionPath::Mixed;
+    const MiniQMCResult a = run_miniqmc(cfg);
+    const MiniQMCResult b = run_miniqmc(cfg);
+    EXPECT_EQ(a.precision_path, PrecisionPath::Mixed);
+    expect_same_dmc_run(a, b, spo == SpoLayout::SoA ? "mixed SoA rerun" : "mixed AoSoA rerun");
+    ASSERT_EQ(static_cast<int>(a.dmc_population.size()), cfg.dmc_generations);
+  }
+  // AoS has no mixed variant: the branching driver surfaces the resolution.
+  MiniQMCConfig acfg = dmc_cfg(SpoLayout::AoS, false, 4);
+  acfg.precision_path = PrecisionPath::Mixed;
+  EXPECT_EQ(run_miniqmc(acfg).precision_path, PrecisionPath::Native);
+}
+
+TEST(DmcDriver, MixedFullDmcIsDecompositionNeutral)
+{
+  MiniQMCConfig cfg = dmc_cfg(SpoLayout::AoSoA, true, 4);
+  cfg.precision_path = PrecisionPath::Mixed;
+  MiniQMCResult ref;
+  {
+    ScopedEnv senv("MQC_SHARDS", "1");
+    ScopedEnv penv("MQC_PARTITION", "1x2");
+    ref = run_miniqmc(cfg);
+  }
+  EXPECT_EQ(ref.precision_path, PrecisionPath::Mixed);
+  {
+    ScopedEnv senv("MQC_SHARDS", "2");
+    ScopedEnv penv("MQC_PARTITION", "2x1");
+    MiniQMCConfig c2 = cfg;
+    c2.crowd_size = 2;
+    const MiniQMCResult got = run_miniqmc(c2);
+    EXPECT_EQ(got.dmc_shards_used, 2);
+    expect_same_dmc_run(ref, got, "mixed: 2 shards / 2x1 / crowd_size 2");
+  }
+  {
+    ScopedEnv senv("MQC_SHARDS", "3");
+    ScopedEnv penv("MQC_PARTITION", "1x1");
+    MiniQMCConfig c3 = cfg;
+    c3.crowd_size = 1;
+    expect_same_dmc_run(ref, run_miniqmc(c3), "mixed: 3 shards / serial / crowd_size 1");
+  }
+}
+
 // Crash consistency for dynamic populations: snapshot at a generation
 // boundary mid-run, resume, and land bit-for-bit on the uninterrupted run —
 // population trace tail, cumulative birth/death counters, trial energy and

@@ -4,6 +4,8 @@
 // position-block choice (P = 1, a non-dividing P, the whole batch), both
 // precisions, and with remainder tiles in play.  Plus the capability
 // surface drivers base their explicit single-vs-multi decision on.
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -439,4 +441,248 @@ TEST(OrbitalSet, ZeroCountRequestIsANoOp)
   OrbitalEvalRequest<float> rq; // count == 0, null pointers
   spo.evaluate(rq, res);        // must not touch anything
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Mixed precision (SP storage, DP accumulation): BsplineSoA<float, double> /
+// MultiBspline<float, double> behind the same facade.
+//
+// The exact oracle: a mixed engine reads float coefficients, upcasts each
+// element, and accumulates in double with the SAME per-element term order as
+// the plain kernel — so its float outputs must equal, BIT FOR BIT, the
+// narrowed outputs of the plain DP engine run over the upcast
+// (convert_storage<double>) copy of the same float table.  That turns every
+// accuracy test below into an exact ASSERT_EQ, not a tolerance band.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MixedFixture
+{
+  std::shared_ptr<CoefStorage<float>> coefs;  ///< the table both paths read
+  std::shared_ptr<CoefStorage<double>> wide;  ///< its exact upcast (oracle input)
+  BsplineSoA<float, double> soa_mx;
+  MultiBspline<float, double> aosoa_mx;
+  BsplineSoA<double> soa_dp;
+  MultiBspline<double> aosoa_dp;
+  std::vector<Vec3<float>> positions;
+  std::vector<Vec3<double>> positions_dp; ///< identical coordinates, upcast
+
+  // The float table is produced the way the drivers produce it — a wide
+  // build narrowed through convert_storage — so its padding tail is zeroed
+  // exactly like the upcast oracle table's.
+  MixedFixture()
+      : coefs(convert_storage<float>(
+            *make_random_storage<double>(Grid3D<double>::cube(8, 1.0), kSplines, 404))),
+        wide(convert_storage<double>(*coefs)), soa_mx(coefs), aosoa_mx(*coefs, kTile),
+        soa_dp(wide), aosoa_dp(*wide, kTile)
+  {
+    Xoshiro256 rng(405);
+    for (int p = 0; p < kBatch; ++p) {
+      const auto x = static_cast<float>(rng.uniform());
+      const auto y = static_cast<float>(rng.uniform());
+      const auto z = static_cast<float>(rng.uniform());
+      positions.push_back(Vec3<float>{x, y, z});
+      positions_dp.push_back(Vec3<double>{x, y, z});
+    }
+  }
+};
+
+/// Facade request over prepared output pointer tables (both element types).
+template <typename T, typename Engine>
+void facade_eval(const Engine& engine, DerivLevel d, const std::vector<Vec3<T>>& positions,
+                 Outputs<T>& out, std::size_t stride, int pos_block)
+{
+  OrbitalSet<T> spo(engine);
+  OrbitalResource<T> res;
+  OrbitalEvalRequest<T> rq;
+  rq.deriv = d;
+  rq.positions = positions.data();
+  rq.count = static_cast<int>(positions.size());
+  rq.v = out.v.data();
+  if (d != DerivLevel::V) {
+    rq.g = out.g.data();
+    rq.lh = out.lh.data();
+  }
+  rq.stride = stride;
+  rq.pos_block = pos_block;
+  spo.evaluate(rq, res);
+}
+
+/// ASSERT the mixed float outputs equal the narrowed DP-oracle outputs, bit
+/// for bit, across the full padded extent of every requested stream.
+void expect_exact_oracle(const Outputs<float>& mixed, const Outputs<double>& oracle,
+                         DerivLevel d, std::size_t stride)
+{
+  const bool hessian = d == DerivLevel::VGH;
+  for (std::size_t p = 0; p < static_cast<std::size_t>(kBatch); ++p) {
+    for (std::size_t i = 0; i < stride; ++i)
+      ASSERT_EQ(mixed.v[p][i], static_cast<float>(oracle.v[p][i]))
+          << "v @ position " << p << " index " << i;
+    if (d == DerivLevel::V)
+      continue;
+    for (std::size_t i = 0; i < 3 * stride; ++i)
+      ASSERT_EQ(mixed.g[p][i], static_cast<float>(oracle.g[p][i]))
+          << "g @ position " << p << " index " << i;
+    const std::size_t hn = hessian ? 6 * stride : stride;
+    for (std::size_t i = 0; i < hn; ++i)
+      ASSERT_EQ(mixed.lh[p][i], static_cast<float>(oracle.lh[p][i]))
+          << "lh @ position " << p << " index " << i;
+  }
+}
+
+} // namespace
+
+TEST(MixedPrecision, SoASinglePositionMatchesWideOracleBitForBit)
+{
+  MixedFixture fx;
+  const std::size_t stride = fx.soa_mx.out_stride();
+  for (const auto d : {DerivLevel::V, DerivLevel::VGL, DerivLevel::VGH}) {
+    SCOPED_TRACE(::testing::Message() << "deriv=" << static_cast<int>(d));
+    Outputs<float> mixed(kBatch, stride, false, d == DerivLevel::VGH);
+    Outputs<double> oracle(kBatch, stride, false, d == DerivLevel::VGH);
+    for (std::size_t p = 0; p < static_cast<std::size_t>(kBatch); ++p) {
+      const Vec3<float>& r = fx.positions[p];
+      const Vec3<double>& rd = fx.positions_dp[p];
+      if (d == DerivLevel::V) {
+        fx.soa_mx.evaluate_v(r.x, r.y, r.z, mixed.v[p]);
+        fx.soa_dp.evaluate_v(rd.x, rd.y, rd.z, oracle.v[p]);
+      } else if (d == DerivLevel::VGL) {
+        fx.soa_mx.evaluate_vgl(r.x, r.y, r.z, mixed.v[p], mixed.g[p], mixed.lh[p], stride);
+        fx.soa_dp.evaluate_vgl(rd.x, rd.y, rd.z, oracle.v[p], oracle.g[p], oracle.lh[p], stride);
+      } else {
+        fx.soa_mx.evaluate_vgh(r.x, r.y, r.z, mixed.v[p], mixed.g[p], mixed.lh[p], stride);
+        fx.soa_dp.evaluate_vgh(rd.x, rd.y, rd.z, oracle.v[p], oracle.g[p], oracle.lh[p], stride);
+      }
+    }
+    expect_exact_oracle(mixed, oracle, d, stride);
+  }
+}
+
+TEST(MixedPrecision, FacadeMatrixMatchesWideOracleBitForBit)
+{
+  // The full mixed matrix through the facade: SoA and AoSoA (remainder tile
+  // in play by construction), V / VGL / VGH, position blocks P = 1, a
+  // non-dividing P = 3, and the whole batch.  The oracle runs the SAME
+  // facade path at DP over the upcast table, so multi-position scheduling,
+  // tiling and remainder handling are compared like for like.
+  MixedFixture fx;
+  for (const bool tiled : {false, true})
+    for (const auto d : {DerivLevel::V, DerivLevel::VGL, DerivLevel::VGH})
+      for (const int pb : {1, 3, 0}) {
+        SCOPED_TRACE(::testing::Message() << "tiled=" << tiled << " deriv=" << static_cast<int>(d)
+                                          << " pos_block=" << pb);
+        const std::size_t stride = tiled ? fx.aosoa_mx.out_stride() : fx.soa_mx.out_stride();
+        Outputs<float> mixed(kBatch, stride, false, d == DerivLevel::VGH);
+        Outputs<double> oracle(kBatch, stride, false, d == DerivLevel::VGH);
+        if (tiled) {
+          facade_eval(fx.aosoa_mx, d, fx.positions, mixed, stride, pb);
+          facade_eval(fx.aosoa_dp, d, fx.positions_dp, oracle, stride, pb);
+        } else {
+          facade_eval(fx.soa_mx, d, fx.positions, mixed, stride, pb);
+          facade_eval(fx.soa_dp, d, fx.positions_dp, oracle, stride, pb);
+        }
+        expect_exact_oracle(mixed, oracle, d, stride);
+      }
+}
+
+TEST(MixedPrecision, UlpBoundedAgainstIndependentDpReference)
+{
+  // Accuracy against a DP build from the ORIGINAL samples (not the upcast of
+  // the float table): the only error left in the mixed path is coefficient
+  // storage narrowing, so every output must sit within a small ULP band of
+  // the DP reference at each stream's own magnitude.  (The SP-native path
+  // adds SP accumulation error on top; the mixed path must not.)
+  const int ng = 12, n = 8;
+  const auto pw = PlaneWaveOrbitals::make(n, Vec3<double>{1, 1, 1}, 3);
+  const auto dp = build_planewave_storage(Grid3D<double>::cube(ng, 1.0), pw);
+  const auto sp = convert_storage<float>(*dp);
+  const BsplineSoA<double> ref(dp);
+  const BsplineSoA<float, double> mx(sp);
+  const std::size_t stride = ref.out_stride();
+  WalkerSoA<double> r_out(stride);
+  WalkerSoA<float> m_out(mx.out_stride());
+
+  // Stream scales first (|v|, |g|, |h| magnitudes differ by ~2*pi factors).
+  const auto pos = test::random_positions(Grid3D<double>::cube(ng, 1.0), 50, 9);
+  double sv = 0, sg = 0, sh = 0;
+  for (const auto& r : pos) {
+    ref.evaluate_vgh(r[0], r[1], r[2], r_out.v.data(), r_out.g.data(), r_out.h.data());
+    for (int k = 0; k < n; ++k) {
+      const auto q = static_cast<std::size_t>(k);
+      sv = std::max(sv, std::abs(r_out.v[q]));
+      for (int d = 0; d < 3; ++d)
+        sg = std::max(sg, std::abs(r_out.g[static_cast<std::size_t>(d) * stride + q]));
+      for (int d = 0; d < 6; ++d)
+        sh = std::max(sh, std::abs(r_out.h[static_cast<std::size_t>(d) * stride + q]));
+    }
+  }
+  constexpr double kUlp = 1.1920928955078125e-7; // float epsilon
+  constexpr double kMaxUlps = 64.0; // narrowing error budget: well under SP-native
+  for (const auto& r : pos) {
+    mx.evaluate_vgh(static_cast<float>(r[0]), static_cast<float>(r[1]), static_cast<float>(r[2]),
+                    m_out.v.data(), m_out.g.data(), m_out.h.data());
+    ref.evaluate_vgh(r[0], r[1], r[2], r_out.v.data(), r_out.g.data(), r_out.h.data());
+    for (int k = 0; k < n; ++k) {
+      const auto q = static_cast<std::size_t>(k);
+      const auto mq = static_cast<std::size_t>(k);
+      ASSERT_LE(std::abs(m_out.v[mq] - r_out.v[q]), kMaxUlps * kUlp * sv) << "v orbital " << k;
+      for (int d = 0; d < 3; ++d)
+        ASSERT_LE(std::abs(m_out.g[static_cast<std::size_t>(d) * mx.out_stride() + mq] -
+                           r_out.g[static_cast<std::size_t>(d) * stride + q]),
+                  kMaxUlps * kUlp * sg)
+            << "g[" << d << "] orbital " << k;
+      for (int d = 0; d < 6; ++d)
+        ASSERT_LE(std::abs(m_out.h[static_cast<std::size_t>(d) * mx.out_stride() + mq] -
+                           r_out.h[static_cast<std::size_t>(d) * stride + q]),
+                  kMaxUlps * kUlp * sh)
+            << "h[" << d << "] orbital " << k;
+    }
+  }
+}
+
+TEST(MixedPrecision, CapabilitiesSurfacePrecisionAndTableBytes)
+{
+  MixedFixture fx;
+  FacadeFixture<float> nfx;
+
+  const auto mx_soa = OrbitalSet<float>(fx.soa_mx).capabilities();
+  EXPECT_EQ(mx_soa.precision, PrecisionPath::Mixed);
+  EXPECT_EQ(mx_soa.layout, OrbitalLayout::SoA);
+  EXPECT_TRUE(mx_soa.native_multi_eval);
+  EXPECT_EQ(mx_soa.coef_table_bytes, fx.coefs->size_bytes());
+
+  const auto mx_aosoa = OrbitalSet<float>(fx.aosoa_mx).capabilities();
+  EXPECT_EQ(mx_aosoa.precision, PrecisionPath::Mixed);
+  EXPECT_EQ(mx_aosoa.layout, OrbitalLayout::AoSoA);
+  EXPECT_EQ(mx_aosoa.num_tiles, 3);
+  EXPECT_EQ(mx_aosoa.coef_table_bytes, fx.aosoa_mx.coef_bytes());
+
+  // Native engines surface Native + their own footprint.  At N = 44 both
+  // element types pad to 48 lanes (16-float vs 8-double alignment), so the
+  // DP build of the same logical table reports exactly twice the bytes.
+  const auto nat = OrbitalSet<float>(nfx.soa).capabilities();
+  EXPECT_EQ(nat.precision, PrecisionPath::Native);
+  EXPECT_EQ(nat.coef_table_bytes, nfx.coefs->size_bytes());
+  const auto dp = OrbitalSet<double>(fx.soa_dp).capabilities();
+  EXPECT_EQ(dp.precision, PrecisionPath::Native);
+  EXPECT_EQ(dp.coef_table_bytes, 2 * mx_soa.coef_table_bytes);
+}
+
+TEST(MixedPrecision, MixedIsDeterministicAcrossRepeatedCalls)
+{
+  // Same inputs -> same bits, call after call (no hidden state in the
+  // blocked accumulation path).
+  MixedFixture fx;
+  const std::size_t stride = fx.soa_mx.out_stride();
+  WalkerSoA<float> a(stride), b(stride);
+  const Vec3<float>& r = fx.positions.front();
+  fx.soa_mx.evaluate_vgh(r.x, r.y, r.z, a.v.data(), a.g.data(), a.h.data(), stride);
+  fx.soa_mx.evaluate_vgh(r.x, r.y, r.z, b.v.data(), b.g.data(), b.h.data(), stride);
+  for (std::size_t i = 0; i < stride; ++i)
+    ASSERT_EQ(a.v[i], b.v[i]);
+  for (std::size_t i = 0; i < 3 * stride; ++i)
+    ASSERT_EQ(a.g[i], b.g[i]);
+  for (std::size_t i = 0; i < 6 * stride; ++i)
+    ASSERT_EQ(a.h[i], b.h[i]);
 }

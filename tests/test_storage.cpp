@@ -1,5 +1,7 @@
 // Tests for the 4D coefficient storage: padding/alignment guarantees, the
 // periodic control-point scatter, tile splitting, and deterministic fills.
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <set>
 
@@ -116,6 +118,139 @@ TEST(Storage, PaddingLanesStayZeroAfterBuild)
       for (int k = 0; k < ng + 3; ++k)
         for (std::size_t n = 3; n < s.padded_splines(); ++n)
           ASSERT_FLOAT_EQ(s.row(i, j, k)[n], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// convert_storage / convert_grid: the one sanctioned precision-cast seam
+// (mixed-precision storage narrowing, PR: SP tables with DP accumulation).
+// ---------------------------------------------------------------------------
+
+TEST(ConvertStorage, NarrowingCopiesEveryLogicalEntry)
+{
+  const auto grid = Grid3D<double>::cube(5, 1.0);
+  CoefStorage<double> src(grid, 20); // pads to 24 doubles, 32 floats
+  src.fill_random(42);
+  const auto dst = convert_storage<float>(src);
+  EXPECT_EQ(dst->num_splines(), src.num_splines());
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      for (int k = 0; k < 8; ++k)
+        for (int n = 0; n < 20; ++n)
+          ASSERT_EQ(dst->coef(i, j, k, n), static_cast<float>(src.coef(i, j, k, n)))
+              << '(' << i << ',' << j << ',' << k << ',' << n << ')';
+}
+
+// float pads to 16 lanes, double to 8: at N=20 the padded tails differ in
+// length (32 vs 24) and must stay at the constructor's zeros on both sides.
+TEST(ConvertStorage, PaddingTailStaysZeroAcrossLaneMismatch)
+{
+  const auto grid = Grid3D<double>::cube(4, 1.0);
+  CoefStorage<double> src(grid, 20);
+  src.fill_random(7);
+  const auto dst = convert_storage<float>(src);
+  EXPECT_EQ(dst->padded_splines(), 32u);
+  EXPECT_EQ(src.padded_splines(), 24u);
+  for (int i = 0; i < 7; ++i)
+    for (int j = 0; j < 7; ++j)
+      for (int k = 0; k < 7; ++k)
+        for (std::size_t n = 20; n < dst->padded_splines(); ++n)
+          ASSERT_EQ(dst->row(i, j, k)[n], 0.0f);
+}
+
+// Same-type conversion reconstructs the grid bit-for-bit (Grid1D recomputes
+// delta from start/end/num exactly as the original constructor did) and
+// round-tripping float->double->float is the identity (every float is
+// exactly representable in double).
+TEST(ConvertStorage, FloatRoundTripThroughDoubleIsIdentity)
+{
+  const auto grid = Grid3D<float>::cube(6, 1.0f);
+  CoefStorage<float> src(grid, 12);
+  src.fill_random(3);
+  const auto wide = convert_storage<double>(src);
+  const auto back = convert_storage<float>(*wide);
+  EXPECT_EQ(back->grid().x.delta, src.grid().x.delta);
+  EXPECT_EQ(back->grid().x.delta_inv, src.grid().x.delta_inv);
+  for (int i = 0; i < 9; ++i)
+    for (int j = 0; j < 9; ++j)
+      for (int k = 0; k < 9; ++k)
+        for (int n = 0; n < 12; ++n)
+          ASSERT_EQ(back->coef(i, j, k, n), src.coef(i, j, k, n));
+}
+
+// A float table built directly from DP sources equals the convert_storage
+// narrowing of the equivalent DP build: the driver's mixed engines may read
+// the SAME float table the native-SP engines use.
+TEST(ConvertStorage, DirectFloatBuildTracksNarrowedDoubleBuild)
+{
+  // A float-native build runs the whole spline solve in SP arithmetic, so it
+  // is NOT bit-identical to the narrowed DP build — but both must land
+  // within a few float ULPs of each other at the table's own scale.  (The
+  // drivers share ONE narrowed-from-DP table between the SP-native and
+  // mixed engines precisely because this gap is down in the noise.)
+  const int ng = 12, n = 6;
+  const auto pw = PlaneWaveOrbitals::make(n, Vec3<double>{1, 1, 1}, 3);
+  const auto built_sp = build_planewave_storage(Grid3D<float>::cube(ng, 1.0f), pw);
+  const auto built_dp = build_planewave_storage(Grid3D<double>::cube(ng, 1.0), pw);
+  const auto narrowed = convert_storage<float>(*built_dp);
+  double scale = 0.0;
+  for (int i = 0; i < ng + 3; ++i)
+    for (int j = 0; j < ng + 3; ++j)
+      for (int k = 0; k < ng + 3; ++k)
+        for (int s = 0; s < n; ++s)
+          scale = std::max(scale, std::abs(static_cast<double>(narrowed->coef(i, j, k, s))));
+  constexpr double kUlp = 1.1920928955078125e-7; // float epsilon
+  for (int i = 0; i < ng + 3; ++i)
+    for (int j = 0; j < ng + 3; ++j)
+      for (int k = 0; k < ng + 3; ++k)
+        for (int s = 0; s < n; ++s)
+          ASSERT_LE(std::abs(static_cast<double>(built_sp->coef(i, j, k, s)) -
+                             static_cast<double>(narrowed->coef(i, j, k, s))),
+                    64.0 * kUlp * scale)
+              << '(' << i << ',' << j << ',' << k << ',' << s << ')';
+}
+
+// ---------------------------------------------------------------------------
+// CoefReplicaSet wide-master mode: every shard (including 0) narrows the DP
+// master at replicate() time, on the calling thread.
+// ---------------------------------------------------------------------------
+
+TEST(CoefReplicaSetWide, EveryShardNarrowsIdentically)
+{
+  const auto grid = Grid3D<double>::cube(5, 1.0);
+  auto wide = std::make_shared<CoefStorage<double>>(grid, 10);
+  wide->fill_random(11);
+  CoefReplicaSet<float> set(std::shared_ptr<const CoefStorage<double>>(wide), 3);
+  EXPECT_TRUE(set.narrows());
+  EXPECT_EQ(set.num_shards(), 3);
+  const auto expected = convert_storage<float>(*wide);
+  for (int s = 0; s < 3; ++s) {
+    const auto rep = set.replicate(s);
+    ASSERT_NE(rep, nullptr);
+    for (int i = 0; i < 8; ++i)
+      for (int j = 0; j < 8; ++j)
+        for (int k = 0; k < 8; ++k)
+          for (int n = 0; n < 10; ++n)
+            ASSERT_EQ(rep->coef(i, j, k, n), expected->coef(i, j, k, n)) << "shard " << s;
+  }
+}
+
+TEST(CoefReplicaSetWide, ReplicateIsIdempotentAndBytesAccounted)
+{
+  const auto grid = Grid3D<double>::cube(4, 1.0);
+  auto wide = std::make_shared<CoefStorage<double>>(grid, 16); // pads to 16 both ways
+  wide->fill_random(5);
+  CoefReplicaSet<float> set(std::shared_ptr<const CoefStorage<double>>(wide), 2);
+  EXPECT_EQ(set.replica_bytes(0), 0u); // nothing materialized yet
+  EXPECT_EQ(set.total_replica_bytes(), 0u);
+  const auto first = set.replicate(0);
+  EXPECT_EQ(set.replicate(0), first); // idempotent: same object back
+  EXPECT_EQ(set.replica_bytes(0), first->size_bytes());
+  EXPECT_EQ(set.replica_bytes(1), 0u);
+  set.replicate(1);
+  EXPECT_EQ(set.total_replica_bytes(), set.replica_bytes(0) + set.replica_bytes(1));
+  // N=16 pads to 16 lanes in BOTH element types, so the narrowed replica is
+  // exactly half the wide master's bytes — the mixed path's memory saving.
+  EXPECT_EQ(set.replica_bytes(0), wide->size_bytes() / 2);
 }
 
 TEST(SyntheticOrbitals, KVectorsOrderedByShell)

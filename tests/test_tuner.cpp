@@ -141,6 +141,52 @@ TEST(Wisdom, V4RoundTripWithInnerThreads)
   std::remove(path.c_str());
 }
 
+TEST(Wisdom, V5RoundTripWithPrecision)
+{
+  // The v5 schema stamps the precision family the knobs were tuned under
+  // (0 = native, 1 = mixed): a pos_block tuned against DP-table bandwidth is
+  // the wrong knob for a half-size mixed table.
+  const std::string path = std::filesystem::temp_directory_path() / "mqc_wisdom_v5_test.txt";
+  Wisdom w;
+  w.insert(miniqmc_wisdom_key(512, 32, 16), {128, 3.5e9, 8, 4, 2, 1});
+  ASSERT_TRUE(w.save(path));
+
+  Wisdom r;
+  ASSERT_TRUE(r.load(path));
+  const auto e = r.lookup(miniqmc_wisdom_key(512, 32, 16));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tile_size, 128);
+  EXPECT_EQ(e->pos_block, 8);
+  EXPECT_EQ(e->crowd_size, 4);
+  EXPECT_EQ(e->inner_threads, 2);
+  EXPECT_EQ(e->precision, 1);
+  EXPECT_NEAR(e->throughput, 3.5e9, 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(Wisdom, LoadsLegacyV4Lines)
+{
+  // A pre-v5 wisdom file has six-field lines (key + 5 numbers); precision
+  // defaults to 0 (= native) so old files keep feeding the default path.
+  const std::string path = std::filesystem::temp_directory_path() / "mqc_wisdom_v4line_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# miniqmcpp wisdom v4: key tile_size pos_block crowd_size inner_threads throughput\n";
+    out << "v2:miniqmc:float:N=512:grid=32x32x32:nw=16 128 8 4 2 3.5e+09\n";
+  }
+  Wisdom r;
+  ASSERT_TRUE(r.load(path));
+  const auto e = r.lookup("v2:miniqmc:float:N=512:grid=32x32x32:nw=16");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->tile_size, 128);
+  EXPECT_EQ(e->pos_block, 8);
+  EXPECT_EQ(e->crowd_size, 4);
+  EXPECT_EQ(e->inner_threads, 2);
+  EXPECT_EQ(e->precision, 0);
+  EXPECT_NEAR(e->throughput, 3.5e9, 1.0);
+  std::remove(path.c_str());
+}
+
 TEST(Wisdom, LoadsLegacyV3Lines)
 {
   // A pre-v4 wisdom file has five-field lines; inner_threads defaults to 0
@@ -238,6 +284,13 @@ TEST(WisdomHardening, NegativeKnobInV3LineRejectsWholeFile)
 TEST(WisdomHardening, ExtraFieldsInV4LineRejectsWholeFile)
 {
   expect_rejected("v4_extra", "v2:miniqmc:float:N=512:grid=32x32x32:nw=16 128 8 4 2 3.5e+09 junk\n");
+}
+
+TEST(WisdomHardening, OutOfRangePrecisionRejectsWholeFile)
+{
+  // precision is an enum ordinal: only 0 (native) and 1 (mixed) exist.
+  expect_rejected("v5_bad_precision",
+                  "v2:miniqmc:float:N=512:grid=32x32x32:nw=16 128 8 4 2 3 3.5e+09\n");
 }
 
 TEST(WisdomHardening, NonIntegralKnobRejectsWholeFile)

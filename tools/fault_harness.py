@@ -19,6 +19,11 @@ detected or a resumed trajectory diverges from the uninterrupted reference:
   config skew           resuming under a different seed must be refused via
                         the config trajectory hash — fresh start, no crash,
                         no silent wrong-state resume;
+  precision skew        a snapshot written under --precision mixed must be
+                        refused by a native resume (and vice versa): the
+                        resolved precision path is part of the config hash
+                        because the two trajectories diverge from the first
+                        accepted move;
   noop injection        a file fault aimed at a non-existent target
                         (corrupt@walker99 with 4 walkers) must be surfaced as
                         an explicit NO-OP warning, never silently skipped;
@@ -214,6 +219,32 @@ def scenario_config_skew(binary, workdir, base_args, env, tag, ref):
     expect_fingerprints_equal(ref, got, tag)
 
 
+def scenario_precision_skew(binary, workdir, base_args, env, tag, ref):
+    """A snapshot written under the mixed precision path (SP tables, DP
+    accumulation) is a different trajectory from the first accepted move on:
+    the resolved path is folded into the config hash, so a native resume must
+    refuse it and fresh-start — and a mixed resume must refuse a native
+    snapshot the same way."""
+    ckpt = str(workdir / f"{tag}.ckpt")
+    run_binary(binary, base_args + ["--steps", "4", "--ckpt", ckpt, "--interval", "2",
+                                    "--precision", "mixed"], env)
+    got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", ckpt,
+                                                    "--resume"], env).stdout)
+    expect(got["resumed_from_step"] == "-1",
+           f"{tag}: mixed-path snapshot was ACCEPTED by a native resume "
+           f"(resumed from {got['resumed_from_step']})")
+    expect(got["resume_error"] != "", f"{tag}: refusal left no diagnostic")
+    expect_fingerprints_equal(ref, got, tag)
+
+    rev = str(workdir / f"{tag}_rev.ckpt")
+    run_binary(binary, base_args + ["--steps", "4", "--ckpt", rev, "--interval", "2"], env)
+    got = parse_run(run_binary(binary, base_args + ["--steps", "6", "--ckpt", rev, "--resume",
+                                                    "--precision", "mixed"], env).stdout)
+    expect(got["resumed_from_step"] == "-1",
+           f"{tag}: native snapshot was ACCEPTED by a mixed resume "
+           f"(resumed from {got['resumed_from_step']})")
+
+
 def scenario_noop_injection(binary, workdir, base_args, env, tag, ref):
     """A corrupt@walker target past the population (walker 99 of 4) finds no
     section to damage: the binary must WARN (fault-injection NO-OP) instead
@@ -345,6 +376,7 @@ def main(argv=None):
         ("truncate-fallback", scenario_truncate_fallback),
         ("version-skew", scenario_version_skew),
         ("config-skew", scenario_config_skew),
+        ("precision-skew", scenario_precision_skew),
         ("noop-injection", scenario_noop_injection),
         ("malformed-spec", scenario_malformed_spec),
         ("population-resume", scenario_population_resume),

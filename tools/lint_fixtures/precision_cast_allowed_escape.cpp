@@ -1,0 +1,12 @@
+// Fixture: the reviewed escape hatch silences one deliberate site, and
+// narrowing anything that is not coefficient data never matches.
+// Expected: 0 findings.
+#include <vector>
+
+float narrow_position(double x) { return static_cast<float>(x); }
+
+void tool_only_probe(const std::vector<double>& coefs, std::vector<float>& out)
+{
+  // one-off analysis probe, reviewed // mqc-lint: allow(precision-cast)
+  out[0] = static_cast<float>(coefs[0]);
+}

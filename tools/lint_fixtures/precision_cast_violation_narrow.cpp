@@ -1,0 +1,9 @@
+// Fixture: ad-hoc narrowing of coefficient data outside the storage seam.
+// Expected: >=1 [precision-cast] finding.
+#include <vector>
+
+void narrow_table(const std::vector<double>& coefs, std::vector<float>& out)
+{
+  for (std::size_t i = 0; i < coefs.size(); ++i)
+    out[i] = static_cast<float>(coefs[i]);
+}

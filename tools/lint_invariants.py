@@ -16,6 +16,10 @@ suite cannot see (ROADMAP.md, "Invariants"):
                       only called inside src/core/ — everything above the
                       facade goes through OrbitalSet so batching, zero-fill
                       elimination and tuner decisions apply uniformly.
+  * precision-cast    narrowing `static_cast<float>` of coefficient data is
+                      the mixed-precision storage decision and is confined to
+                      the convert_storage seam (core/coef_storage.h); engines
+                      narrow only through their TStore/TCompute parameters.
   * unseeded-rng      `rand()`, `srand()`, `time()`, `std::random_device` and
                       default-constructed standard engines are banned in src/:
                       trajectories must be bit-for-bit reproducible from the
@@ -108,6 +112,16 @@ RULES = [
             "src/qmc/checkpoint.h",
             "src/qmc/checkpoint.cpp",
         ),
+    ),
+    Rule(
+        "precision-cast",
+        "coefficient data narrowed with `static_cast<float>` outside the storage seam",
+        r"static_cast\s*<\s*float\s*>\s*\([^)]*coef",
+        "narrowing coefficient tables to float is the mixed-precision storage "
+        "decision and lives in convert_storage (core/coef_storage.h) only; an "
+        "ad-hoc narrowing cast silently re-makes that accuracy decision outside "
+        "the audited seam (engines narrow via their TStore/TCompute parameters)",
+        allowed_paths=("src/core/coef_storage.h",),
     ),
     Rule(
         "unseeded-rng",
